@@ -1,0 +1,119 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "datasets/clean_clean_generator.h"
+#include "datasets/dirty_generator.h"
+#include "ml/sampler.h"
+
+namespace gsmb::bench {
+
+double Scale() {
+  static const double scale = ScaleFromEnv(0.125);
+  return scale;
+}
+
+size_t Seeds() {
+  static const size_t seeds = SeedsFromEnv(3);
+  return seeds;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Regenerates: %s (Generalized Supervised Meta-blocking, "
+              "PVLDB 14(1), 2022)\n",
+              paper_ref.c_str());
+  std::printf(
+      "Synthetic stand-in datasets at scale %.4g, %zu repetition(s) "
+      "(GSMB_SCALE / GSMB_SEEDS to change).\n\n",
+      Scale(), Seeds());
+}
+
+PreparedDataset PrepareSpec(const CleanCleanSpec& spec) {
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+  return PrepareCleanClean(spec.name, data.e1, data.e2,
+                           std::move(data.ground_truth));
+}
+
+std::vector<PreparedDataset> PrepareAllCleanClean() {
+  std::vector<PreparedDataset> out;
+  for (const CleanCleanSpec& spec : PaperCleanCleanSpecs(Scale())) {
+    out.push_back(PrepareSpec(spec));
+  }
+  return out;
+}
+
+PreparedDataset PrepareByName(const std::string& name) {
+  return PrepareSpec(CleanCleanSpecByName(name, Scale()));
+}
+
+PreparedDataset PrepareDirtySpec(const DirtySpec& spec) {
+  GeneratedDirty data = DirtyGenerator().Generate(spec);
+  return PrepareDirty(spec.name, data.entities,
+                      std::move(data.ground_truth));
+}
+
+MetaBlockingConfig BaselineConfig1(PruningKind kind, FeatureSet features) {
+  MetaBlockingConfig config;
+  config.pruning = kind;
+  config.features = features;
+  config.train_per_class = 25;  // 50 labelled instances
+  return config;
+}
+
+MetaBlockingConfig BaselineConfig2(PruningKind kind,
+                                   const PreparedDataset& dataset) {
+  MetaBlockingConfig config;
+  config.pruning = kind;
+  config.features = FeatureSet::Paper2014();
+  config.train_per_class = FivePercentRuleSize(dataset.ground_truth.size());
+  return config;
+}
+
+std::vector<std::string> MetricCells(const AggregateMetrics& m) {
+  return {TablePrinter::Fixed(m.recall, 4), TablePrinter::Fixed(m.precision, 4),
+          TablePrinter::Fixed(m.f1, 4)};
+}
+
+std::vector<FeatureSweepEntry> RunFeatureSweep(
+    const std::vector<PreparedDataset>& datasets, PruningKind kind,
+    size_t train_per_class, size_t seeds) {
+  const std::vector<FeatureSet>& all_sets = FeatureSet::EnumerateAll();
+
+  // Per feature set, accumulate per-dataset aggregates.
+  std::vector<std::vector<AggregateMetrics>> per_set(all_sets.size());
+
+  for (const PreparedDataset& dataset : datasets) {
+    FeatureExtractor extractor(*dataset.index, dataset.pairs);
+    Matrix full = extractor.ComputeAll();
+    for (size_t s = 0; s < all_sets.size(); ++s) {
+      const FeatureSet& set = all_sets[s];
+      Matrix features = full.SelectColumns(set.FullMatrixColumns());
+      MetaBlockingConfig config;
+      config.pruning = kind;
+      config.features = set;
+      config.train_per_class = train_per_class;
+      MetricsAccumulator acc;
+      for (size_t seed = 0; seed < seeds; ++seed) {
+        config.seed = seed;
+        acc.Add(RunMetaBlockingWithFeatures(dataset, config, features));
+      }
+      per_set[s].push_back(acc.Summary());
+    }
+  }
+
+  std::vector<FeatureSweepEntry> out;
+  out.reserve(all_sets.size());
+  for (size_t s = 0; s < all_sets.size(); ++s) {
+    out.push_back({all_sets[s], MacroAverage(per_set[s])});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureSweepEntry& a, const FeatureSweepEntry& b) {
+              if (a.average.f1 != b.average.f1) return a.average.f1 > b.average.f1;
+              return a.features.Id() < b.features.Id();
+            });
+  return out;
+}
+
+}  // namespace gsmb::bench

@@ -1,0 +1,69 @@
+// Shared machinery for the per-table/figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic stand-in datasets. All binaries honour:
+//   GSMB_SCALE  — dataset size multiplier (default 0.125),
+//   GSMB_SEEDS  — repetitions per configuration (default 3; paper uses 10).
+
+#ifndef GSMB_BENCH_BENCH_COMMON_H_
+#define GSMB_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "datasets/specs.h"
+#include "eval/experiment.h"
+#include "util/table_printer.h"
+
+namespace gsmb::bench {
+
+/// Scale / repetition knobs (env-driven).
+double Scale();
+size_t Seeds();
+
+/// Prints the bench banner: which paper artefact this regenerates and at
+/// what scale/repetitions it runs.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+/// Generates and prepares one Clean-Clean spec (Token Blocking -> Purging ->
+/// Filtering -> candidates), timing excluded from experiment RT.
+PreparedDataset PrepareSpec(const CleanCleanSpec& spec);
+
+/// Prepares all nine paper datasets at the current scale.
+std::vector<PreparedDataset> PrepareAllCleanClean();
+
+/// Prepares one paper dataset by name at the current scale.
+PreparedDataset PrepareByName(const std::string& name);
+
+/// Prepares one Dirty scalability dataset.
+PreparedDataset PrepareDirtySpec(const DirtySpec& spec);
+
+/// The paper's two baseline configurations:
+///   "1" — same budget as ours: 50 labelled pairs, new feature formulas;
+///   "2" — the original Supervised Meta-blocking recipe: 5%-rule training
+///         size and the 2014 feature set {CF-IBF, RACCB, JS, LCP}.
+MetaBlockingConfig BaselineConfig1(PruningKind kind, FeatureSet features);
+MetaBlockingConfig BaselineConfig2(PruningKind kind,
+                                   const PreparedDataset& dataset);
+
+/// Formats an AggregateMetrics triple as three table cells.
+std::vector<std::string> MetricCells(const AggregateMetrics& m);
+
+/// One feature-set cell of the Section 5.3 sweep.
+struct FeatureSweepEntry {
+  FeatureSet features;
+  AggregateMetrics average;  // macro-average over datasets
+};
+
+/// Runs all 255 feature combinations for one pruning algorithm over the
+/// given datasets (the brute-force search of Section 5.3). The full
+/// 9-column feature matrix is computed once per dataset and column-sliced
+/// per combination. Returns entries sorted by descending mean F1.
+std::vector<FeatureSweepEntry> RunFeatureSweep(
+    const std::vector<PreparedDataset>& datasets, PruningKind kind,
+    size_t train_per_class, size_t seeds);
+
+}  // namespace gsmb::bench
+
+#endif  // GSMB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Regenerates Figures 11 and 14: how the training-set size (20, 50..500
+// labelled pairs, balanced) affects BLAST and RCNP, averaged over all
+// datasets. The paper's counter-intuitive finding: recall inches up with
+// more labels while precision and F1 fall — 50 labels suffice.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace gsmb;
+using namespace gsmb::bench;
+
+void RunFigure(const char* figure, PruningKind kind, FeatureSet features,
+               const std::vector<PreparedDataset>& datasets) {
+  TablePrinter table({"Train size", "Recall", "Precision", "F1"});
+  const size_t sizes[] = {20, 50, 100, 150, 200, 250, 300, 350, 400, 450,
+                          500};
+  for (size_t size : sizes) {
+    MetaBlockingConfig config;
+    config.pruning = kind;
+    config.features = features;
+    config.train_per_class = size / 2;
+    AggregateMetrics avg =
+        MacroAverage(RunAcrossDatasets(datasets, config, Seeds()));
+    std::vector<std::string> row = {std::to_string(size)};
+    for (auto& cell : MetricCells(avg)) row.push_back(cell);
+    table.AddRow(row);
+  }
+  std::printf("%s — %s with %s:\n%s\n", figure, PruningKindName(kind),
+              features.ToString().c_str(), table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Effect of the training-set size", "Figures 11 and 14");
+  std::vector<PreparedDataset> datasets = PrepareAllCleanClean();
+  RunFigure("Figure 11", PruningKind::kBlast, FeatureSet::BlastOptimal(),
+            datasets);
+  RunFigure("Figure 14", PruningKind::kRcnp, FeatureSet::RcnpOptimal(),
+            datasets);
+  std::printf("Expected shape: recall rises slightly with more labels; "
+              "precision and F1 peak\nat small sizes — 50 labelled pairs "
+              "suffice, no active learning needed.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Regenerates Figures 12 and 13 on the AbtBuy stand-in with logistic
+// regression:
+//   Fig. 12 — density of the classifier's matching probabilities, split by
+//             class, as the training set grows (20, 100, 500 labels), plus
+//             the average and maximum per-node pruning thresholds;
+//   Fig. 13 — recall and precision of BCl vs BLAST across training sizes.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/histogram.h"
+
+namespace {
+
+using namespace gsmb;
+using namespace gsmb::bench;
+
+// Average and maximum of the WNP-style per-node average thresholds — the
+// two horizontal lines of Figure 12.
+std::pair<double, double> NodeThresholds(const PreparedDataset& dataset,
+                                         const std::vector<double>& probs) {
+  PruningContext ctx = PruningContext::FromIndex(*dataset.index, dataset.stats);
+  std::vector<double> sum(ctx.num_nodes, 0.0);
+  std::vector<uint32_t> count(ctx.num_nodes, 0);
+  for (size_t i = 0; i < dataset.pairs.size(); ++i) {
+    if (probs[i] < 0.5) continue;
+    size_t a = dataset.pairs[i].left;
+    size_t b = ctx.right_offset + dataset.pairs[i].right;
+    sum[a] += probs[i];
+    ++count[a];
+    sum[b] += probs[i];
+    ++count[b];
+  }
+  double total = 0.0;
+  double max_threshold = 0.0;
+  size_t nodes = 0;
+  for (size_t n = 0; n < sum.size(); ++n) {
+    if (count[n] == 0) continue;
+    double avg = sum[n] / count[n];
+    total += avg;
+    max_threshold = std::max(max_threshold, avg);
+    ++nodes;
+  }
+  return {nodes > 0 ? total / static_cast<double>(nodes) : 0.0,
+          max_threshold};
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Matching-probability distributions vs training size",
+              "Figures 12 and 13");
+
+  PreparedDataset dataset = PrepareByName("AbtBuy");
+
+  // ---- Figure 12: class-wise probability densities. ----
+  for (size_t train_size : {20, 100, 500}) {
+    MetaBlockingConfig config;
+    config.classifier = ClassifierKind::kLogisticRegression;
+    config.pruning = PruningKind::kBlast;
+    config.features = FeatureSet::BlastOptimal();
+    config.train_per_class = train_size / 2;
+    config.keep_probabilities = true;
+    MetaBlockingResult result = RunMetaBlocking(dataset, config);
+
+    ClassHistogram hist = ComputeClassHistogram(
+        result.probabilities, dataset.is_positive, 10, 0.0, 1.0);
+    auto [avg_thr, max_thr] = NodeThresholds(dataset, result.probabilities);
+    std::printf(
+        "Figure 12 — AbtBuy, %zu labelled pairs (dup=matching, "
+        "non=non-matching):\n%savg node threshold = %.3f, max node "
+        "threshold = %.3f\n\n",
+        train_size, RenderClassHistogram(hist).c_str(), avg_thr, max_thr);
+  }
+
+  // ---- Figure 13: BCl vs BLAST across training sizes. ----
+  TablePrinter table({"Train size", "BCl Re", "BCl Pr", "BLAST Re",
+                      "BLAST Pr"});
+  const size_t sizes[] = {20, 50, 100, 150, 200, 250, 300, 350, 400, 450,
+                          500};
+  for (size_t size : sizes) {
+    AggregateMetrics per_algo[2];
+    PruningKind kinds[2] = {PruningKind::kBCl, PruningKind::kBlast};
+    for (int k = 0; k < 2; ++k) {
+      MetaBlockingConfig config;
+      config.classifier = ClassifierKind::kLogisticRegression;
+      config.pruning = kinds[k];
+      config.features = FeatureSet::BlastOptimal();
+      config.train_per_class = size / 2;
+      per_algo[k] = RunRepeatedExperiment(dataset, config, Seeds()).aggregate;
+    }
+    table.AddRow({std::to_string(size),
+                  TablePrinter::Fixed(per_algo[0].recall, 4),
+                  TablePrinter::Fixed(per_algo[0].precision, 4),
+                  TablePrinter::Fixed(per_algo[1].recall, 4),
+                  TablePrinter::Fixed(per_algo[1].precision, 4)});
+  }
+  std::printf("Figure 13 — BCl vs BLAST on AbtBuy:\n%s\n",
+              table.ToString().c_str());
+  std::printf("Expected shape: with more labels both algorithms gain recall "
+              "and lose\nprecision; the duplicate-class density shifts "
+              "toward high probabilities.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Regenerates Figure 6: average effectiveness of the cardinality-based
+// pruning algorithms (CEP, CNP, RCNP) across the nine datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gsmb;
+  using namespace gsmb::bench;
+  PrintBanner("Cardinality-based pruning algorithm selection", "Figure 6");
+
+  std::vector<PreparedDataset> datasets = PrepareAllCleanClean();
+
+  TablePrinter table({"Algorithm", "Recall", "Precision", "F1"});
+  for (PruningKind kind :
+       {PruningKind::kCep, PruningKind::kCnp, PruningKind::kRcnp}) {
+    MetaBlockingConfig config;
+    config.pruning = kind;
+    config.features = FeatureSet::Paper2014();
+    config.train_per_class = 250;
+    AggregateMetrics avg =
+        MacroAverage(RunAcrossDatasets(datasets, config, Seeds()));
+    std::vector<std::string> row = {PruningKindName(kind)};
+    for (auto& cell : MetricCells(avg)) row.push_back(cell);
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected shape: RCNP is the clear winner — slightly lower "
+              "recall than CEP/CNP,\nsubstantially higher precision and "
+              "F1.\n");
+  return 0;
+}

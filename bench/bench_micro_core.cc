@@ -1,0 +1,173 @@
+// google-benchmark microbenchmarks for the library's hot kernels: blocking,
+// index construction, candidate generation, feature extraction (with and
+// without LCP), classifier training/inference and every pruning algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "datasets/clean_clean_generator.h"
+#include "datasets/specs.h"
+#include "ml/logistic_regression.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace gsmb;
+
+const GeneratedCleanClean& Data() {
+  static const GeneratedCleanClean* data = [] {
+    CleanCleanSpec spec = CleanCleanSpecByName("DblpAcm", 0.25);
+    return new GeneratedCleanClean(CleanCleanGenerator().Generate(spec));
+  }();
+  return *data;
+}
+
+const PreparedDataset& Prepared() {
+  static const PreparedDataset* prep = [] {
+    const GeneratedCleanClean& d = Data();
+    GroundTruth gt = d.ground_truth;
+    return new PreparedDataset(
+        PrepareCleanClean("bench", d.e1, d.e2, std::move(gt)));
+  }();
+  return *prep;
+}
+
+void BM_TokenBlocking(benchmark::State& state) {
+  const GeneratedCleanClean& d = Data();
+  for (auto _ : state) {
+    BlockCollection bc = TokenBlocking().Build(d.e1, d.e2);
+    benchmark::DoNotOptimize(bc.size());
+  }
+}
+BENCHMARK(BM_TokenBlocking);
+
+void BM_PurgeAndFilter(benchmark::State& state) {
+  const GeneratedCleanClean& d = Data();
+  BlockCollection raw = TokenBlocking().Build(d.e1, d.e2);
+  for (auto _ : state) {
+    BlockCollection out = BlockFiltering().Apply(BlockPurging().Apply(raw));
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_PurgeAndFilter);
+
+void BM_EntityIndexBuild(benchmark::State& state) {
+  const PreparedDataset& prep = Prepared();
+  for (auto _ : state) {
+    EntityIndex index(prep.blocks);
+    benchmark::DoNotOptimize(index.num_blocks());
+  }
+}
+BENCHMARK(BM_EntityIndexBuild);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const PreparedDataset& prep = Prepared();
+  for (auto _ : state) {
+    auto pairs = GenerateCandidatePairs(*prep.index);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_FeaturesWithoutLcp(benchmark::State& state) {
+  const PreparedDataset& prep = Prepared();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  for (auto _ : state) {
+    Matrix m = extractor.Compute(FeatureSet::BlastOptimal());
+    benchmark::DoNotOptimize(m.rows());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_FeaturesWithoutLcp);
+
+void BM_FeaturesWithLcp(benchmark::State& state) {
+  const PreparedDataset& prep = Prepared();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  for (auto _ : state) {
+    Matrix m = extractor.Compute(FeatureSet::Paper2014());
+    benchmark::DoNotOptimize(m.rows());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_FeaturesWithLcp);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Matrix x(n, 4);
+  std::vector<int> y(n);
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (size_t c = 0; c < 4; ++c) {
+      x.At(i, c) = rng.NextGaussian() + (y[i] != 0 ? 1.0 : -1.0);
+    }
+  }
+  for (auto _ : state) {
+    LogisticRegression model;
+    model.Fit(x, y);
+    benchmark::DoNotOptimize(model.last_iterations());
+  }
+}
+BENCHMARK(BM_LogisticRegressionFit)->Arg(50)->Arg(500);
+
+void BM_ClassifierInference(benchmark::State& state) {
+  const PreparedDataset& prep = Prepared();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  Matrix features = extractor.Compute(FeatureSet::BlastOptimal());
+  Rng rng(2);
+  std::vector<size_t> rows;
+  std::vector<int> labels;
+  for (size_t i = 0; i < prep.pairs.size() && labels.size() < 50; ++i) {
+    if (prep.is_positive[i] || rng.NextBool(0.001)) {
+      rows.push_back(i);
+      labels.push_back(prep.is_positive[i]);
+    }
+  }
+  LogisticRegression model;
+  model.Fit(features.SelectRows(rows), labels);
+  for (auto _ : state) {
+    std::vector<double> probs = model.PredictBatch(features);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_ClassifierInference);
+
+void BM_Pruning(benchmark::State& state) {
+  const PruningKind kind = static_cast<PruningKind>(state.range(0));
+  const PreparedDataset& prep = Prepared();
+  // Synthetic probabilities: deterministic pseudo-random in [0,1].
+  std::vector<double> probs(prep.pairs.size());
+  Rng rng(3);
+  for (double& p : probs) p = rng.NextDouble();
+  PruningContext ctx = PruningContext::FromIndex(*prep.index, prep.stats);
+  auto algorithm = MakePruningAlgorithm(kind);
+  for (auto _ : state) {
+    auto retained = algorithm->Prune(prep.pairs, probs, ctx);
+    benchmark::DoNotOptimize(retained.size());
+  }
+  state.SetLabel(PruningKindName(kind));
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_Pruning)
+    ->Arg(static_cast<int>(PruningKind::kBCl))
+    ->Arg(static_cast<int>(PruningKind::kWep))
+    ->Arg(static_cast<int>(PruningKind::kWnp))
+    ->Arg(static_cast<int>(PruningKind::kRwnp))
+    ->Arg(static_cast<int>(PruningKind::kBlast))
+    ->Arg(static_cast<int>(PruningKind::kCep))
+    ->Arg(static_cast<int>(PruningKind::kCnp))
+    ->Arg(static_cast<int>(PruningKind::kRcnp));
+
+}  // namespace
+
+BENCHMARK_MAIN();

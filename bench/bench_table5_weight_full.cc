@@ -1,0 +1,68 @@
+// Regenerates Table 5: the full per-dataset comparison of the main
+// weight-based algorithms —
+//   (a) BLAST with Formula 1 and 50 labelled pairs,
+//   (b) BCl1: the binary-classifier baseline with the *same* budget,
+//   (c) BCl2: the original Supervised Meta-blocking recipe (5%-rule
+//       training size, 2014 feature set).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace gsmb;
+using namespace gsmb::bench;
+
+void RunVariant(const char* title,
+                const std::vector<PreparedDataset>& datasets,
+                const std::vector<MetaBlockingConfig>& configs) {
+  TablePrinter table({"Dataset", "Recall", "Precision", "F1", "RT (ms)"});
+  std::vector<AggregateMetrics> per_dataset;
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    ExperimentResult r =
+        RunRepeatedExperiment(datasets[d], configs[d], Seeds());
+    per_dataset.push_back(r.aggregate);
+    std::vector<std::string> row = {datasets[d].name};
+    for (auto& cell : MetricCells(r.aggregate)) row.push_back(cell);
+    row.push_back(TablePrinter::Fixed(r.aggregate.rt_seconds * 1e3, 1));
+    table.AddRow(row);
+  }
+  AggregateMetrics avg = MacroAverage(per_dataset);
+  std::vector<std::string> row = {"== average =="};
+  for (auto& cell : MetricCells(avg)) row.push_back(cell);
+  row.push_back(TablePrinter::Fixed(avg.rt_seconds * 1e3, 1));
+  table.AddRow(row);
+  std::printf("%s:\n%s\n", title, table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Weight-based algorithms, per dataset", "Table 5");
+  std::vector<PreparedDataset> datasets = PrepareAllCleanClean();
+
+  std::vector<MetaBlockingConfig> blast;
+  std::vector<MetaBlockingConfig> bcl1;
+  std::vector<MetaBlockingConfig> bcl2;
+  for (const PreparedDataset& d : datasets) {
+    blast.push_back(
+        BaselineConfig1(PruningKind::kBlast, FeatureSet::BlastOptimal()));
+    bcl1.push_back(
+        BaselineConfig1(PruningKind::kBCl, FeatureSet::BlastOptimal()));
+    bcl2.push_back(BaselineConfig2(PruningKind::kBCl, d));
+  }
+
+  RunVariant("(a) BLAST — 50 labels, {CF-IBF, RACCB, RS, NRS}", datasets,
+             blast);
+  RunVariant("(b) BCl1 — 50 labels, {CF-IBF, RACCB, RS, NRS}", datasets,
+             bcl1);
+  RunVariant("(c) BCl2 — 5%-rule labels, {CF-IBF, RACCB, JS, LCP}", datasets,
+             bcl2);
+
+  std::printf(
+      "Expected shape: BLAST beats BCl2 on all effectiveness measures and "
+      "runs\nmuch faster (no LCP, tiny training set); against BCl1 it "
+      "gains recall at\na small precision cost.\n");
+  return 0;
+}

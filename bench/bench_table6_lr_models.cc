@@ -1,0 +1,61 @@
+// Regenerates Table 6: the logistic-regression models BLAST learns over the
+// D100K Dirty dataset in three repetitions — raw-space coefficients per
+// feature, the intercept, the retained candidate pairs and the detected
+// duplicates. The paper uses this table to explain the seed-to-seed
+// variance of the scalability study.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datasets/specs.h"
+
+int main() {
+  using namespace gsmb;
+  using namespace gsmb::bench;
+  PrintBanner("BLAST's logistic-regression models over D100K", "Table 6");
+
+  DirtySpec spec = PaperDirtySpecs(Scale())[2];  // D100K
+  PreparedDataset dataset = PrepareDirtySpec(spec);
+  std::printf("%s at scale %.4g: %s entities, %s candidates, |D| = %s\n\n",
+              spec.name.c_str(), Scale(),
+              TablePrinter::Count(spec.num_entities).c_str(),
+              TablePrinter::Count(dataset.pairs.size()).c_str(),
+              TablePrinter::Count(dataset.ground_truth.size()).c_str());
+
+  const FeatureSet features = FeatureSet::BlastOptimal();
+  TablePrinter table({"", "Iteration 1", "Iteration 2", "Iteration 3"});
+  std::vector<std::vector<std::string>> columns;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    MetaBlockingConfig config;
+    config.classifier = ClassifierKind::kLogisticRegression;
+    config.pruning = PruningKind::kBlast;
+    config.features = features;
+    config.train_per_class = 25;
+    config.seed = seed;
+    config.keep_retained = true;
+    MetaBlockingResult r = RunMetaBlocking(dataset, config);
+
+    std::vector<std::string> col;
+    for (double c : r.model_coefficients) {
+      col.push_back(TablePrinter::Fixed(c, 4));
+    }
+    col.push_back(TablePrinter::Count(r.metrics.retained));
+    col.push_back(TablePrinter::Count(r.metrics.true_positives));
+    columns.push_back(std::move(col));
+  }
+
+  std::vector<std::string> labels;
+  for (Feature f : features.Members()) labels.push_back(FeatureName(f));
+  labels.push_back("Intercept");
+  labels.push_back("Candidate pairs");
+  labels.push_back("Detected duplicates");
+  for (size_t row = 0; row < labels.size(); ++row) {
+    table.AddRow({labels[row], columns[0][row], columns[1][row],
+                  columns[2][row]});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected shape: coefficients vary across iterations (each "
+              "draws a different\n50-label sample) while recall stays "
+              "stable — the paper's Table 6 narrative.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Table 7: the full per-dataset comparison of the main
+// cardinality-based algorithms — RCNP (Formula 2, 50 labels) vs CNP1 (same
+// budget) vs CNP2 (original 2014 recipe).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace gsmb;
+using namespace gsmb::bench;
+
+void RunVariant(const char* title,
+                const std::vector<PreparedDataset>& datasets,
+                const std::vector<MetaBlockingConfig>& configs) {
+  TablePrinter table({"Dataset", "Recall", "Precision", "F1", "RT (ms)"});
+  std::vector<AggregateMetrics> per_dataset;
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    ExperimentResult r =
+        RunRepeatedExperiment(datasets[d], configs[d], Seeds());
+    per_dataset.push_back(r.aggregate);
+    std::vector<std::string> row = {datasets[d].name};
+    for (auto& cell : MetricCells(r.aggregate)) row.push_back(cell);
+    row.push_back(TablePrinter::Fixed(r.aggregate.rt_seconds * 1e3, 1));
+    table.AddRow(row);
+  }
+  AggregateMetrics avg = MacroAverage(per_dataset);
+  std::vector<std::string> row = {"== average =="};
+  for (auto& cell : MetricCells(avg)) row.push_back(cell);
+  row.push_back(TablePrinter::Fixed(avg.rt_seconds * 1e3, 1));
+  table.AddRow(row);
+  std::printf("%s:\n%s\n", title, table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Cardinality-based algorithms, per dataset", "Table 7");
+  std::vector<PreparedDataset> datasets = PrepareAllCleanClean();
+
+  std::vector<MetaBlockingConfig> rcnp;
+  std::vector<MetaBlockingConfig> cnp1;
+  std::vector<MetaBlockingConfig> cnp2;
+  for (const PreparedDataset& d : datasets) {
+    rcnp.push_back(
+        BaselineConfig1(PruningKind::kRcnp, FeatureSet::RcnpOptimal()));
+    cnp1.push_back(
+        BaselineConfig1(PruningKind::kCnp, FeatureSet::RcnpOptimal()));
+    cnp2.push_back(BaselineConfig2(PruningKind::kCnp, d));
+  }
+
+  RunVariant("(a) RCNP — 50 labels, {CF-IBF, RACCB, JS, LCP, WJS}", datasets,
+             rcnp);
+  RunVariant("(b) CNP1 — 50 labels, {CF-IBF, RACCB, JS, LCP, WJS}", datasets,
+             cnp1);
+  RunVariant("(c) CNP2 — 5%-rule labels, {CF-IBF, RACCB, JS, LCP}", datasets,
+             cnp2);
+
+  std::printf("Expected shape: RCNP dominates both baselines on precision "
+              "and F1 and is\n~6x faster than CNP2 (tiny training set).\n");
+  return 0;
+}

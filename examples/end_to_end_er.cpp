@@ -1,0 +1,75 @@
+// End-to-end Entity Resolution: blocking -> generalized supervised
+// meta-blocking -> matching -> entity clusters.
+//
+// The paper stops at the candidate set ("this block collection is then
+// processed by a Matching algorithm, whose goal is to raise F1 close to
+// 1", Section 5.2); this example closes the loop with the reference
+// threshold matcher and shows the F1 climbing at each stage.
+//
+// Build & run:  ./build/examples/end_to_end_er
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datasets/dirty_generator.h"
+#include "datasets/specs.h"
+#include "matching/matcher.h"
+
+int main() {
+  using namespace gsmb;
+
+  // A dirty collection: one source, duplicate clusters of 1-4 records.
+  DirtySpec spec;
+  spec.name = "end-to-end";
+  spec.num_entities = 3000;
+  spec.seed = 11;
+  GeneratedDirty data = DirtyGenerator().Generate(spec);
+  std::printf("Collection: %zu profiles, %zu duplicate pairs\n",
+              data.entities.size(), data.ground_truth.size());
+
+  GroundTruth gt = data.ground_truth;  // keep a copy for matching eval
+  PreparedDataset prep =
+      PrepareDirty(spec.name, data.entities, std::move(gt));
+  std::printf(
+      "\nStage 1 — blocking:       %8zu pairs   Re %.3f  Pr %.5f  F1 %.5f\n",
+      prep.pairs.size(), prep.blocking_quality.recall,
+      prep.blocking_quality.precision, prep.blocking_quality.f1);
+
+  MetaBlockingConfig config;
+  config.features = FeatureSet::BlastOptimal();
+  config.pruning = PruningKind::kBlast;
+  config.train_per_class = 25;
+  config.keep_retained = true;
+  MetaBlockingResult mb = RunMetaBlocking(prep, config);
+  std::printf(
+      "Stage 2 — meta-blocking:  %8zu pairs   Re %.3f  Pr %.5f  F1 %.5f\n",
+      mb.metrics.retained, mb.metrics.recall, mb.metrics.precision,
+      mb.metrics.f1);
+
+  ThresholdMatcher matcher(/*threshold=*/0.4);
+  auto decisions =
+      matcher.Match(data.entities, prep.pairs, mb.retained_indices);
+  MatchingQuality mq = EvaluateMatching(decisions, data.ground_truth);
+  std::printf(
+      "Stage 3 — matching:       %8zu pairs   Re %.3f  Pr %.5f  F1 %.5f\n",
+      mq.decided_matches, mq.recall, mq.precision, mq.f1);
+
+  auto clusters = ClusterMatches(data.entities.size(), decisions);
+  size_t largest = 0;
+  for (const auto& c : clusters) largest = std::max(largest, c.size());
+  std::printf(
+      "\nClustering: %zu duplicate clusters (largest has %zu records).\n",
+      clusters.size(), largest);
+  if (!clusters.empty()) {
+    std::printf("First cluster:");
+    for (EntityId e : clusters.front()) {
+      std::printf(" %s", data.entities[e].external_id().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nEach stage multiplies precision while recall degrades "
+              "gently — the division\nof labour the paper's Definition 2 "
+              "formalises.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the full Generalized Supervised Meta-blocking pipeline in
+// ~60 lines.
+//
+//   1. get two entity collections + ground truth (here: synthetic data
+//      shaped like the AbtBuy product-matching benchmark),
+//   2. Prepare*() runs Token Blocking -> Block Purging -> Block Filtering
+//      and materialises the candidate pairs,
+//   3. RunMetaBlocking() extracts weighting-scheme features, trains a
+//      probabilistic classifier on 50 labelled pairs, weights every
+//      candidate and prunes with supervised BLAST.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datasets/clean_clean_generator.h"
+#include "datasets/specs.h"
+
+int main() {
+  using namespace gsmb;
+
+  // ---- 1. Data: two clean collections with known matches. ----
+  CleanCleanSpec spec = CleanCleanSpecByName("AbtBuy", /*scale=*/0.25);
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+  std::printf("Input: |E1| = %zu, |E2| = %zu, known matches |D| = %zu\n",
+              data.e1.size(), data.e2.size(), data.ground_truth.size());
+
+  // A peek at one profile — schema-agnostic blocking never needs a schema.
+  const EntityProfile& sample = data.e1[0];
+  std::printf("Sample profile '%s':\n", sample.external_id().c_str());
+  for (const Attribute& a : sample.attributes()) {
+    std::printf("  %-12s %s\n", a.name.c_str(), a.value.c_str());
+  }
+
+  // ---- 2. Blocking. ----
+  PreparedDataset prep = PrepareCleanClean(
+      spec.name, data.e1, data.e2, std::move(data.ground_truth));
+  std::printf(
+      "\nBlocking: %zu blocks, %zu candidate pairs, recall %.3f, "
+      "precision %.5f\n",
+      prep.blocks.size(), prep.pairs.size(), prep.blocking_quality.recall,
+      prep.blocking_quality.precision);
+
+  // ---- 3. Generalized Supervised Meta-blocking. ----
+  MetaBlockingConfig config;
+  config.features = FeatureSet::BlastOptimal();  // {CF-IBF, RACCB, RS, NRS}
+  config.classifier = ClassifierKind::kLogisticRegression;
+  config.pruning = PruningKind::kBlast;  // weight-based, recall-friendly
+  config.train_per_class = 25;           // 50 labelled pairs in total
+
+  MetaBlockingResult result = RunMetaBlocking(prep, config);
+  std::printf(
+      "\nBLAST retained %zu of %zu pairs:\n"
+      "  recall    %.3f  (blocking had %.3f)\n"
+      "  precision %.3f  (blocking had %.5f — %.0fx better)\n"
+      "  F1        %.3f\n"
+      "  run-time  %.1f ms (features %.1f | train %.1f | classify %.1f | "
+      "prune %.1f)\n",
+      result.metrics.retained, prep.pairs.size(), result.metrics.recall,
+      prep.blocking_quality.recall, result.metrics.precision,
+      prep.blocking_quality.precision,
+      result.metrics.precision / prep.blocking_quality.precision,
+      result.metrics.f1, result.total_seconds * 1e3,
+      result.feature_seconds * 1e3, result.train_seconds * 1e3,
+      result.classify_seconds * 1e3, result.prune_seconds * 1e3);
+
+  std::printf(
+      "\nNext steps: feed the retained pairs to your matching function; see\n"
+      "examples/customer_dedup.cpp (Dirty ER) and "
+      "examples/product_linkage.cpp (CSV data).\n");
+  return 0;
+}

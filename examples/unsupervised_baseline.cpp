@@ -1,0 +1,103 @@
+// Unsupervised Meta-blocking baseline — the classic, zero-label approach
+// the paper generalises — compared head-to-head against supervised BLAST
+// on the same block collection.
+//
+// Also demonstrates the library on the paper's own running example: the
+// seven smartphone profiles of Figure 1, pruned with CBS weights.
+//
+// Build & run:  ./build/examples/unsupervised_baseline
+
+#include <cstdio>
+
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "core/unsupervised.h"
+#include "datasets/clean_clean_generator.h"
+#include "datasets/specs.h"
+
+namespace {
+
+using namespace gsmb;
+
+void PaperRunningExample() {
+  EntityCollection phones("figure-1");
+  auto add = [&](const char* id, const char* text) {
+    EntityProfile p(id);
+    p.AddAttribute("text", text);
+    phones.Add(std::move(p));
+  };
+  add("e1", "Apple iPhone X Smartphone");
+  add("e2", "Samsung S20 smartphone");
+  add("e3", "iPhone 10 smartphone Apple");
+  add("e4", "Samsung 20 smartphone");
+  add("e5", "Huawei Mate 20 smartphone");
+  add("e6", "Samsung Fold foldable mate phone");
+  add("e7", "Samsung foldable mate phone 20 fold");
+
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(0, 2);  // e1 = e3
+  gt.AddMatch(1, 3);  // e2 = e4
+  gt.AddMatch(5, 6);  // e6 = e7
+
+  BlockCollection blocks = TokenBlocking().Build(phones);
+  PreparedDataset prep = PrepareFromBlocks("figure-1", std::move(blocks),
+                                           std::move(gt));
+  std::printf("Figure 1 example: %zu blocks, %zu candidate pairs\n",
+              prep.blocks.size(), prep.pairs.size());
+
+  PruningContext ctx = PruningContext::FromIndex(*prep.index, prep.stats);
+  auto retained = UnsupervisedMetaBlocking(
+      *prep.index, prep.pairs, EdgeWeightScheme::kCbs, PruningKind::kWnp,
+      ctx);
+  std::printf("Unsupervised WNP (CBS weights) keeps %zu pairs:\n",
+              retained.size());
+  for (uint32_t idx : retained) {
+    const CandidatePair& p = prep.pairs[idx];
+    std::printf("  (%s, %s)%s\n", phones[p.left].external_id().c_str(),
+                phones[p.right].external_id().c_str(),
+                prep.is_positive[idx] ? "  <- match" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace gsmb;
+  PaperRunningExample();
+
+  // ---- Supervised vs unsupervised on a realistic dataset. ----
+  CleanCleanSpec spec = CleanCleanSpecByName("ImdbTmdb", /*scale=*/0.125);
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+  PreparedDataset prep = PrepareCleanClean(
+      spec.name, data.e1, data.e2, std::move(data.ground_truth));
+  std::printf("\n%s: %zu candidate pairs, blocking recall %.3f\n",
+              prep.name.c_str(), prep.pairs.size(),
+              prep.blocking_quality.recall);
+
+  PruningContext ctx = PruningContext::FromIndex(*prep.index, prep.stats);
+  std::printf("\n%-28s %-8s %-9s %-6s\n", "Configuration", "recall",
+              "precision", "F1");
+  for (EdgeWeightScheme scheme :
+       {EdgeWeightScheme::kCbs, EdgeWeightScheme::kJs,
+        EdgeWeightScheme::kRaccb, EdgeWeightScheme::kWjs}) {
+    auto retained = UnsupervisedMetaBlocking(*prep.index, prep.pairs, scheme,
+                                             PruningKind::kWnp, ctx);
+    EffectivenessMetrics m = EvaluateRetained(retained, prep.is_positive,
+                                              prep.ground_truth.size());
+    std::printf("unsupervised WNP + %-6s    %.4f   %.4f    %.4f\n",
+                EdgeWeightSchemeName(scheme), m.recall, m.precision, m.f1);
+  }
+
+  MetaBlockingConfig config;
+  config.pruning = PruningKind::kWnp;
+  config.features = FeatureSet::BlastOptimal();
+  config.train_per_class = 25;
+  MetaBlockingResult sup = RunMetaBlocking(prep, config);
+  std::printf("supervised   WNP (50 labels)  %.4f   %.4f    %.4f\n",
+              sup.metrics.recall, sup.metrics.precision, sup.metrics.f1);
+
+  std::printf("\nCombining schemes through a classifier beats any single "
+              "scheme — the\npaper's core motivation for (Generalized) "
+              "Supervised Meta-blocking.\n");
+  return 0;
+}

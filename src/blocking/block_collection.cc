@@ -1,0 +1,38 @@
+#include "blocking/block_collection.h"
+
+#include <algorithm>
+
+namespace gsmb {
+
+double Block::Comparisons(bool clean_clean) const {
+  if (clean_clean) {
+    return static_cast<double>(left.size()) *
+           static_cast<double>(right.size());
+  }
+  double n = static_cast<double>(left.size());
+  return n * (n - 1.0) / 2.0;
+}
+
+double BlockCollection::TotalComparisons() const {
+  double total = 0.0;
+  for (const Block& b : blocks_) total += b.Comparisons(clean_clean_);
+  return total;
+}
+
+size_t BlockCollection::TotalEntityOccurrences() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.Size();
+  return total;
+}
+
+size_t BlockCollection::DropEmptyBlocks() {
+  size_t before = blocks_.size();
+  blocks_.erase(std::remove_if(blocks_.begin(), blocks_.end(),
+                               [this](const Block& b) {
+                                 return b.Comparisons(clean_clean_) <= 0.0;
+                               }),
+                blocks_.end());
+  return before - blocks_.size();
+}
+
+}  // namespace gsmb

@@ -1,0 +1,91 @@
+// Blocks and block collections (paper Section 2).
+//
+// A block groups entities that share a blocking key. For Clean-Clean ER a
+// block keeps its E1 members and E2 members apart, because only cross-source
+// pairs are candidates; for Dirty ER all members live in `left`.
+//
+// Throughout the library:
+//   |b|  (Block::Size)         = number of entities in the block,
+//   ||b|| (Block::Comparisons) = number of candidate pairs the block implies
+//                                (including redundant ones),
+//   |B|                        = number of blocks,
+//   ||B|| (TotalComparisons)   = sum of ||b|| over all blocks.
+
+#ifndef GSMB_BLOCKING_BLOCK_COLLECTION_H_
+#define GSMB_BLOCKING_BLOCK_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "er/entity_profile.h"
+
+namespace gsmb {
+
+struct Block {
+  /// The blocking key (token, q-gram, suffix, ...). Kept for debuggability;
+  /// the algorithms never read it.
+  std::string key;
+
+  /// Clean-Clean ER: ids from E1. Dirty ER: all member ids.
+  std::vector<EntityId> left;
+
+  /// Clean-Clean ER: ids from E2. Dirty ER: unused (empty).
+  std::vector<EntityId> right;
+
+  /// |b|: total number of entities in the block.
+  size_t Size() const { return left.size() + right.size(); }
+
+  /// ||b||: candidate pairs implied by this block, including redundant ones.
+  /// Clean-Clean: |left| * |right|; Dirty: |b| * (|b| - 1) / 2.
+  double Comparisons(bool clean_clean) const;
+};
+
+class BlockCollection {
+ public:
+  BlockCollection() : clean_clean_(true), num_left_(0), num_right_(0) {}
+  BlockCollection(bool clean_clean, size_t num_left, size_t num_right)
+      : clean_clean_(clean_clean),
+        num_left_(num_left),
+        num_right_(num_right) {}
+
+  bool clean_clean() const { return clean_clean_; }
+
+  /// |E1| (or |E| for Dirty ER).
+  size_t num_left_entities() const { return num_left_; }
+  /// |E2| (0 for Dirty ER).
+  size_t num_right_entities() const { return num_right_; }
+  /// Total profiles across sources.
+  size_t NumEntities() const { return num_left_ + num_right_; }
+
+  size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+
+  const Block& operator[](size_t i) const { return blocks_[i]; }
+  Block& operator[](size_t i) { return blocks_[i]; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::vector<Block>& mutable_blocks() { return blocks_; }
+
+  void Add(Block block) { blocks_.push_back(std::move(block)); }
+  void Reserve(size_t n) { blocks_.reserve(n); }
+
+  /// ||B||: total comparisons, including redundant ones.
+  double TotalComparisons() const;
+
+  /// Sum of |b| over all blocks — the paper's cardinality budget base for
+  /// CEP (K = sum/2) and CNP (k = max(1, sum / #entities)).
+  size_t TotalEntityOccurrences() const;
+
+  /// Removes blocks that imply no comparison (single-source or singleton
+  /// blocks). Keeps relative order. Returns the number of blocks dropped.
+  size_t DropEmptyBlocks();
+
+ private:
+  bool clean_clean_;
+  size_t num_left_;
+  size_t num_right_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_BLOCK_COLLECTION_H_

@@ -1,0 +1,80 @@
+#include "blocking/block_filtering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gsmb {
+
+namespace {
+
+// (block size, block id) per entity; sorted so that the smallest blocks come
+// first, ties broken by block id for determinism.
+struct EntityBlockRef {
+  uint32_t block_size;
+  uint32_t block_id;
+
+  bool operator<(const EntityBlockRef& o) const {
+    if (block_size != o.block_size) return block_size < o.block_size;
+    return block_id < o.block_id;
+  }
+};
+
+}  // namespace
+
+BlockCollection BlockFiltering::Apply(const BlockCollection& input) const {
+  const size_t num_entities = input.NumEntities();
+  const size_t left_offset = 0;
+  const size_t right_offset = input.num_left_entities();
+
+  // Collect every entity's block memberships.
+  std::vector<std::vector<EntityBlockRef>> memberships(num_entities);
+  for (uint32_t bid = 0; bid < input.size(); ++bid) {
+    const Block& b = input[bid];
+    const auto size = static_cast<uint32_t>(b.Size());
+    for (EntityId e : b.left) {
+      memberships[left_offset + e].push_back({size, bid});
+    }
+    for (EntityId e : b.right) {
+      memberships[right_offset + e].push_back({size, bid});
+    }
+  }
+
+  // For each entity, mark the blocks it stays in: the smallest
+  // ceil(ratio * |B_i|) ones (at least one, so no entity loses all blocks).
+  std::vector<std::vector<uint32_t>> retained_in_block(input.size());
+  for (size_t e = 0; e < num_entities; ++e) {
+    auto& refs = memberships[e];
+    if (refs.empty()) continue;
+    size_t keep = static_cast<size_t>(
+        std::ceil(ratio_ * static_cast<double>(refs.size())));
+    keep = std::clamp<size_t>(keep, 1, refs.size());
+    std::sort(refs.begin(), refs.end());
+    for (size_t i = 0; i < keep; ++i) {
+      retained_in_block[refs[i].block_id].push_back(static_cast<uint32_t>(e));
+    }
+  }
+
+  // Rebuild blocks with only the retained entities.
+  BlockCollection out(input.clean_clean(), input.num_left_entities(),
+                      input.num_right_entities());
+  out.Reserve(input.size());
+  for (uint32_t bid = 0; bid < input.size(); ++bid) {
+    Block nb;
+    nb.key = input[bid].key;
+    for (uint32_t global : retained_in_block[bid]) {
+      if (input.clean_clean() && global >= right_offset) {
+        nb.right.push_back(static_cast<EntityId>(global - right_offset));
+      } else {
+        nb.left.push_back(static_cast<EntityId>(global));
+      }
+    }
+    if (nb.Comparisons(input.clean_clean()) > 0.0) {
+      out.Add(std::move(nb));
+    }
+  }
+  return out;
+}
+
+}  // namespace gsmb

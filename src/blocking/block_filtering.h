@@ -1,0 +1,34 @@
+// Block Filtering (paper Section 5.1, after [Papadakis et al., EDBT 2016]).
+//
+// Removes every entity from the largest blocks it participates in: each
+// entity is retained only in the smallest ceil(ratio * |B_i|) of its blocks.
+// The paper uses ratio = 0.8, i.e. each entity leaves its largest 20% of
+// blocks. This shrinks the candidate space dramatically while barely
+// touching recall, because the information-bearing co-occurrences live in
+// small blocks.
+
+#ifndef GSMB_BLOCKING_BLOCK_FILTERING_H_
+#define GSMB_BLOCKING_BLOCK_FILTERING_H_
+
+#include "blocking/block_collection.h"
+
+namespace gsmb {
+
+class BlockFiltering {
+ public:
+  /// `ratio` is the fraction of (smallest) blocks each entity keeps.
+  explicit BlockFiltering(double ratio = 0.8) : ratio_(ratio) {}
+
+  /// Returns the filtered collection; blocks that end up implying no
+  /// comparison are dropped. Block order is preserved.
+  BlockCollection Apply(const BlockCollection& input) const;
+
+  double ratio() const { return ratio_; }
+
+ private:
+  double ratio_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_BLOCK_FILTERING_H_

@@ -1,0 +1,70 @@
+#include "blocking/block_purging.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gsmb {
+
+BlockCollection BlockPurging::Apply(const BlockCollection& input) const {
+  const double limit =
+      size_fraction_ * static_cast<double>(input.NumEntities());
+  BlockCollection out(input.clean_clean(), input.num_left_entities(),
+                      input.num_right_entities());
+  out.Reserve(input.size());
+  size_t removed = 0;
+  for (const Block& b : input.blocks()) {
+    if (static_cast<double>(b.Size()) > limit ||
+        b.Comparisons(input.clean_clean()) <= 0.0) {
+      ++removed;
+      continue;
+    }
+    out.Add(b);
+  }
+  last_purged_ = removed;
+  return out;
+}
+
+BlockCollection PurgeByComparisonBudget(const BlockCollection& input) {
+  // Group blocks by |b| descending; walk the size levels from largest to
+  // smallest and find the cut that maximises comparisons-per-assignment
+  // efficiency, following the adaptive rule of Papadakis et al. (TKDE 2012):
+  // stop purging when the comparison cardinality stops decreasing faster
+  // than the block assignments.
+  if (input.empty()) return input;
+
+  std::map<size_t, std::pair<double, size_t>> levels;  // |b| -> (||b||, Σ|b|)
+  for (const Block& b : input.blocks()) {
+    auto& [comparisons, assignments] = levels[b.Size()];
+    comparisons += b.Comparisons(input.clean_clean());
+    assignments += b.Size();
+  }
+
+  // Cumulative stats from the smallest level upward.
+  double total_comparisons = 0.0;
+  double total_assignments = 0.0;
+  size_t max_allowed = levels.rbegin()->first;
+  double prev_ratio = -1.0;
+  for (const auto& [size, stats] : levels) {
+    total_comparisons += stats.first;
+    total_assignments += static_cast<double>(stats.second);
+    if (total_comparisons <= 0.0) continue;
+    double ratio = total_assignments / total_comparisons;
+    // Keep growing while the marginal level still improves the ratio.
+    if (prev_ratio >= 0.0 && ratio < prev_ratio) {
+      break;
+    }
+    prev_ratio = ratio;
+    max_allowed = size;
+  }
+
+  BlockCollection out(input.clean_clean(), input.num_left_entities(),
+                      input.num_right_entities());
+  for (const Block& b : input.blocks()) {
+    if (b.Size() <= max_allowed && b.Comparisons(input.clean_clean()) > 0.0) {
+      out.Add(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsmb

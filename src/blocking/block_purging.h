@@ -1,0 +1,42 @@
+// Block Purging (paper Section 5.1).
+//
+// Discards oversized blocks that correspond to highly frequent signatures
+// (stop words and the like), which carry no distinguishing information. The
+// paper uses the parameter-free rule of [Papadakis et al., TKDE 2012]:
+// a block is purged when it contains more than half of the entity profiles
+// in the input. A comparison-budget variant is provided as an option for
+// ablation studies.
+
+#ifndef GSMB_BLOCKING_BLOCK_PURGING_H_
+#define GSMB_BLOCKING_BLOCK_PURGING_H_
+
+#include "blocking/block_collection.h"
+
+namespace gsmb {
+
+class BlockPurging {
+ public:
+  /// `size_fraction`: a block is purged when |b| > size_fraction * #profiles.
+  /// The paper's parameter-free setting is 0.5.
+  explicit BlockPurging(double size_fraction = 0.5)
+      : size_fraction_(size_fraction) {}
+
+  /// Returns the purged collection. Zero-comparison blocks are dropped too.
+  BlockCollection Apply(const BlockCollection& input) const;
+
+  /// Number of blocks the last Apply() removed (purged + empty).
+  size_t last_purged_count() const { return last_purged_; }
+
+ private:
+  double size_fraction_;
+  mutable size_t last_purged_ = 0;
+};
+
+/// Comparison-based purging (ablation alternative): repeatedly removes the
+/// largest blocks while the ratio of comparisons to block assignments keeps
+/// improving — the adaptive heuristic of the original blocking framework.
+BlockCollection PurgeByComparisonBudget(const BlockCollection& input);
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_BLOCK_PURGING_H_

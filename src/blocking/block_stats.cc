@@ -1,0 +1,63 @@
+#include "blocking/block_stats.h"
+
+#include <algorithm>
+
+namespace gsmb {
+
+BlockCollectionStats ComputeBlockStats(const BlockCollection& bc) {
+  BlockCollectionStats stats;
+  stats.num_blocks = bc.size();
+  stats.total_comparisons = bc.TotalComparisons();
+  stats.total_occurrences = bc.TotalEntityOccurrences();
+  for (const Block& b : bc.blocks()) {
+    stats.max_block_size = std::max(stats.max_block_size, b.Size());
+  }
+  if (stats.num_blocks > 0) {
+    stats.avg_block_size = static_cast<double>(stats.total_occurrences) /
+                           static_cast<double>(stats.num_blocks);
+  }
+  stats.cep_k = static_cast<double>(stats.total_occurrences) / 2.0;
+  const size_t entities = bc.NumEntities();
+  if (entities > 0) {
+    stats.cnp_k = std::max(1.0, static_cast<double>(stats.total_occurrences) /
+                                    static_cast<double>(entities));
+  } else {
+    stats.cnp_k = 1.0;
+  }
+  return stats;
+}
+
+BlockingQuality EvaluateBlockingQuality(
+    const std::vector<CandidatePair>& candidates, const GroundTruth& gt) {
+  BlockingQuality q;
+  q.num_candidates = candidates.size();
+  q.duplicates_covered = CountPositivePairs(candidates, gt);
+  if (!gt.empty()) {
+    q.recall = static_cast<double>(q.duplicates_covered) /
+               static_cast<double>(gt.size());
+  }
+  if (q.num_candidates > 0) {
+    q.precision = static_cast<double>(q.duplicates_covered) /
+                  static_cast<double>(q.num_candidates);
+  }
+  if (q.recall + q.precision > 0.0) {
+    q.f1 = 2.0 * q.recall * q.precision / (q.recall + q.precision);
+  }
+  return q;
+}
+
+std::vector<size_t> CommonBlockHistogram(const EntityIndex& index,
+                                         const GroundTruth& gt) {
+  std::vector<size_t> histogram(1, 0);
+  const size_t num_left = index.clean_clean() ? index.num_left() : 0;
+  for (const MatchPair& m : gt.pairs()) {
+    size_t a = m.left;
+    size_t b = index.clean_clean() ? num_left + m.right : m.right;
+    size_t common = index.CommonBlocks(a, b);
+    if (histogram.size() <= common) histogram.resize(common + 1, 0);
+    ++histogram[common];
+  }
+  return histogram;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,58 @@
+// Block-collection statistics and quality evaluation.
+//
+// Covers Table 1 (dataset/candidate statistics), Table 2 (blocking recall /
+// precision / F1) and Figures 15/16 (distribution of common blocks across
+// duplicate pairs) of the paper.
+
+#ifndef GSMB_BLOCKING_BLOCK_STATS_H_
+#define GSMB_BLOCKING_BLOCK_STATS_H_
+
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "blocking/candidate_pairs.h"
+#include "blocking/entity_index.h"
+#include "er/ground_truth.h"
+
+namespace gsmb {
+
+struct BlockCollectionStats {
+  size_t num_blocks = 0;           // |B|
+  double total_comparisons = 0;    // ||B||
+  size_t total_occurrences = 0;    // Σ |b|
+  size_t max_block_size = 0;
+  double avg_block_size = 0;
+  /// CEP budget: K = Σ|b| / 2 (paper Section 3.2).
+  double cep_k = 0;
+  /// CNP per-entity budget: k = max(1, Σ|b| / #entities).
+  double cnp_k = 0;
+};
+
+BlockCollectionStats ComputeBlockStats(const BlockCollection& bc);
+
+/// Effectiveness of a candidate set against the ground truth:
+///   recall    = |C ∩ D| / |D|        (Pairs Completeness)
+///   precision = |C ∩ D| / |C|        (Pairs Quality)
+///   f1        = harmonic mean.
+struct BlockingQuality {
+  size_t num_candidates = 0;
+  size_t duplicates_covered = 0;
+  double recall = 0;
+  double precision = 0;
+  double f1 = 0;
+};
+
+BlockingQuality EvaluateBlockingQuality(
+    const std::vector<CandidatePair>& candidates, const GroundTruth& gt);
+
+/// Histogram over the duplicate pairs of the number of blocks each pair
+/// shares: result[n] = #duplicate pairs with exactly n common blocks.
+/// result[0] counts the duplicates missed by the block collection entirely;
+/// result[1] counts the ones (Generalized) Supervised Meta-blocking is prone
+/// to lose — the key diagnostic of Figures 15/16.
+std::vector<size_t> CommonBlockHistogram(const EntityIndex& index,
+                                         const GroundTruth& gt);
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_BLOCK_STATS_H_

@@ -1,0 +1,68 @@
+#include "blocking/candidate_pairs.h"
+
+#include <algorithm>
+
+namespace gsmb {
+
+std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index) {
+  std::vector<CandidatePair> pairs;
+  const size_t num_entities = index.num_entities();
+  const size_t num_left = index.num_left();
+
+  // Epoch-marked scratch array: last_seen[g] == current epoch means global
+  // entity g was already collected for the current pivot entity.
+  std::vector<uint32_t> last_seen(num_entities, 0);
+  std::vector<uint32_t> neighbours;
+  uint32_t epoch = 0;
+
+  if (index.clean_clean()) {
+    for (size_t e1 = 0; e1 < num_left; ++e1) {
+      ++epoch;
+      neighbours.clear();
+      for (uint32_t bid : index.BlocksOf(e1)) {
+        for (uint32_t g : index.BlockRightGlobals(bid)) {
+          if (last_seen[g] != epoch) {
+            last_seen[g] = epoch;
+            neighbours.push_back(g);
+          }
+        }
+      }
+      std::sort(neighbours.begin(), neighbours.end());
+      for (uint32_t g : neighbours) {
+        pairs.push_back({static_cast<EntityId>(e1),
+                         static_cast<EntityId>(g - num_left)});
+      }
+    }
+  } else {
+    for (size_t e = 0; e < num_entities; ++e) {
+      ++epoch;
+      neighbours.clear();
+      for (uint32_t bid : index.BlocksOf(e)) {
+        for (uint32_t g : index.BlockLeftGlobals(bid)) {
+          // Keep only j > i: every unordered pair is emitted exactly once,
+          // grouped under its smaller id.
+          if (g > e && last_seen[g] != epoch) {
+            last_seen[g] = epoch;
+            neighbours.push_back(g);
+          }
+        }
+      }
+      std::sort(neighbours.begin(), neighbours.end());
+      for (uint32_t g : neighbours) {
+        pairs.push_back({static_cast<EntityId>(e), static_cast<EntityId>(g)});
+      }
+    }
+  }
+  return pairs;
+}
+
+size_t CountPositivePairs(const std::vector<CandidatePair>& pairs,
+                          const GroundTruth& gt) {
+  size_t count = 0;
+  for (const CandidatePair& p : pairs) {
+    if (gt.IsMatch(p.left, p.right)) ++count;
+  }
+  return count;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,43 @@
+// Candidate pairs: the distinct set of comparisons C implied by a
+// redundancy-positive block collection (paper Section 2).
+//
+// Aggregating, per entity, every co-occurring entity removes the redundant
+// comparisons that plague redundancy-positive blocks; what remains is the
+// candidate set that Meta-blocking scores and prunes.
+
+#ifndef GSMB_BLOCKING_CANDIDATE_PAIRS_H_
+#define GSMB_BLOCKING_CANDIDATE_PAIRS_H_
+
+#include <vector>
+
+#include "blocking/entity_index.h"
+#include "er/entity_profile.h"
+#include "er/ground_truth.h"
+
+namespace gsmb {
+
+/// One non-redundant comparison c_{i,j}. Ids are *local*: `left` indexes E1
+/// and `right` indexes E2 for Clean-Clean ER; for Dirty ER both index the
+/// single collection with left < right.
+struct CandidatePair {
+  EntityId left;
+  EntityId right;
+
+  bool operator==(const CandidatePair& other) const = default;
+};
+
+/// Generates the distinct candidate set C.
+///
+/// Order invariant (relied upon by FeatureExtractor): pairs are grouped by
+/// `left` in ascending order and, within a group, sorted by `right`
+/// ascending. Complexity O(Σ ||b|| + |C| log k) where k is the largest
+/// neighbourhood.
+std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index);
+
+/// Number of candidate pairs that are matches according to `gt`.
+size_t CountPositivePairs(const std::vector<CandidatePair>& pairs,
+                          const GroundTruth& gt);
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_CANDIDATE_PAIRS_H_

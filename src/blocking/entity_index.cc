@@ -1,0 +1,98 @@
+#include "blocking/entity_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gsmb {
+
+EntityIndex::EntityIndex(const BlockCollection& bc)
+    : clean_clean_(bc.clean_clean()),
+      num_left_(bc.num_left_entities()),
+      num_right_(bc.num_right_entities()) {
+  const size_t n_entities = num_entities();
+  const size_t n_blocks = bc.size();
+
+  block_size_.resize(n_blocks);
+  block_comparisons_.resize(n_blocks);
+
+  // ---- Pass 1: per-block stats and per-entity block counts. ----
+  std::vector<size_t> entity_counts(n_entities, 0);
+  left_offsets_.assign(n_blocks + 1, 0);
+  right_offsets_.assign(n_blocks + 1, 0);
+
+  for (uint32_t bid = 0; bid < n_blocks; ++bid) {
+    const Block& b = bc[bid];
+    block_size_[bid] = static_cast<uint32_t>(b.Size());
+    block_comparisons_[bid] = b.Comparisons(clean_clean_);
+    total_comparisons_ += block_comparisons_[bid];
+    total_occurrences_ += b.Size();
+    left_offsets_[bid + 1] = left_offsets_[bid] + b.left.size();
+    right_offsets_[bid + 1] = right_offsets_[bid] + b.right.size();
+    for (EntityId e : b.left) ++entity_counts[e];
+    for (EntityId e : b.right) ++entity_counts[num_left_ + e];
+  }
+
+  // ---- Pass 2: fill CSR arrays. ----
+  entity_offsets_.assign(n_entities + 1, 0);
+  for (size_t e = 0; e < n_entities; ++e) {
+    entity_offsets_[e + 1] = entity_offsets_[e] + entity_counts[e];
+  }
+  entity_blocks_.resize(entity_offsets_.back());
+  left_members_.resize(left_offsets_.back());
+  right_members_.resize(right_offsets_.back());
+
+  std::vector<size_t> cursor(entity_offsets_.begin(),
+                             entity_offsets_.end() - 1);
+  for (uint32_t bid = 0; bid < n_blocks; ++bid) {
+    const Block& b = bc[bid];
+    size_t lpos = left_offsets_[bid];
+    for (EntityId e : b.left) {
+      left_members_[lpos++] = e;  // E1 global id == local id
+      entity_blocks_[cursor[e]++] = bid;
+    }
+    size_t rpos = right_offsets_[bid];
+    for (EntityId e : b.right) {
+      const auto global = static_cast<uint32_t>(num_left_ + e);
+      right_members_[rpos++] = global;
+      entity_blocks_[cursor[global]++] = bid;
+    }
+  }
+  // Blocks are visited in increasing bid, so each entity's block list is
+  // already sorted ascending — an invariant CommonBlocks() relies on.
+
+  // ---- Pass 3: per-entity aggregates. ----
+  entity_comparisons_.assign(n_entities, 0.0);
+  entity_inv_comparisons_.assign(n_entities, 0.0);
+  entity_inv_sizes_.assign(n_entities, 0.0);
+  for (size_t e = 0; e < n_entities; ++e) {
+    for (uint32_t bid : BlocksOf(e)) {
+      entity_comparisons_[e] += block_comparisons_[bid];
+      if (block_comparisons_[bid] > 0.0) {
+        entity_inv_comparisons_[e] += 1.0 / block_comparisons_[bid];
+      }
+      entity_inv_sizes_[e] += 1.0 / static_cast<double>(block_size_[bid]);
+    }
+  }
+}
+
+size_t EntityIndex::CommonBlocks(size_t global_a, size_t global_b) const {
+  std::span<const uint32_t> a = BlocksOf(global_a);
+  std::span<const uint32_t> b = BlocksOf(global_b);
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace gsmb

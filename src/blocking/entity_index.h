@@ -1,0 +1,121 @@
+// EntityIndex: the inverted entity-to-blocks index plus the per-entity and
+// per-block aggregates every weighting scheme needs (paper Sections 2 and 4).
+//
+// Ids. Local ids index a single collection. Global ids unify both sources:
+// an E1 entity keeps its id, an E2 entity becomes |E1| + local_id. Dirty ER
+// uses local == global. Global ids let the node-centric pruning algorithms
+// (WNP, BLAST, CNP, ...) use flat arrays instead of hash maps.
+//
+// Layout. Both directions (entity -> blocks, block -> members) are stored as
+// CSR arrays for cache-friendly traversal; all aggregates are precomputed in
+// one pass over the collection:
+//   |B_i|            NumBlocksOf(e)
+//   ||e_i||          EntityComparisons(e)        (EJS denominator)
+//   Σ 1/||b||        SumInvBlockComparisons(e)   (WJS denominator)
+//   Σ 1/|b|          SumInvBlockSizes(e)         (NRS denominator)
+
+#ifndef GSMB_BLOCKING_ENTITY_INDEX_H_
+#define GSMB_BLOCKING_ENTITY_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blocking/block_collection.h"
+
+namespace gsmb {
+
+class EntityIndex {
+ public:
+  explicit EntityIndex(const BlockCollection& bc);
+
+  bool clean_clean() const { return clean_clean_; }
+  size_t num_left() const { return num_left_; }
+  size_t num_right() const { return num_right_; }
+  size_t num_entities() const { return num_left_ + num_right_; }
+
+  /// |B|: number of blocks.
+  size_t num_blocks() const { return block_size_.size(); }
+
+  /// Global id of a local entity; `right_side` selects E2 (Clean-Clean).
+  size_t GlobalId(bool right_side, EntityId local) const {
+    return right_side ? num_left_ + local : local;
+  }
+
+  /// Sorted block ids containing the entity (|B_i| entries).
+  std::span<const uint32_t> BlocksOf(size_t global_id) const {
+    return {entity_blocks_.data() + entity_offsets_[global_id],
+            entity_offsets_[global_id + 1] - entity_offsets_[global_id]};
+  }
+
+  size_t NumBlocksOf(size_t global_id) const {
+    return entity_offsets_[global_id + 1] - entity_offsets_[global_id];
+  }
+
+  /// E1-side members of a block as global ids (all members for Dirty ER).
+  std::span<const uint32_t> BlockLeftGlobals(uint32_t bid) const {
+    return {left_members_.data() + left_offsets_[bid],
+            left_offsets_[bid + 1] - left_offsets_[bid]};
+  }
+
+  /// E2-side members of a block as global ids (empty for Dirty ER).
+  std::span<const uint32_t> BlockRightGlobals(uint32_t bid) const {
+    return {right_members_.data() + right_offsets_[bid],
+            right_offsets_[bid + 1] - right_offsets_[bid]};
+  }
+
+  /// |b|.
+  size_t BlockSize(uint32_t bid) const { return block_size_[bid]; }
+  /// ||b||.
+  double BlockComparisons(uint32_t bid) const { return block_comparisons_[bid]; }
+
+  /// ||B|| = Σ ||b||.
+  double TotalComparisons() const { return total_comparisons_; }
+  /// Σ |b| over all blocks.
+  size_t TotalEntityOccurrences() const { return total_occurrences_; }
+
+  /// ||e_i|| = Σ_{b ∈ B_i} ||b||.
+  double EntityComparisons(size_t global_id) const {
+    return entity_comparisons_[global_id];
+  }
+  /// Σ_{b ∈ B_i} 1/||b||.
+  double SumInvBlockComparisons(size_t global_id) const {
+    return entity_inv_comparisons_[global_id];
+  }
+  /// Σ_{b ∈ B_i} 1/|b|.
+  double SumInvBlockSizes(size_t global_id) const {
+    return entity_inv_sizes_[global_id];
+  }
+
+  /// |B_i ∩ B_j| via sorted-list intersection; O(|B_i| + |B_j|).
+  size_t CommonBlocks(size_t global_a, size_t global_b) const;
+
+ private:
+  bool clean_clean_;
+  size_t num_left_;
+  size_t num_right_;
+
+  // entity -> blocks (CSR over global ids).
+  std::vector<size_t> entity_offsets_;
+  std::vector<uint32_t> entity_blocks_;
+
+  // block -> members (CSR; global ids).
+  std::vector<size_t> left_offsets_;
+  std::vector<uint32_t> left_members_;
+  std::vector<size_t> right_offsets_;
+  std::vector<uint32_t> right_members_;
+
+  std::vector<uint32_t> block_size_;
+  std::vector<double> block_comparisons_;
+
+  double total_comparisons_ = 0.0;
+  size_t total_occurrences_ = 0;
+
+  std::vector<double> entity_comparisons_;
+  std::vector<double> entity_inv_comparisons_;
+  std::vector<double> entity_inv_sizes_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_ENTITY_INDEX_H_

@@ -1,0 +1,68 @@
+#include "blocking/key_blocking.h"
+
+#include <map>
+#include <utility>
+
+namespace gsmb {
+
+namespace {
+
+// Accumulates key -> (E1 members, E2 members). std::map keeps keys in
+// lexicographic order, which makes block ids deterministic across runs and
+// platforms; blocking is not a hot path compared to meta-blocking itself.
+using KeyTable =
+    std::map<std::string, std::pair<std::vector<EntityId>,
+                                    std::vector<EntityId>>>;
+
+void Accumulate(const EntityCollection& collection, bool into_left,
+                const KeyFunction& keys, KeyTable* table) {
+  for (EntityId id = 0; id < collection.size(); ++id) {
+    for (std::string& key : keys(collection[id])) {
+      auto& entry = (*table)[std::move(key)];
+      if (into_left) {
+        entry.first.push_back(id);
+      } else {
+        entry.second.push_back(id);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
+                                         const EntityCollection& e2,
+                                         const KeyFunction& keys) {
+  KeyTable table;
+  Accumulate(e1, /*into_left=*/true, keys, &table);
+  Accumulate(e2, /*into_left=*/false, keys, &table);
+
+  BlockCollection out(/*clean_clean=*/true, e1.size(), e2.size());
+  for (auto& [key, members] : table) {
+    if (members.first.empty() || members.second.empty()) continue;
+    Block b;
+    b.key = key;
+    b.left = std::move(members.first);
+    b.right = std::move(members.second);
+    out.Add(std::move(b));
+  }
+  return out;
+}
+
+BlockCollection BuildKeyBlocksDirty(const EntityCollection& e,
+                                    const KeyFunction& keys) {
+  KeyTable table;
+  Accumulate(e, /*into_left=*/true, keys, &table);
+
+  BlockCollection out(/*clean_clean=*/false, e.size(), 0);
+  for (auto& [key, members] : table) {
+    if (members.first.size() < 2) continue;
+    Block b;
+    b.key = key;
+    b.left = std::move(members.first);
+    out.Add(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,38 @@
+// Shared machinery for key-based, redundancy-positive blocking methods.
+//
+// Token Blocking, Q-Grams Blocking and Suffix Arrays Blocking all follow the
+// same recipe: derive a set of keys per profile, then create one block per
+// key. They differ only in the key function, so they share this builder.
+
+#ifndef GSMB_BLOCKING_KEY_BLOCKING_H_
+#define GSMB_BLOCKING_KEY_BLOCKING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "er/entity_collection.h"
+
+namespace gsmb {
+
+/// Derives the blocking keys of one profile (distinct, order irrelevant).
+using KeyFunction =
+    std::function<std::vector<std::string>(const EntityProfile&)>;
+
+/// Builds a Clean-Clean block collection: one block per key that appears in
+/// *both* sources (keys confined to one source imply no comparison and are
+/// dropped eagerly). Blocks are emitted in lexicographic key order so the
+/// output is deterministic.
+BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
+                                         const EntityCollection& e2,
+                                         const KeyFunction& keys);
+
+/// Builds a Dirty block collection: one block per key shared by at least two
+/// profiles of the single input collection.
+BlockCollection BuildKeyBlocksDirty(const EntityCollection& e,
+                                    const KeyFunction& keys);
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_KEY_BLOCKING_H_

@@ -1,0 +1,37 @@
+#include "blocking/qgram_blocking.h"
+
+#include <algorithm>
+
+#include "blocking/key_blocking.h"
+#include "util/string_utils.h"
+
+namespace gsmb {
+
+namespace {
+
+KeyFunction QGramKeys(size_t q) {
+  return [q](const EntityProfile& p) {
+    std::vector<std::string> keys;
+    for (const std::string& token : p.DistinctValueTokens()) {
+      std::vector<std::string> grams = QGrams(token, q);
+      keys.insert(keys.end(), std::make_move_iterator(grams.begin()),
+                  std::make_move_iterator(grams.end()));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  };
+}
+
+}  // namespace
+
+BlockCollection QGramBlocking::Build(const EntityCollection& e1,
+                                     const EntityCollection& e2) const {
+  return BuildKeyBlocksCleanClean(e1, e2, QGramKeys(q_));
+}
+
+BlockCollection QGramBlocking::Build(const EntityCollection& e) const {
+  return BuildKeyBlocksDirty(e, QGramKeys(q_));
+}
+
+}  // namespace gsmb

@@ -1,0 +1,33 @@
+// Q-Grams Blocking — an alternative redundancy-positive blocking method
+// (paper Section 2 cites it next to Token Blocking and Suffix Arrays).
+//
+// Every token of every attribute value is decomposed into overlapping
+// character q-grams, and a block is created per distinct q-gram. Compared to
+// Token Blocking it is robust to typos (a single character edit perturbs at
+// most q grams) at the price of more, larger blocks.
+
+#ifndef GSMB_BLOCKING_QGRAM_BLOCKING_H_
+#define GSMB_BLOCKING_QGRAM_BLOCKING_H_
+
+#include "blocking/block_collection.h"
+#include "er/entity_collection.h"
+
+namespace gsmb {
+
+class QGramBlocking {
+ public:
+  explicit QGramBlocking(size_t q = 3) : q_(q) {}
+
+  BlockCollection Build(const EntityCollection& e1,
+                        const EntityCollection& e2) const;
+  BlockCollection Build(const EntityCollection& e) const;
+
+  size_t q() const { return q_; }
+
+ private:
+  size_t q_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_BLOCKING_QGRAM_BLOCKING_H_

@@ -1,0 +1,47 @@
+#include "blocking/suffix_blocking.h"
+
+#include <algorithm>
+
+#include "blocking/key_blocking.h"
+#include "util/string_utils.h"
+
+namespace gsmb {
+
+namespace {
+
+KeyFunction SuffixKeys(size_t min_len) {
+  return [min_len](const EntityProfile& p) {
+    std::vector<std::string> keys;
+    for (const std::string& token : p.DistinctValueTokens()) {
+      std::vector<std::string> sfx = Suffixes(token, min_len);
+      keys.insert(keys.end(), std::make_move_iterator(sfx.begin()),
+                  std::make_move_iterator(sfx.end()));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  };
+}
+
+}  // namespace
+
+BlockCollection SuffixBlocking::CapBlocks(BlockCollection bc) const {
+  BlockCollection out(bc.clean_clean(), bc.num_left_entities(),
+                      bc.num_right_entities());
+  for (Block& block : bc.mutable_blocks()) {
+    if (block.Size() > max_block_size_) continue;
+    out.Add(std::move(block));
+  }
+  return out;
+}
+
+BlockCollection SuffixBlocking::Build(const EntityCollection& e1,
+                                      const EntityCollection& e2) const {
+  return CapBlocks(BuildKeyBlocksCleanClean(e1, e2, SuffixKeys(min_length_)));
+}
+
+BlockCollection SuffixBlocking::Build(const EntityCollection& e) const {
+  return CapBlocks(BuildKeyBlocksDirty(e, SuffixKeys(min_length_)));
+}
+
+}  // namespace gsmb

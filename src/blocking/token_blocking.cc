@@ -1,0 +1,31 @@
+#include "blocking/token_blocking.h"
+
+#include "blocking/key_blocking.h"
+
+namespace gsmb {
+
+namespace {
+
+KeyFunction TokenKeys(size_t min_len) {
+  return [min_len](const EntityProfile& p) {
+    std::vector<std::string> tokens = p.DistinctValueTokens();
+    if (min_len > 1) {
+      std::erase_if(tokens,
+                    [min_len](const std::string& t) { return t.size() < min_len; });
+    }
+    return tokens;
+  };
+}
+
+}  // namespace
+
+BlockCollection TokenBlocking::Build(const EntityCollection& e1,
+                                     const EntityCollection& e2) const {
+  return BuildKeyBlocksCleanClean(e1, e2, TokenKeys(min_token_length_));
+}
+
+BlockCollection TokenBlocking::Build(const EntityCollection& e) const {
+  return BuildKeyBlocksDirty(e, TokenKeys(min_token_length_));
+}
+
+}  // namespace gsmb

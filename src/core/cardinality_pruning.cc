@@ -1,0 +1,132 @@
+#include "core/cardinality_pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace gsmb {
+
+namespace {
+
+inline bool Valid(double p, const PruningContext& ctx) {
+  return p >= ctx.validity_threshold;
+}
+
+// Min-heap entry: the weakest retained pair sits on top. Ties on
+// probability are broken by pair index, ejecting the *later* pair first, so
+// results are deterministic and independent of heap internals.
+struct HeapEntry {
+  double prob;
+  uint32_t index;
+};
+
+struct WeakerFirst {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.prob != b.prob) return a.prob > b.prob;  // min-heap on prob
+    return a.index < b.index;                      // evict larger index first
+  }
+};
+
+using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                    WeakerFirst>;
+
+}  // namespace
+
+std::vector<uint32_t> CepPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  const auto k = static_cast<size_t>(std::max(0.0, std::floor(context.cep_k)));
+  std::vector<uint32_t> retained;
+  if (k == 0) return retained;
+
+  MinHeap queue;
+  double min_prob = 0.0;  // probability of the weakest queued pair
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    if (queue.size() >= k && p <= min_prob) continue;
+    queue.push({p, i});
+    if (queue.size() > k) {
+      queue.pop();
+      min_prob = queue.top().prob;
+    }
+  }
+
+  retained.reserve(queue.size());
+  while (!queue.empty()) {
+    retained.push_back(queue.top().index);
+    queue.pop();
+  }
+  std::sort(retained.begin(), retained.end());
+  return retained;
+}
+
+namespace {
+
+// Shared machinery of CNP/RCNP: build the per-node top-k queues, then count
+// in how many of its own two queues each pair appears (0, 1 or 2).
+std::vector<uint8_t> QueueMembershipCounts(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities, const PruningContext& context) {
+  const auto k = static_cast<size_t>(
+      std::max<long long>(1, std::llround(context.cnp_k)));
+
+  std::vector<MinHeap> queues(context.num_nodes);
+  std::vector<double> min_prob(context.num_nodes, 0.0);
+
+  auto offer = [&](size_t node, double p, uint32_t index) {
+    if (p <= min_prob[node] && queues[node].size() >= k) return;
+    queues[node].push({p, index});
+    if (queues[node].size() > k) {
+      queues[node].pop();
+      min_prob[node] = queues[node].top().prob;
+    }
+  };
+
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    offer(LeftNode(pairs[i]), p, i);
+    offer(RightNode(pairs[i], context), p, i);
+  }
+
+  std::vector<uint8_t> membership(pairs.size(), 0);
+  for (MinHeap& q : queues) {
+    while (!q.empty()) {
+      ++membership[q.top().index];
+      q.pop();
+    }
+  }
+  return membership;
+}
+
+std::vector<uint32_t> RetainByMembership(const std::vector<uint8_t>& counts,
+                                         uint8_t required) {
+  std::vector<uint32_t> retained;
+  for (uint32_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] >= required) retained.push_back(i);
+  }
+  return retained;
+}
+
+}  // namespace
+
+std::vector<uint32_t> CnpPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  return RetainByMembership(
+      QueueMembershipCounts(pairs, probabilities, context), 1);
+}
+
+std::vector<uint32_t> RcnpPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  return RetainByMembership(
+      QueueMembershipCounts(pairs, probabilities, context), 2);
+}
+
+}  // namespace gsmb

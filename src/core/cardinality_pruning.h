@@ -1,0 +1,45 @@
+// Cardinality-based supervised pruning algorithms (paper Section 3.2 and
+// Algorithms 4-5). These favour precision: they bound how many top-weighted
+// pairs survive, globally (CEP) or per node (CNP / RCNP).
+
+#ifndef GSMB_CORE_CARDINALITY_PRUNING_H_
+#define GSMB_CORE_CARDINALITY_PRUNING_H_
+
+#include "core/pruning.h"
+
+namespace gsmb {
+
+/// Algorithm 4 — Supervised Cardinality Edge Pruning: global top-K valid
+/// pairs by probability, K = Σ|b| / 2 over the input block collection.
+class CepPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kCep; }
+};
+
+/// Algorithm 5 — Supervised Cardinality Node Pruning: every node keeps a
+/// priority queue of its top-k valid pairs, k = max(1, Σ|b| / #entities);
+/// a pair survives when it appears in EITHER endpoint's queue.
+class CnpPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kCnp; }
+};
+
+/// Reciprocal CNP: a pair survives only when it appears in BOTH endpoints'
+/// queues — the paper's best cardinality-based algorithm.
+class RcnpPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kRcnp; }
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_CORE_CARDINALITY_PRUNING_H_

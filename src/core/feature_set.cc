@@ -1,0 +1,142 @@
+#include "core/feature_set.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace gsmb {
+
+const char* FeatureName(Feature f) {
+  switch (f) {
+    case Feature::kCfIbf:
+      return "CF-IBF";
+    case Feature::kRaccb:
+      return "RACCB";
+    case Feature::kJs:
+      return "JS";
+    case Feature::kLcp:
+      return "LCP";
+    case Feature::kEjs:
+      return "EJS";
+    case Feature::kWjs:
+      return "WJS";
+    case Feature::kRs:
+      return "RS";
+    case Feature::kNrs:
+      return "NRS";
+  }
+  return "unknown";
+}
+
+FeatureSet::FeatureSet(std::initializer_list<Feature> features) : mask_(0) {
+  for (Feature f : features) Add(f);
+}
+
+FeatureSet FeatureSet::All() { return FeatureSet(static_cast<uint8_t>(0xFF)); }
+
+FeatureSet FeatureSet::Paper2014() {
+  return {Feature::kCfIbf, Feature::kRaccb, Feature::kJs, Feature::kLcp};
+}
+
+FeatureSet FeatureSet::BlastOptimal() {
+  return {Feature::kCfIbf, Feature::kRaccb, Feature::kRs, Feature::kNrs};
+}
+
+FeatureSet FeatureSet::RcnpOptimal() {
+  return {Feature::kCfIbf, Feature::kRaccb, Feature::kJs, Feature::kLcp,
+          Feature::kWjs};
+}
+
+size_t FeatureSet::CountFeatures() const {
+  return static_cast<size_t>(std::popcount(mask_));
+}
+
+size_t FeatureSet::Dimensions() const {
+  return CountFeatures() + (Contains(Feature::kLcp) ? 1 : 0);
+}
+
+std::vector<Feature> FeatureSet::Members() const {
+  std::vector<Feature> out;
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    auto f = static_cast<Feature>(i);
+    if (Contains(f)) out.push_back(f);
+  }
+  return out;
+}
+
+std::string FeatureSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (Feature f : Members()) {
+    if (!first) out += ", ";
+    out += FeatureName(f);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<size_t> FeatureSet::FullMatrixColumns() const {
+  // Canonical full-matrix layout:
+  //   0 CF-IBF | 1 RACCB | 2 JS | 3 LCP(left) | 4 LCP(right)
+  //   5 EJS    | 6 WJS   | 7 RS | 8 NRS
+  std::vector<size_t> cols;
+  for (Feature f : Members()) {
+    switch (f) {
+      case Feature::kCfIbf:
+        cols.push_back(0);
+        break;
+      case Feature::kRaccb:
+        cols.push_back(1);
+        break;
+      case Feature::kJs:
+        cols.push_back(2);
+        break;
+      case Feature::kLcp:
+        cols.push_back(3);
+        cols.push_back(4);
+        break;
+      case Feature::kEjs:
+        cols.push_back(5);
+        break;
+      case Feature::kWjs:
+        cols.push_back(6);
+        break;
+      case Feature::kRs:
+        cols.push_back(7);
+        break;
+      case Feature::kNrs:
+        cols.push_back(8);
+        break;
+    }
+  }
+  return cols;
+}
+
+const std::vector<FeatureSet>& FeatureSet::EnumerateAll() {
+  static const std::vector<FeatureSet> kAll = [] {
+    std::vector<FeatureSet> sets;
+    sets.reserve(255);
+    for (unsigned mask = 1; mask <= 0xFF; ++mask) {
+      sets.push_back(FeatureSet(static_cast<uint8_t>(mask)));
+    }
+    std::stable_sort(sets.begin(), sets.end(),
+                     [](const FeatureSet& a, const FeatureSet& b) {
+                       if (a.CountFeatures() != b.CountFeatures()) {
+                         return a.CountFeatures() < b.CountFeatures();
+                       }
+                       return a.mask() < b.mask();
+                     });
+    return sets;
+  }();
+  return kAll;
+}
+
+int FeatureSet::Id() const {
+  const auto& all = EnumerateAll();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].mask() == mask_) return static_cast<int>(i) + 1;
+  }
+  return 0;  // empty set
+}
+
+}  // namespace gsmb

@@ -1,0 +1,171 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "blocking/token_blocking.h"
+#include "ml/sampler.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace gsmb {
+
+namespace {
+
+PreparedDataset FinishPreparation(const std::string& name,
+                                  BlockCollection blocks,
+                                  GroundTruth ground_truth) {
+  PreparedDataset prep;
+  prep.name = name;
+  prep.clean_clean = blocks.clean_clean();
+  prep.ground_truth = std::move(ground_truth);
+  prep.blocks = std::move(blocks);
+  prep.index = std::make_unique<EntityIndex>(prep.blocks);
+  prep.pairs = GenerateCandidatePairs(*prep.index);
+  prep.stats = ComputeBlockStats(prep.blocks);
+  prep.blocking_quality =
+      EvaluateBlockingQuality(prep.pairs, prep.ground_truth);
+  prep.is_positive.resize(prep.pairs.size());
+  for (size_t i = 0; i < prep.pairs.size(); ++i) {
+    prep.is_positive[i] =
+        prep.ground_truth.IsMatch(prep.pairs[i].left, prep.pairs[i].right)
+            ? 1
+            : 0;
+  }
+  return prep;
+}
+
+BlockCollection PreprocessBlocks(BlockCollection raw,
+                                 const BlockingOptions& options) {
+  BlockPurging purging(options.purge_size_fraction);
+  BlockFiltering filtering(options.filter_ratio);
+  return filtering.Apply(purging.Apply(raw));
+}
+
+}  // namespace
+
+PreparedDataset PrepareCleanClean(const std::string& name,
+                                  const EntityCollection& e1,
+                                  const EntityCollection& e2,
+                                  GroundTruth ground_truth,
+                                  const BlockingOptions& options) {
+  if (ground_truth.dirty()) {
+    throw std::invalid_argument(
+        "PrepareCleanClean: ground truth has Dirty-ER semantics");
+  }
+  BlockCollection raw = TokenBlocking().Build(e1, e2);
+  return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
+                           std::move(ground_truth));
+}
+
+PreparedDataset PrepareDirty(const std::string& name,
+                             const EntityCollection& e,
+                             GroundTruth ground_truth,
+                             const BlockingOptions& options) {
+  if (!ground_truth.dirty()) {
+    throw std::invalid_argument(
+        "PrepareDirty: ground truth has Clean-Clean semantics");
+  }
+  BlockCollection raw = TokenBlocking().Build(e);
+  return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
+                           std::move(ground_truth));
+}
+
+PreparedDataset PrepareFromBlocks(const std::string& name,
+                                  BlockCollection blocks,
+                                  GroundTruth ground_truth) {
+  return FinishPreparation(name, std::move(blocks), std::move(ground_truth));
+}
+
+EffectivenessMetrics EvaluateRetained(
+    const std::vector<uint32_t>& retained_indices,
+    const std::vector<uint8_t>& is_positive, size_t num_ground_truth) {
+  EffectivenessMetrics m;
+  m.retained = retained_indices.size();
+  for (uint32_t idx : retained_indices) {
+    if (is_positive[idx]) ++m.true_positives;
+  }
+  if (num_ground_truth > 0) {
+    m.recall = static_cast<double>(m.true_positives) /
+               static_cast<double>(num_ground_truth);
+  }
+  if (m.retained > 0) {
+    m.precision = static_cast<double>(m.true_positives) /
+                  static_cast<double>(m.retained);
+  }
+  if (m.recall + m.precision > 0.0) {
+    m.f1 = 2.0 * m.recall * m.precision / (m.recall + m.precision);
+  }
+  return m;
+}
+
+MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
+                                   const MetaBlockingConfig& config) {
+  Stopwatch watch;
+  FeatureExtractor extractor(*dataset.index, dataset.pairs);
+  Matrix features = extractor.Compute(config.features);
+  double feature_seconds = watch.ElapsedSeconds();
+  return RunMetaBlockingWithFeatures(dataset, config, features,
+                                     feature_seconds);
+}
+
+MetaBlockingResult RunMetaBlockingWithFeatures(
+    const PreparedDataset& dataset, const MetaBlockingConfig& config,
+    const Matrix& features, double feature_seconds_hint) {
+  if (features.rows() != dataset.pairs.size()) {
+    throw std::invalid_argument(
+        "RunMetaBlockingWithFeatures: feature rows != candidate pairs");
+  }
+  if (features.cols() != config.features.Dimensions()) {
+    throw std::invalid_argument(
+        "RunMetaBlockingWithFeatures: feature cols != feature-set dims");
+  }
+
+  MetaBlockingResult result;
+  result.feature_seconds = feature_seconds_hint;
+
+  // ---- Training: balanced undersample + fit. ----
+  Stopwatch watch;
+  Rng rng(config.seed);
+  TrainingSet training =
+      SampleBalanced(dataset.is_positive, config.train_per_class, &rng);
+  if (training.size() < 2) {
+    throw std::runtime_error(
+        "RunMetaBlocking: not enough labelled pairs to train (dataset '" +
+        dataset.name + "')");
+  }
+  Matrix train_x = features.SelectRows(training.row_indices);
+  std::unique_ptr<ProbabilisticClassifier> model =
+      MakeClassifier(config.classifier, config.seed);
+  model->Fit(train_x, training.labels);
+  result.train_seconds = watch.ElapsedSeconds();
+  result.training_size = training.size();
+  result.model_coefficients = model->CoefficientsWithIntercept();
+
+  // ---- Weighting: classification probability per candidate pair. ----
+  watch.Restart();
+  std::vector<double> probabilities = model->PredictBatch(features);
+  result.classify_seconds = watch.ElapsedSeconds();
+
+  // ---- Pruning. ----
+  watch.Restart();
+  PruningContext context =
+      PruningContext::FromIndex(*dataset.index, dataset.stats);
+  context.blast_ratio = config.blast_ratio;
+  std::vector<uint32_t> retained =
+      MakePruningAlgorithm(config.pruning)
+          ->Prune(dataset.pairs, probabilities, context);
+  result.prune_seconds = watch.ElapsedSeconds();
+
+  result.total_seconds = result.feature_seconds + result.train_seconds +
+                         result.classify_seconds + result.prune_seconds;
+  result.metrics = EvaluateRetained(retained, dataset.is_positive,
+                                    dataset.ground_truth.size());
+  if (config.keep_probabilities) result.probabilities = std::move(probabilities);
+  if (config.keep_retained) result.retained_indices = std::move(retained);
+  return result;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,143 @@
+// End-to-end (Generalized) Supervised Meta-blocking pipeline.
+//
+// Prepare*() performs the fixed, per-dataset preprocessing of the paper's
+// Section 5.1: Token Blocking -> Block Purging -> Block Filtering (0.8) ->
+// candidate-pair generation, and records the blocking-quality numbers of
+// Table 2. RunMetaBlocking() then executes one experiment configuration:
+// extract features, sample a balanced training set, train the probabilistic
+// classifier, weight all candidate pairs, prune, and evaluate — reporting
+// the paper's measures (recall, precision, F1) and the run-time breakdown
+// that makes up RT.
+
+#ifndef GSMB_CORE_PIPELINE_H_
+#define GSMB_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "blocking/block_stats.h"
+#include "blocking/candidate_pairs.h"
+#include "blocking/entity_index.h"
+#include "core/feature_set.h"
+#include "core/features.h"
+#include "core/pruning.h"
+#include "er/entity_collection.h"
+#include "er/ground_truth.h"
+#include "ml/classifier.h"
+#include "util/matrix.h"
+
+namespace gsmb {
+
+/// Preprocessing knobs (paper defaults).
+struct BlockingOptions {
+  /// Block Purging: drop blocks with more than this fraction of all
+  /// profiles (parameter-free setting: one half).
+  double purge_size_fraction = 0.5;
+  /// Block Filtering: fraction of its smallest blocks each entity keeps.
+  double filter_ratio = 0.8;
+};
+
+/// A dataset after blocking: everything the experiments reuse across
+/// configurations. Movable, not copyable (owns the entity index).
+struct PreparedDataset {
+  std::string name;
+  bool clean_clean = true;
+  GroundTruth ground_truth;
+  BlockCollection blocks;  // after purging + filtering
+  std::unique_ptr<EntityIndex> index;
+  std::vector<CandidatePair> pairs;
+  std::vector<uint8_t> is_positive;  // per candidate pair
+  BlockCollectionStats stats;
+  BlockingQuality blocking_quality;  // Table 2 row
+
+  size_t num_candidates() const { return pairs.size(); }
+};
+
+/// Clean-Clean ER preparation (Token Blocking over two clean collections).
+PreparedDataset PrepareCleanClean(const std::string& name,
+                                  const EntityCollection& e1,
+                                  const EntityCollection& e2,
+                                  GroundTruth ground_truth,
+                                  const BlockingOptions& options = {});
+
+/// Dirty ER preparation (Token Blocking over one collection).
+PreparedDataset PrepareDirty(const std::string& name,
+                             const EntityCollection& e,
+                             GroundTruth ground_truth,
+                             const BlockingOptions& options = {});
+
+/// As above, but starting from an existing block collection (any
+/// redundancy-positive blocking method; purging/filtering already applied
+/// or intentionally skipped by the caller).
+PreparedDataset PrepareFromBlocks(const std::string& name,
+                                  BlockCollection blocks,
+                                  GroundTruth ground_truth);
+
+/// One experiment configuration.
+struct MetaBlockingConfig {
+  FeatureSet features = FeatureSet::Paper2014();
+  ClassifierKind classifier = ClassifierKind::kLogisticRegression;
+  PruningKind pruning = PruningKind::kBlast;
+  /// Balanced training set: this many labelled pairs per class.
+  size_t train_per_class = 250;
+  /// Seed for the training-pair sample (one paper repetition = one seed).
+  uint64_t seed = 0;
+  double blast_ratio = 0.35;
+  /// Keep per-pair probabilities in the result (Figure 12 needs them).
+  bool keep_probabilities = false;
+  /// Keep retained pair indices in the result.
+  bool keep_retained = false;
+};
+
+struct EffectivenessMetrics {
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t retained = 0;
+};
+
+/// Recall/precision/F1 of a retained subset against |D| ground-truth
+/// matches (recall is measured against the full ground truth, so blocking
+/// misses count against it, exactly as in the paper).
+EffectivenessMetrics EvaluateRetained(
+    const std::vector<uint32_t>& retained_indices,
+    const std::vector<uint8_t>& is_positive, size_t num_ground_truth);
+
+struct MetaBlockingResult {
+  EffectivenessMetrics metrics;
+  /// RT components, seconds. `total_seconds` = features + train + classify
+  /// + prune (the paper's RT definition for Generalized SM).
+  double feature_seconds = 0.0;
+  double train_seconds = 0.0;
+  double classify_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t training_size = 0;
+  /// Classifier coefficients in raw feature space, intercept last
+  /// (Table 6 reports these for the scalability models).
+  std::vector<double> model_coefficients;
+  /// Populated only when the config asks for them.
+  std::vector<double> probabilities;
+  std::vector<uint32_t> retained_indices;
+};
+
+/// Runs one configuration end to end (features computed internally and
+/// included in the timing, as the paper's RT does).
+MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
+                                   const MetaBlockingConfig& config);
+
+/// Variant that reuses a precomputed feature matrix whose columns follow
+/// config.features.FullMatrixColumns(). `feature_seconds_hint` is recorded
+/// as the feature-generation time (pass the one-off measured cost, or 0 to
+/// exclude it). Used by the seed-averaging experiment harness.
+MetaBlockingResult RunMetaBlockingWithFeatures(
+    const PreparedDataset& dataset, const MetaBlockingConfig& config,
+    const Matrix& features, double feature_seconds_hint = 0.0);
+
+}  // namespace gsmb
+
+#endif  // GSMB_CORE_PIPELINE_H_

@@ -1,0 +1,61 @@
+#include "core/progressive.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gsmb {
+
+std::vector<uint32_t> ProgressiveSchedule(
+    const std::vector<double>& probabilities, double min_probability) {
+  std::vector<uint32_t> order;
+  order.reserve(probabilities.size());
+  for (uint32_t i = 0; i < probabilities.size(); ++i) {
+    if (probabilities[i] >= min_probability) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     if (probabilities[a] != probabilities[b]) {
+                       return probabilities[a] > probabilities[b];
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
+std::vector<ProgressivePoint> ProgressiveRecallCurve(
+    const std::vector<uint32_t>& schedule,
+    const std::vector<uint8_t>& is_positive, size_t num_ground_truth,
+    size_t curve_points) {
+  std::vector<ProgressivePoint> curve;
+  if (schedule.empty() || num_ground_truth == 0 || curve_points == 0) {
+    return curve;
+  }
+  const size_t step = std::max<size_t>(1, schedule.size() / curve_points);
+  size_t found = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (is_positive[schedule[i]]) ++found;
+    const bool checkpoint = (i + 1) % step == 0 || i + 1 == schedule.size();
+    if (checkpoint) {
+      curve.push_back({i + 1, static_cast<double>(found) /
+                                  static_cast<double>(num_ground_truth)});
+    }
+  }
+  return curve;
+}
+
+double ProgressiveAuc(const std::vector<uint32_t>& schedule,
+                      const std::vector<uint8_t>& is_positive,
+                      size_t num_ground_truth) {
+  if (schedule.empty() || num_ground_truth == 0) return 0.0;
+  // Trapezoid-free exact sum: the AUC of the step curve equals the mean
+  // recall over emission positions.
+  size_t found = 0;
+  double area = 0.0;
+  for (uint32_t idx : schedule) {
+    if (is_positive[idx]) ++found;
+    area += static_cast<double>(found) / static_cast<double>(num_ground_truth);
+  }
+  return area / static_cast<double>(schedule.size());
+}
+
+}  // namespace gsmb

@@ -1,0 +1,53 @@
+// Progressive Entity Resolution on top of Generalized Supervised
+// Meta-blocking — the paper's stated future-work direction (Section 7).
+//
+// Instead of emitting a pruned block collection, progressive ER emits
+// candidate pairs in decreasing matching likelihood so that a downstream
+// matcher operating under a budget resolves as many duplicates as early as
+// possible. The classifier probabilities of Generalized Supervised
+// Meta-blocking are exactly such a likelihood, so the schedule is simply
+// the candidate list sorted by probability (deterministic tie-break on the
+// pair index).
+
+#ifndef GSMB_CORE_PROGRESSIVE_H_
+#define GSMB_CORE_PROGRESSIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/candidate_pairs.h"
+
+namespace gsmb {
+
+/// Emission order for progressive matching: pair indices sorted by
+/// descending probability; ties broken by ascending index. Pairs below
+/// `min_probability` are omitted entirely (use 0 to keep everything).
+std::vector<uint32_t> ProgressiveSchedule(
+    const std::vector<double>& probabilities, double min_probability = 0.0);
+
+/// A point of the progressive-recall curve: after emitting `emitted`
+/// pairs, `recall` of all duplicates has been seen.
+struct ProgressivePoint {
+  size_t emitted;
+  double recall;
+};
+
+/// Evaluates a schedule against the ground-truth labels: the recall
+/// reached after each 1/`curve_points` fraction of the schedule (plus the
+/// final point). `is_positive[i]` labels pairs[i]; `num_ground_truth` is
+/// |D| (blocking misses count against recall, as everywhere else).
+std::vector<ProgressivePoint> ProgressiveRecallCurve(
+    const std::vector<uint32_t>& schedule,
+    const std::vector<uint8_t>& is_positive, size_t num_ground_truth,
+    size_t curve_points = 20);
+
+/// Area under the (normalised) progressive-recall curve in [0, 1]; 1.0
+/// means every duplicate was emitted before any non-duplicate. The metric
+/// progressive-ER papers report to compare schedules.
+double ProgressiveAuc(const std::vector<uint32_t>& schedule,
+                      const std::vector<uint8_t>& is_positive,
+                      size_t num_ground_truth);
+
+}  // namespace gsmb
+
+#endif  // GSMB_CORE_PROGRESSIVE_H_

@@ -1,0 +1,86 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+
+#include "core/cardinality_pruning.h"
+#include "core/weight_pruning.h"
+
+namespace gsmb {
+
+const char* PruningKindName(PruningKind kind) {
+  switch (kind) {
+    case PruningKind::kBCl:
+      return "BCl";
+    case PruningKind::kWep:
+      return "WEP";
+    case PruningKind::kWnp:
+      return "WNP";
+    case PruningKind::kRwnp:
+      return "RWNP";
+    case PruningKind::kBlast:
+      return "BLAST";
+    case PruningKind::kCep:
+      return "CEP";
+    case PruningKind::kCnp:
+      return "CNP";
+    case PruningKind::kRcnp:
+      return "RCNP";
+  }
+  return "unknown";
+}
+
+bool IsWeightBased(PruningKind kind) {
+  switch (kind) {
+    case PruningKind::kBCl:
+    case PruningKind::kWep:
+    case PruningKind::kWnp:
+    case PruningKind::kRwnp:
+    case PruningKind::kBlast:
+      return true;
+    case PruningKind::kCep:
+    case PruningKind::kCnp:
+    case PruningKind::kRcnp:
+      return false;
+  }
+  return false;
+}
+
+PruningContext PruningContext::FromIndex(const EntityIndex& index,
+                                         const BlockCollectionStats& stats) {
+  PruningContext ctx;
+  ctx.num_nodes = index.num_entities();
+  ctx.right_offset = index.clean_clean() ? index.num_left() : 0;
+  ctx.cep_k = stats.cep_k;
+  ctx.cnp_k = stats.cnp_k;
+  return ctx;
+}
+
+std::unique_ptr<PruningAlgorithm> MakePruningAlgorithm(PruningKind kind) {
+  switch (kind) {
+    case PruningKind::kBCl:
+      return std::make_unique<BClPruning>();
+    case PruningKind::kWep:
+      return std::make_unique<WepPruning>();
+    case PruningKind::kWnp:
+      return std::make_unique<WnpPruning>();
+    case PruningKind::kRwnp:
+      return std::make_unique<RwnpPruning>();
+    case PruningKind::kBlast:
+      return std::make_unique<BlastPruning>();
+    case PruningKind::kCep:
+      return std::make_unique<CepPruning>();
+    case PruningKind::kCnp:
+      return std::make_unique<CnpPruning>();
+    case PruningKind::kRcnp:
+      return std::make_unique<RcnpPruning>();
+  }
+  return nullptr;
+}
+
+std::vector<PruningKind> AllPruningKinds() {
+  return {PruningKind::kBCl, PruningKind::kWep,  PruningKind::kWnp,
+          PruningKind::kRwnp, PruningKind::kBlast, PruningKind::kCep,
+          PruningKind::kCnp,  PruningKind::kRcnp};
+}
+
+}  // namespace gsmb

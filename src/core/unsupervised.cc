@@ -1,0 +1,91 @@
+#include "core/unsupervised.h"
+
+#include <stdexcept>
+
+#include "core/features.h"
+
+namespace gsmb {
+
+const char* EdgeWeightSchemeName(EdgeWeightScheme scheme) {
+  switch (scheme) {
+    case EdgeWeightScheme::kCbs:
+      return "CBS";
+    case EdgeWeightScheme::kCfIbf:
+      return "CF-IBF";
+    case EdgeWeightScheme::kJs:
+      return "JS";
+    case EdgeWeightScheme::kRaccb:
+      return "RACCB";
+    case EdgeWeightScheme::kEjs:
+      return "EJS";
+    case EdgeWeightScheme::kWjs:
+      return "WJS";
+    case EdgeWeightScheme::kRs:
+      return "RS";
+    case EdgeWeightScheme::kNrs:
+      return "NRS";
+  }
+  return "unknown";
+}
+
+std::vector<double> ComputeEdgeWeights(
+    const EntityIndex& index, const std::vector<CandidatePair>& pairs,
+    EdgeWeightScheme scheme) {
+  if (scheme == EdgeWeightScheme::kCbs) {
+    // CBS = |B_i ∩ B_j|; cheapest to compute directly.
+    std::vector<double> weights(pairs.size());
+    const size_t right_offset = index.clean_clean() ? index.num_left() : 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      weights[i] = static_cast<double>(index.CommonBlocks(
+          pairs[i].left, right_offset + pairs[i].right));
+    }
+    return weights;
+  }
+
+  Feature feature;
+  switch (scheme) {
+    case EdgeWeightScheme::kCfIbf:
+      feature = Feature::kCfIbf;
+      break;
+    case EdgeWeightScheme::kJs:
+      feature = Feature::kJs;
+      break;
+    case EdgeWeightScheme::kRaccb:
+      feature = Feature::kRaccb;
+      break;
+    case EdgeWeightScheme::kEjs:
+      feature = Feature::kEjs;
+      break;
+    case EdgeWeightScheme::kWjs:
+      feature = Feature::kWjs;
+      break;
+    case EdgeWeightScheme::kRs:
+      feature = Feature::kRs;
+      break;
+    case EdgeWeightScheme::kNrs:
+      feature = Feature::kNrs;
+      break;
+    default:
+      throw std::invalid_argument("unsupported edge-weight scheme");
+  }
+
+  FeatureExtractor extractor(index, pairs);
+  Matrix column = extractor.Compute(FeatureSet({feature}));
+  return column.data();
+}
+
+std::vector<uint32_t> UnsupervisedMetaBlocking(
+    const EntityIndex& index, const std::vector<CandidatePair>& pairs,
+    EdgeWeightScheme scheme, PruningKind kind,
+    const PruningContext& context) {
+  if (kind == PruningKind::kBCl) {
+    throw std::invalid_argument(
+        "BCl requires a classifier; use a supervised pipeline");
+  }
+  std::vector<double> weights = ComputeEdgeWeights(index, pairs, scheme);
+  PruningContext ctx = context;
+  ctx.validity_threshold = 0.0;  // scheme scores are not probabilities
+  return MakePruningAlgorithm(kind)->Prune(pairs, weights, ctx);
+}
+
+}  // namespace gsmb

@@ -1,0 +1,55 @@
+// Unsupervised Meta-blocking (paper Sections 1 and 6; Papadakis et al.,
+// TKDE 2014).
+//
+// The classic, classifier-free approach: a single weighting scheme scores
+// every edge of the blocking graph and a pruning algorithm thresholds the
+// scores directly. Provided both as the historical baseline the paper
+// generalises and as the zero-label fallback of the library.
+//
+// The supervised pruning classes are reused with validity_threshold <= 0 —
+// scheme scores are not probabilities, so the 0.5 cut-off does not apply.
+
+#ifndef GSMB_CORE_UNSUPERVISED_H_
+#define GSMB_CORE_UNSUPERVISED_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/candidate_pairs.h"
+#include "blocking/entity_index.h"
+#include "core/feature_set.h"
+#include "core/pruning.h"
+
+namespace gsmb {
+
+/// Edge-weighting schemes for unsupervised meta-blocking. CBS is the raw
+/// common-block count (the weighting of the paper's Figure 2 example);
+/// the rest reuse the schemes of Section 4 as standalone weights.
+enum class EdgeWeightScheme {
+  kCbs,    // |B_i ∩ B_j| (Common Blocks Scheme)
+  kCfIbf,  // a.k.a. ECBS: CBS discounted by block frequency
+  kJs,
+  kRaccb,  // a.k.a. ARCS
+  kEjs,
+  kWjs,
+  kRs,
+  kNrs,
+};
+
+const char* EdgeWeightSchemeName(EdgeWeightScheme scheme);
+
+/// Computes the edge weight of every candidate pair under `scheme`.
+std::vector<double> ComputeEdgeWeights(
+    const EntityIndex& index, const std::vector<CandidatePair>& pairs,
+    EdgeWeightScheme scheme);
+
+/// Runs one unsupervised meta-blocking configuration: weight all edges with
+/// `scheme`, then prune with `kind` (validity threshold disabled; BCl is not
+/// meaningful here and is rejected). Returns retained pair indices.
+std::vector<uint32_t> UnsupervisedMetaBlocking(
+    const EntityIndex& index, const std::vector<CandidatePair>& pairs,
+    EdgeWeightScheme scheme, PruningKind kind, const PruningContext& context);
+
+}  // namespace gsmb
+
+#endif  // GSMB_CORE_UNSUPERVISED_H_

@@ -1,0 +1,143 @@
+#include "core/weight_pruning.h"
+
+#include <vector>
+
+namespace gsmb {
+
+namespace {
+
+inline bool Valid(double p, const PruningContext& ctx) {
+  return p >= ctx.validity_threshold;
+}
+
+}  // namespace
+
+std::vector<uint32_t> BClPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  std::vector<uint32_t> retained;
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    if (Valid(probabilities[i], context)) retained.push_back(i);
+  }
+  return retained;
+}
+
+std::vector<uint32_t> WepPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  // First pass: average probability over the valid pairs.
+  double sum = 0.0;
+  size_t count = 0;
+  for (double p : probabilities) {
+    if (Valid(p, context)) {
+      sum += p;
+      ++count;
+    }
+  }
+  std::vector<uint32_t> retained;
+  if (count == 0) return retained;
+  const double mean = sum / static_cast<double>(count);
+
+  // Second pass: keep pairs at or above the average. Valid pairs only —
+  // the average of valid probabilities is itself >= the threshold, so the
+  // check is implied, but kept explicit for the unsupervised (threshold
+  // <= 0) reuse of this class.
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    if (Valid(probabilities[i], context) && mean <= probabilities[i]) {
+      retained.push_back(i);
+    }
+  }
+  return retained;
+}
+
+namespace {
+
+// Shared first pass of WNP/RWNP: per-node averages over valid pairs.
+std::vector<double> NodeAverages(const std::vector<CandidatePair>& pairs,
+                                 const std::vector<double>& probabilities,
+                                 const PruningContext& context) {
+  std::vector<double> sum(context.num_nodes, 0.0);
+  std::vector<uint32_t> count(context.num_nodes, 0);
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    const size_t a = LeftNode(pairs[i]);
+    const size_t b = RightNode(pairs[i], context);
+    sum[a] += p;
+    ++count[a];
+    sum[b] += p;
+    ++count[b];
+  }
+  for (size_t n = 0; n < sum.size(); ++n) {
+    sum[n] = count[n] > 0 ? sum[n] / count[n]
+                          : 2.0;  // unreachable threshold: no valid pairs
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<uint32_t> WnpPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  const std::vector<double> avg = NodeAverages(pairs, probabilities, context);
+  std::vector<uint32_t> retained;
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    if (avg[LeftNode(pairs[i])] <= p ||
+        avg[RightNode(pairs[i], context)] <= p) {
+      retained.push_back(i);
+    }
+  }
+  return retained;
+}
+
+std::vector<uint32_t> RwnpPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  const std::vector<double> avg = NodeAverages(pairs, probabilities, context);
+  std::vector<uint32_t> retained;
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    if (avg[LeftNode(pairs[i])] <= p &&
+        avg[RightNode(pairs[i], context)] <= p) {
+      retained.push_back(i);
+    }
+  }
+  return retained;
+}
+
+std::vector<uint32_t> BlastPruning::Prune(
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<double>& probabilities,
+    const PruningContext& context) const {
+  // First pass: per-node maximum over valid pairs.
+  std::vector<double> max_prob(context.num_nodes, 0.0);
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    const size_t a = LeftNode(pairs[i]);
+    const size_t b = RightNode(pairs[i], context);
+    if (max_prob[a] < p) max_prob[a] = p;
+    if (max_prob[b] < p) max_prob[b] = p;
+  }
+  // Second pass: p must reach r * (max_i + max_j).
+  std::vector<uint32_t> retained;
+  for (uint32_t i = 0; i < pairs.size(); ++i) {
+    const double p = probabilities[i];
+    if (!Valid(p, context)) continue;
+    const double threshold =
+        context.blast_ratio * (max_prob[LeftNode(pairs[i])] +
+                               max_prob[RightNode(pairs[i], context)]);
+    if (threshold <= p) retained.push_back(i);
+  }
+  return retained;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,66 @@
+// Weight-based supervised pruning algorithms (paper Section 3.1 and
+// Algorithms 1-3). These favour recall: they keep every pair whose
+// classifier probability clears a (global or local) weight threshold.
+
+#ifndef GSMB_CORE_WEIGHT_PRUNING_H_
+#define GSMB_CORE_WEIGHT_PRUNING_H_
+
+#include "core/pruning.h"
+
+namespace gsmb {
+
+/// Baseline of [Papadakis et al., PVLDB 2014]: the plain binary classifier.
+/// Retains every valid pair (probability >= validity threshold); no further
+/// pruning. The paper denotes it BCl.
+class BClPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kBCl; }
+};
+
+/// Algorithm 1 — Supervised Weighted Edge Pruning: keeps pairs whose
+/// probability reaches the global average over valid pairs.
+class WepPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kWep; }
+};
+
+/// Algorithm 2 — Supervised Weighted Node Pruning: local averages; a pair
+/// survives when it reaches the average of either endpoint.
+class WnpPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kWnp; }
+};
+
+/// Reciprocal WNP: a pair must reach the averages of *both* endpoints —
+/// consistently deeper pruning than WNP.
+class RwnpPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kRwnp; }
+};
+
+/// Algorithm 3 — Supervised BLAST: keeps a valid pair when its probability
+/// reaches r * (max_i + max_j) of the endpoint maxima; r = 0.35 in the
+/// paper's experiments.
+class BlastPruning : public PruningAlgorithm {
+ public:
+  std::vector<uint32_t> Prune(const std::vector<CandidatePair>& pairs,
+                              const std::vector<double>& probabilities,
+                              const PruningContext& context) const override;
+  PruningKind kind() const override { return PruningKind::kBlast; }
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_CORE_WEIGHT_PRUNING_H_

@@ -1,0 +1,111 @@
+#include "datasets/dirty_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "datasets/profile_factory.h"
+#include "datasets/vocabulary.h"
+
+namespace gsmb {
+
+GeneratedDirty DirtyGenerator::Generate(const DirtySpec& spec) const {
+  const size_t vocab_size =
+      spec.vocab_common > 0
+          ? spec.vocab_common
+          : std::max<size_t>(50, static_cast<size_t>(
+                                     spec.vocab_density *
+                                     static_cast<double>(spec.num_entities)));
+  Vocabulary vocab(vocab_size, spec.zipf_skew, spec.seed);
+
+  // Expected profiles per object under the cluster distribution.
+  const double mean_cluster = spec.cluster1 + 2.0 * spec.cluster2 +
+                              3.0 * spec.cluster3 + 4.0 * spec.cluster4;
+  const size_t approx_objects = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(spec.num_entities) /
+                             std::max(1.0, mean_cluster)));
+  const size_t num_families = std::max<size_t>(
+      1, static_cast<size_t>(spec.family_fraction *
+                             static_cast<double>(approx_objects) /
+                             static_cast<double>(spec.family_size)));
+  ProfileFactory factory(&vocab, num_families, spec.family_tokens, spec.seed);
+
+  Rng rng(spec.seed);
+  CopyNoise noise{spec.token_drop_prob, spec.token_corrupt_prob,
+                  spec.extra_noise_tokens};
+
+  GeneratedDirty out;
+  out.entities.set_name(spec.name);
+  out.entities.Reserve(spec.num_entities);
+  out.ground_truth = GroundTruth(/*dirty=*/true);
+
+  auto sample_cluster_size = [&]() -> size_t {
+    double u = rng.NextDouble();
+    if (u < spec.cluster1) return 1;
+    u -= spec.cluster1;
+    if (u < spec.cluster2) return 2;
+    u -= spec.cluster2;
+    if (u < spec.cluster3) return 3;
+    return 4;
+  };
+
+  size_t object_counter = 0;
+  while (out.entities.size() < spec.num_entities) {
+    const size_t remaining = spec.num_entities - out.entities.size();
+    const size_t cluster = std::min(sample_cluster_size(), remaining);
+    const std::string id = "obj" + std::to_string(object_counter++);
+
+    const size_t family =
+        rng.NextBool(spec.family_fraction)
+            ? static_cast<size_t>(rng.NextUint64(num_families))
+            : ProfileFactory::kNoFamily;
+    CanonicalObject obj = factory.MakeObject(spec.common_tokens,
+                                             spec.distinct_tokens, family,
+                                             &rng);
+
+    std::vector<EntityId> members;
+    members.reserve(cluster);
+
+    // Hard cases only make sense for two-copy clusters.
+    const double u = rng.NextDouble();
+    const bool zero_case = cluster == 2 && u < spec.zero_block_fraction;
+    const bool single_case =
+        cluster == 2 && !zero_case &&
+        u < spec.zero_block_fraction + spec.single_block_fraction;
+
+    if (zero_case || single_case) {
+      std::vector<std::string> tokens_a = factory.MakeCopyTokens(obj, noise,
+                                                                 &rng);
+      std::vector<std::string> tokens_b;
+      if (zero_case) {
+        tokens_b = factory.MakeDisjointTokens(
+            tokens_a, spec.common_tokens + spec.distinct_tokens, &rng);
+      } else {
+        const std::string anchor = factory.SampleAnchorToken(&rng);
+        tokens_a.push_back(anchor);
+        tokens_b = factory.MakeSingleOverlapTokens(
+            tokens_a, anchor, spec.common_tokens + spec.distinct_tokens,
+            &rng);
+      }
+      members.push_back(out.entities.Add(
+          factory.TokensToProfile(id + "-0", tokens_a, 0)));
+      members.push_back(out.entities.Add(
+          factory.TokensToProfile(id + "-1", tokens_b, 1)));
+    } else {
+      for (size_t c = 0; c < cluster; ++c) {
+        std::vector<std::string> tokens =
+            factory.MakeCopyTokens(obj, noise, &rng);
+        members.push_back(out.entities.Add(factory.TokensToProfile(
+            id + "-" + std::to_string(c), tokens, static_cast<int>(c % 2))));
+      }
+    }
+
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        out.ground_truth.AddMatch(members[a], members[b]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,32 @@
+// Synthetic Dirty ER dataset generator — the scalability substrate.
+//
+// Produces one collection containing duplicate clusters (1-4 profile copies
+// per real-world object), mirroring the widely used synthetic Dirty ER
+// datasets of the paper's Section 5.5 (D10K .. D300K). Ground truth
+// contains every intra-cluster pair.
+
+#ifndef GSMB_DATASETS_DIRTY_GENERATOR_H_
+#define GSMB_DATASETS_DIRTY_GENERATOR_H_
+
+#include "datasets/specs.h"
+#include "er/entity_collection.h"
+#include "er/ground_truth.h"
+
+namespace gsmb {
+
+struct GeneratedDirty {
+  EntityCollection entities;
+  GroundTruth ground_truth;  // Dirty semantics (unordered pairs)
+};
+
+class DirtyGenerator {
+ public:
+  /// Deterministic for a given spec. The generator keeps creating clusters
+  /// until `spec.num_entities` profiles exist (the last cluster may be
+  /// truncated).
+  GeneratedDirty Generate(const DirtySpec& spec) const;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_DATASETS_DIRTY_GENERATOR_H_

@@ -1,0 +1,146 @@
+#include "datasets/profile_factory.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gsmb {
+
+ProfileFactory::ProfileFactory(const Vocabulary* vocab, size_t num_families,
+                               size_t family_tokens, uint64_t seed)
+    : vocab_(vocab) {
+  // Family tokens come from the distinct stream: rare enough that family
+  // members meet only each other in those blocks.
+  Rng rng(seed ^ 0xFA311E5ULL);
+  (void)rng;  // reserved for future family-shape randomisation
+  families_.resize(num_families);
+  for (auto& family : families_) {
+    family.reserve(family_tokens);
+    for (size_t t = 0; t < family_tokens; ++t) {
+      family.push_back(NextDistinct());
+    }
+  }
+}
+
+CanonicalObject ProfileFactory::MakeObject(size_t n_common, size_t n_distinct,
+                                           size_t family_id, Rng* rng) {
+  CanonicalObject obj;
+  obj.common_ranks.reserve(n_common);
+  for (size_t i = 0; i < n_common; ++i) {
+    obj.common_ranks.push_back(vocab_->SampleCommonRank(rng));
+  }
+  obj.distinct.reserve(n_distinct);
+  for (size_t i = 0; i < n_distinct; ++i) {
+    obj.distinct.push_back(NextDistinct());
+  }
+  if (family_id != kNoFamily && family_id < families_.size()) {
+    obj.family = families_[family_id];
+  }
+  return obj;
+}
+
+std::vector<std::string> ProfileFactory::MakeCopyTokens(
+    const CanonicalObject& object, const CopyNoise& noise, Rng* rng) {
+  std::vector<std::string> tokens;
+  tokens.reserve(object.common_ranks.size() + object.distinct.size() +
+                 object.family.size() + noise.extra_noise_tokens);
+
+  auto emit = [&](const std::string& token) {
+    if (rng->NextBool(noise.drop_prob)) return;  // token missing in this copy
+    if (rng->NextBool(noise.corrupt_prob)) {
+      // Typo/substitution: the copy carries some unrelated common token.
+      tokens.push_back(vocab_->CommonToken(vocab_->SampleCommonRank(rng)));
+      return;
+    }
+    tokens.push_back(token);
+  };
+
+  for (size_t rank : object.common_ranks) emit(vocab_->CommonToken(rank));
+  for (const std::string& t : object.distinct) emit(t);
+  for (const std::string& t : object.family) emit(t);
+  for (size_t i = 0; i < noise.extra_noise_tokens; ++i) {
+    tokens.push_back(NextDistinct());  // junk unique to this copy
+  }
+  if (tokens.empty()) {
+    // Never emit an empty profile: keep the first canonical token.
+    if (!object.common_ranks.empty()) {
+      tokens.push_back(vocab_->CommonToken(object.common_ranks.front()));
+    } else {
+      tokens.push_back(NextDistinct());
+    }
+  }
+  return tokens;
+}
+
+std::string ProfileFactory::SampleAnchorToken(Rng* rng) const {
+  return vocab_->CommonToken(vocab_->SampleMidRank(rng, 0.04, 0.12));
+}
+
+std::vector<std::string> ProfileFactory::MakeSingleOverlapTokens(
+    const std::vector<std::string>& other_copy, const std::string& anchor,
+    size_t n_tokens, Rng* rng) {
+  std::unordered_set<std::string> forbidden(other_copy.begin(),
+                                            other_copy.end());
+  std::vector<std::string> tokens;
+  tokens.push_back(anchor);
+  while (tokens.size() < std::max<size_t>(n_tokens, 2)) {
+    // Filler spans ranks around and above the anchor's, so the anchor block
+    // is not systematically the copy's largest one — otherwise Block
+    // Filtering would sever the pair's only link at *blocking* time, while
+    // the paper loses these pairs at *meta-blocking* time (Section 5.4.2).
+    const std::string& candidate =
+        vocab_->CommonToken(vocab_->SampleMidRank(rng, 0.02, 1.0));
+    if (forbidden.count(candidate)) continue;
+    tokens.push_back(candidate);
+    forbidden.insert(candidate);
+  }
+  return tokens;
+}
+
+std::vector<std::string> ProfileFactory::MakeDisjointTokens(
+    const std::vector<std::string>& other_copy, size_t n_tokens, Rng* rng) {
+  std::unordered_set<std::string> forbidden(other_copy.begin(),
+                                            other_copy.end());
+  std::vector<std::string> tokens;
+  while (tokens.size() < std::max<size_t>(n_tokens, 1)) {
+    const std::string& candidate =
+        vocab_->CommonToken(vocab_->SampleMidRank(rng, 0.02, 1.0));
+    if (forbidden.count(candidate)) continue;
+    tokens.push_back(candidate);
+    forbidden.insert(candidate);
+  }
+  return tokens;
+}
+
+EntityProfile ProfileFactory::TokensToProfile(
+    const std::string& external_id, const std::vector<std::string>& tokens,
+    int schema_style) const {
+  EntityProfile profile(external_id);
+  // Two attribute layouts keep the sources schema-heterogeneous; Token
+  // Blocking ignores attribute names, so this only affects presentation
+  // and any schema-aware consumer built on top.
+  auto join = [](auto begin, auto end) {
+    std::string s;
+    for (auto it = begin; it != end; ++it) {
+      if (!s.empty()) s += ' ';
+      s += *it;
+    }
+    return s;
+  };
+  const size_t n = tokens.size();
+  if (schema_style == 0) {
+    const size_t split = (n + 1) / 2;
+    profile.AddAttribute("name", join(tokens.begin(), tokens.begin() + split));
+    profile.AddAttribute("description",
+                         join(tokens.begin() + split, tokens.end()));
+  } else {
+    const size_t a = n / 3;
+    const size_t b = (2 * n) / 3;
+    profile.AddAttribute("title", join(tokens.begin(), tokens.begin() + a));
+    profile.AddAttribute("brand",
+                         join(tokens.begin() + a, tokens.begin() + b));
+    profile.AddAttribute("info", join(tokens.begin() + b, tokens.end()));
+  }
+  return profile;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,86 @@
+// Internal machinery shared by the Clean-Clean and Dirty generators:
+// canonical objects, noisy profile copies, near-duplicate families and the
+// hard-case (single-block / zero-block) duplicate constructions.
+//
+// Not part of the stable public API; use CleanCleanGenerator /
+// DirtyGenerator instead.
+
+#ifndef GSMB_DATASETS_PROFILE_FACTORY_H_
+#define GSMB_DATASETS_PROFILE_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/vocabulary.h"
+#include "er/entity_profile.h"
+#include "util/random.h"
+
+namespace gsmb {
+
+/// Token-level noise applied to each profile copy of an object.
+struct CopyNoise {
+  double drop_prob = 0.05;
+  double corrupt_prob = 0.03;
+  size_t extra_noise_tokens = 1;
+};
+
+/// The ground-truth description of a real-world object: the tokens all its
+/// profile copies derive from.
+struct CanonicalObject {
+  std::vector<size_t> common_ranks;       ///< Zipf-pool token ranks
+  std::vector<std::string> distinct;      ///< near-unique tokens (ids, SKUs)
+  std::vector<std::string> family;        ///< family tokens, possibly empty
+};
+
+/// Stateful factory; one instance per generated dataset.
+class ProfileFactory {
+ public:
+  ProfileFactory(const Vocabulary* vocab, size_t num_families,
+                 size_t family_tokens, uint64_t seed);
+
+  /// A fresh canonical object; joins family `family_id` (pass
+  /// kNoFamily for a standalone object).
+  static constexpr size_t kNoFamily = static_cast<size_t>(-1);
+  CanonicalObject MakeObject(size_t n_common, size_t n_distinct,
+                             size_t family_id, Rng* rng);
+
+  size_t num_families() const { return families_.size(); }
+
+  /// A noisy token copy of an object: drops/corrupts canonical tokens and
+  /// appends unique junk tokens. Guarantees at least one token.
+  std::vector<std::string> MakeCopyTokens(const CanonicalObject& object,
+                                          const CopyNoise& noise, Rng* rng);
+
+  /// Draws a mid-frequency "anchor" token: rare enough to survive Block
+  /// Filtering, common enough that its block gives only a weak signal.
+  std::string SampleAnchorToken(Rng* rng) const;
+
+  /// A token list that shares exactly `anchor` with `other_copy` and
+  /// nothing else — the second copy of a "single common block" duplicate
+  /// (paper Section 5.4.2). `other_copy` must already contain `anchor`.
+  std::vector<std::string> MakeSingleOverlapTokens(
+      const std::vector<std::string>& other_copy, const std::string& anchor,
+      size_t n_tokens, Rng* rng);
+
+  /// A token list sharing nothing with `other_copy`: the duplicate is
+  /// missed by blocking entirely (the x = 0 bars of Figures 15/16).
+  std::vector<std::string> MakeDisjointTokens(
+      const std::vector<std::string>& other_copy, size_t n_tokens, Rng* rng);
+
+  /// Renders tokens into a profile. `schema_style` selects one of two
+  /// attribute layouts so the two sources are schema-heterogeneous.
+  EntityProfile TokensToProfile(const std::string& external_id,
+                                const std::vector<std::string>& tokens,
+                                int schema_style) const;
+
+ private:
+  std::string NextDistinct() { return vocab_->DistinctToken(distinct_counter_++); }
+
+  const Vocabulary* vocab_;
+  std::vector<std::vector<std::string>> families_;
+  uint64_t distinct_counter_ = 0;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_DATASETS_PROFILE_FACTORY_H_

@@ -1,0 +1,73 @@
+#include "datasets/vocabulary.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+namespace gsmb {
+
+namespace {
+
+// Pronounceable-ish token construction: consonant-vowel syllables keep the
+// strings readable in examples and debug dumps.
+constexpr std::array<const char*, 16> kOnsets = {
+    "b", "d", "f", "g", "k", "l", "m", "n",
+    "p", "r", "s", "t", "v", "z", "ch", "st"};
+constexpr std::array<const char*, 8> kVowels = {"a", "e", "i",  "o",
+                                                "u", "ar", "en", "or"};
+
+std::string Syllable(Rng* rng) {
+  std::string s = kOnsets[rng->NextUint64(kOnsets.size())];
+  s += kVowels[rng->NextUint64(kVowels.size())];
+  return s;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(size_t common_pool, double skew, uint64_t seed)
+    : zipf_(std::max<size_t>(1, common_pool), skew), salt_(seed) {
+  Rng rng(seed);
+  common_.reserve(common_pool);
+  std::unordered_set<std::string> seen;
+  seen.reserve(common_pool * 2);
+  // Generate unique words; collisions are resolved by appending a counter.
+  size_t collision_counter = 0;
+  while (common_.size() < common_pool) {
+    std::string word = Syllable(&rng) + Syllable(&rng);
+    if (rng.NextBool(0.5)) word += Syllable(&rng);
+    if (!seen.insert(word).second) {
+      word += std::to_string(collision_counter++);
+      seen.insert(word);
+    }
+    common_.push_back(std::move(word));
+  }
+}
+
+size_t Vocabulary::SampleMidRank(Rng* rng, double lo_fraction,
+                                 double hi_fraction) const {
+  const auto n = static_cast<double>(common_.size());
+  auto lo = static_cast<size_t>(lo_fraction * n);
+  auto hi = static_cast<size_t>(hi_fraction * n);
+  lo = std::min(lo, common_.size() - 1);
+  hi = std::clamp(hi, lo + 1, common_.size());
+  return lo + static_cast<size_t>(rng->NextUint64(hi - lo));
+}
+
+std::string Vocabulary::DistinctToken(uint64_t counter) const {
+  // Mix the counter with the vocabulary salt so different datasets never
+  // share distinctive tokens; render base-36 for compactness.
+  uint64_t z = counter + salt_ * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  std::string out = "x";
+  // Append the unique counter first: uniqueness is guaranteed by it alone.
+  out += std::to_string(counter);
+  out += 'q';
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>('a' + (z % 26));
+    z /= 26;
+  }
+  return out;
+}
+
+}  // namespace gsmb

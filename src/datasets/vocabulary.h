@@ -1,0 +1,52 @@
+// Synthetic token vocabulary with realistic frequency skew.
+//
+// Real schema-agnostic blocks follow a Zipf-like law: a few stop-word-ish
+// tokens appear in thousands of profiles (huge, useless blocks that Block
+// Purging/Filtering must handle) while most tokens are rare (small,
+// informative blocks). The vocabulary provides:
+//   * a ranked pool of "common" tokens sampled with Zipf skew, and
+//   * an unbounded stream of near-unique "distinctive" tokens (model
+//     numbers, ids) that matching profiles share.
+
+#ifndef GSMB_DATASETS_VOCABULARY_H_
+#define GSMB_DATASETS_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace gsmb {
+
+class Vocabulary {
+ public:
+  /// `common_pool` ranked common tokens, Zipf exponent `skew`; `seed` fixes
+  /// the generated strings.
+  Vocabulary(size_t common_pool, double skew, uint64_t seed);
+
+  size_t common_pool_size() const { return common_.size(); }
+
+  /// The common token of a given frequency rank (0 = most frequent).
+  const std::string& CommonToken(size_t rank) const { return common_[rank]; }
+
+  /// Draws a common-token rank with Zipf skew.
+  size_t SampleCommonRank(Rng* rng) const { return zipf_.Next(rng); }
+
+  /// Draws a rank uniformly from the middle of the frequency range
+  /// [lo_fraction, hi_fraction) — used for the "shared by few, but not
+  /// unique" tokens that single-block duplicate pairs hinge on.
+  size_t SampleMidRank(Rng* rng, double lo_fraction, double hi_fraction) const;
+
+  /// A globally unique distinctive token for `counter` (deterministic).
+  std::string DistinctToken(uint64_t counter) const;
+
+ private:
+  std::vector<std::string> common_;
+  ZipfSampler zipf_;
+  uint64_t salt_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_DATASETS_VOCABULARY_H_

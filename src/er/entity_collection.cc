@@ -1,0 +1,25 @@
+#include "er/entity_collection.h"
+
+namespace gsmb {
+
+EntityId EntityCollection::Add(EntityProfile profile) {
+  profiles_.push_back(std::move(profile));
+  return static_cast<EntityId>(profiles_.size() - 1);
+}
+
+const EntityProfile* EntityCollection::FindByExternalId(
+    const std::string& external_id) const {
+  for (const EntityProfile& p : profiles_) {
+    if (p.external_id() == external_id) return &p;
+  }
+  return nullptr;
+}
+
+double EntityCollection::MeanTokensPerProfile() const {
+  if (profiles_.empty()) return 0.0;
+  size_t total = 0;
+  for (const EntityProfile& p : profiles_) total += p.DistinctValueTokens().size();
+  return static_cast<double>(total) / static_cast<double>(profiles_.size());
+}
+
+}  // namespace gsmb

@@ -1,0 +1,52 @@
+// Entity collections (paper Section 2).
+//
+// A collection is *clean* when it is duplicate-free; Clean-Clean ER links two
+// clean collections, Dirty ER deduplicates a single dirty one.
+
+#ifndef GSMB_ER_ENTITY_COLLECTION_H_
+#define GSMB_ER_ENTITY_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "er/entity_profile.h"
+
+namespace gsmb {
+
+class EntityCollection {
+ public:
+  EntityCollection() = default;
+  explicit EntityCollection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return profiles_.size(); }
+  bool empty() const { return profiles_.empty(); }
+
+  const EntityProfile& operator[](EntityId id) const { return profiles_[id]; }
+  EntityProfile& operator[](EntityId id) { return profiles_[id]; }
+
+  const std::vector<EntityProfile>& profiles() const { return profiles_; }
+
+  /// Appends a profile and returns its dense id within this collection.
+  EntityId Add(EntityProfile profile);
+
+  void Reserve(size_t n) { profiles_.reserve(n); }
+
+  /// Looks up a profile by external id; returns nullptr when absent.
+  /// Linear scan — intended for tests and small examples, not hot paths.
+  const EntityProfile* FindByExternalId(const std::string& external_id) const;
+
+  /// Average number of distinct value tokens per profile (a cheap proxy for
+  /// the redundancy the blocking step will create).
+  double MeanTokensPerProfile() const;
+
+ private:
+  std::string name_;
+  std::vector<EntityProfile> profiles_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_ER_ENTITY_COLLECTION_H_

@@ -1,0 +1,46 @@
+#include "er/entity_profile.h"
+
+#include <algorithm>
+
+#include "util/string_utils.h"
+
+namespace gsmb {
+
+void EntityProfile::AddAttribute(std::string name, std::string value) {
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+const std::string& EntityProfile::GetAttribute(const std::string& name) const {
+  static const std::string kEmpty;
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return a.value;
+  }
+  return kEmpty;
+}
+
+bool EntityProfile::HasAttribute(const std::string& name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> EntityProfile::DistinctValueTokens() const {
+  std::vector<std::string> tokens;
+  for (const Attribute& a : attributes_) {
+    std::vector<std::string> t = TokenizeAlnum(a.value);
+    tokens.insert(tokens.end(), std::make_move_iterator(t.begin()),
+                  std::make_move_iterator(t.end()));
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+size_t EntityProfile::ValueLength() const {
+  size_t n = 0;
+  for (const Attribute& a : attributes_) n += a.value.size();
+  return n;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,23 @@
+#include "er/ground_truth.h"
+
+#include <algorithm>
+
+namespace gsmb {
+
+void GroundTruth::AddMatch(EntityId left, EntityId right) {
+  if (dirty_) {
+    if (left == right) return;  // a profile cannot match itself
+    if (right < left) std::swap(left, right);
+  }
+  uint64_t key = Key(left, right);
+  if (index_.insert(key).second) {
+    pairs_.push_back({left, right});
+  }
+}
+
+bool GroundTruth::IsMatch(EntityId left, EntityId right) const {
+  if (dirty_ && right < left) std::swap(left, right);
+  return index_.count(Key(left, right)) > 0;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,61 @@
+// Ground truth of known matches (the oracle D in the paper).
+//
+// For Clean-Clean ER a match is a pair (id in E1, id in E2); for Dirty ER it
+// is an unordered pair of ids within the single collection (stored with the
+// smaller id first). All evaluation measures — recall = |TP|/|D|, precision,
+// F1 — and the training-set sampler are driven by this set.
+
+#ifndef GSMB_ER_GROUND_TRUTH_H_
+#define GSMB_ER_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "er/entity_profile.h"
+
+namespace gsmb {
+
+/// A matching pair. `left` and `right` are local ids: left indexes E1 and
+/// right indexes E2 for Clean-Clean ER; both index the single collection for
+/// Dirty ER (left < right).
+struct MatchPair {
+  EntityId left;
+  EntityId right;
+
+  bool operator==(const MatchPair& other) const = default;
+};
+
+class GroundTruth {
+ public:
+  /// `dirty` selects Dirty-ER semantics: pairs are unordered and normalised
+  /// to left < right on insertion.
+  explicit GroundTruth(bool dirty = false) : dirty_(dirty) {}
+
+  bool dirty() const { return dirty_; }
+
+  /// Number of known duplicate pairs |D|.
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  /// Registers a match; duplicates are ignored. For Dirty ER, (a, b) and
+  /// (b, a) are the same pair; self-pairs are rejected.
+  void AddMatch(EntityId left, EntityId right);
+
+  bool IsMatch(EntityId left, EntityId right) const;
+
+  const std::vector<MatchPair>& pairs() const { return pairs_; }
+
+ private:
+  static uint64_t Key(EntityId a, EntityId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  bool dirty_;
+  std::vector<MatchPair> pairs_;
+  std::unordered_set<uint64_t> index_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_ER_GROUND_TRUTH_H_

@@ -1,0 +1,103 @@
+#include "eval/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gsmb {
+
+ClassHistogram ComputeClassHistogram(const std::vector<double>& values,
+                                     const std::vector<uint8_t>& is_positive,
+                                     size_t bins, double lo, double hi) {
+  ClassHistogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.positive.assign(bins, 0.0);
+  h.negative.assign(bins, 0.0);
+  if (bins == 0 || hi <= lo) return h;
+
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto bin = static_cast<long>(std::floor((values[i] - lo) / width));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(bins) - 1);
+    if (is_positive[i]) {
+      h.positive[static_cast<size_t>(bin)] += 1.0;
+      ++h.positive_total;
+    } else {
+      h.negative[static_cast<size_t>(bin)] += 1.0;
+      ++h.negative_total;
+    }
+  }
+  if (h.positive_total > 0) {
+    for (double& v : h.positive) v /= static_cast<double>(h.positive_total);
+  }
+  if (h.negative_total > 0) {
+    for (double& v : h.negative) v /= static_cast<double>(h.negative_total);
+  }
+  return h;
+}
+
+std::string RenderClassHistogram(const ClassHistogram& histogram,
+                                 size_t max_bar_width) {
+  std::string out;
+  const size_t bins = histogram.positive.size();
+  double peak = 1e-12;
+  for (size_t b = 0; b < bins; ++b) {
+    peak = std::max({peak, histogram.positive[b], histogram.negative[b]});
+  }
+  const double width = (histogram.hi - histogram.lo) / static_cast<double>(bins);
+  char buf[64];
+  for (size_t b = 0; b < bins; ++b) {
+    const double bin_lo = histogram.lo + width * static_cast<double>(b);
+    std::snprintf(buf, sizeof(buf), "[%4.2f,%4.2f) ", bin_lo, bin_lo + width);
+    out += buf;
+    const auto pos_bar = static_cast<size_t>(
+        std::lround(histogram.positive[b] / peak *
+                    static_cast<double>(max_bar_width)));
+    const auto neg_bar = static_cast<size_t>(
+        std::lround(histogram.negative[b] / peak *
+                    static_cast<double>(max_bar_width)));
+    out += "dup ";
+    out.append(pos_bar, '#');
+    out.append(max_bar_width - pos_bar, ' ');
+    out += " | non ";
+    out.append(neg_bar, '.');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderCountHistogram(const std::vector<size_t>& counts,
+                                 size_t total, size_t max_bar_width,
+                                 size_t max_rows) {
+  std::string out;
+  if (total == 0) return out;
+  size_t rows = std::min(counts.size(), max_rows);
+  double peak = 1e-12;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    peak = std::max(peak,
+                    static_cast<double>(counts[i]) / static_cast<double>(total));
+  }
+  char buf[64];
+  for (size_t i = 0; i < rows; ++i) {
+    const double fraction =
+        static_cast<double>(counts[i]) / static_cast<double>(total);
+    std::snprintf(buf, sizeof(buf), "%3zu: %6.2f%% ", i, fraction * 100.0);
+    out += buf;
+    const auto bar = static_cast<size_t>(std::lround(
+        fraction / peak * static_cast<double>(max_bar_width)));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (counts.size() > rows) {
+    size_t tail = 0;
+    for (size_t i = rows; i < counts.size(); ++i) tail += counts[i];
+    std::snprintf(buf, sizeof(buf), ">%2zu: %6.2f%%\n", rows - 1,
+                  100.0 * static_cast<double>(tail) /
+                      static_cast<double>(total));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,47 @@
+// Histograms for the probability-distribution figures.
+//
+// Figure 12 plots the density of classifier probabilities separately for
+// duplicate and non-duplicate candidate pairs; Figures 15/16 plot the
+// common-block distribution (provided by blocking/block_stats.h). The
+// helpers here bin the probabilities and render compact ASCII charts so the
+// bench binaries can show the same shapes in a terminal.
+
+#ifndef GSMB_EVAL_HISTOGRAM_H_
+#define GSMB_EVAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsmb {
+
+struct ClassHistogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Per-bin *fraction of its class* (each class normalises to 1).
+  std::vector<double> positive;
+  std::vector<double> negative;
+  size_t positive_total = 0;
+  size_t negative_total = 0;
+};
+
+/// Bins `values` in [lo, hi] into `bins` equal-width buckets, split by
+/// class. Values outside the range are clamped into the edge bins.
+ClassHistogram ComputeClassHistogram(const std::vector<double>& values,
+                                     const std::vector<uint8_t>& is_positive,
+                                     size_t bins, double lo, double hi);
+
+/// Renders two aligned bar columns (positive = '#', negative = '.') with
+/// one row per bin — a terminal rendition of Figure 12.
+std::string RenderClassHistogram(const ClassHistogram& histogram,
+                                 size_t max_bar_width = 40);
+
+/// Renders a plain count histogram (e.g. the common-block distributions of
+/// Figures 15/16), with counts normalised to percentages of `total`.
+std::string RenderCountHistogram(const std::vector<size_t>& counts,
+                                 size_t total, size_t max_bar_width = 40,
+                                 size_t max_rows = 25);
+
+}  // namespace gsmb
+
+#endif  // GSMB_EVAL_HISTOGRAM_H_

@@ -1,0 +1,53 @@
+// Aggregation of effectiveness/efficiency measures across repetitions.
+//
+// The paper averages recall, precision and F1 over 10 runs with different
+// training-sample seeds, and reports the mean run-time. MetricsAccumulator
+// implements exactly that protocol; MacroAverage combines per-dataset
+// aggregates into the cross-dataset averages shown in Figures 5-8.
+
+#ifndef GSMB_EVAL_METRICS_H_
+#define GSMB_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace gsmb {
+
+struct AggregateMetrics {
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+  double recall_std = 0.0;
+  double precision_std = 0.0;
+  double f1_std = 0.0;
+  double rt_seconds = 0.0;  ///< mean total run-time
+  double retained = 0.0;    ///< mean retained pairs
+  size_t runs = 0;
+};
+
+class MetricsAccumulator {
+ public:
+  void Add(const MetaBlockingResult& result);
+
+  /// Mean and (population) standard deviation over the added runs.
+  AggregateMetrics Summary() const;
+
+  size_t size() const { return recalls_.size(); }
+
+ private:
+  std::vector<double> recalls_;
+  std::vector<double> precisions_;
+  std::vector<double> f1s_;
+  std::vector<double> rts_;
+  std::vector<double> retained_;
+};
+
+/// Unweighted mean of per-dataset aggregates (the paper's "average across
+/// all 9 block collections").
+AggregateMetrics MacroAverage(const std::vector<AggregateMetrics>& per_dataset);
+
+}  // namespace gsmb
+
+#endif  // GSMB_EVAL_METRICS_H_

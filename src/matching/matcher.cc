@@ -1,0 +1,106 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gsmb {
+
+std::vector<MatchDecision> ThresholdMatcher::MatchImpl(
+    const EntityCollection& left_source, const EntityCollection& right_source,
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<uint32_t>& retained) const {
+  std::vector<MatchDecision> decisions;
+  for (uint32_t idx : retained) {
+    const CandidatePair& p = pairs[idx];
+    const double sim =
+        ProfileSimilarity(left_source[p.left], right_source[p.right], kind_);
+    if (sim >= threshold_) {
+      decisions.push_back({p, sim});
+    }
+  }
+  return decisions;
+}
+
+std::vector<MatchDecision> ThresholdMatcher::Match(
+    const EntityCollection& e1, const EntityCollection& e2,
+    const std::vector<CandidatePair>& pairs,
+    const std::vector<uint32_t>& retained) const {
+  return MatchImpl(e1, e2, pairs, retained);
+}
+
+std::vector<MatchDecision> ThresholdMatcher::Match(
+    const EntityCollection& entities, const std::vector<CandidatePair>& pairs,
+    const std::vector<uint32_t>& retained) const {
+  return MatchImpl(entities, entities, pairs, retained);
+}
+
+MatchingQuality EvaluateMatching(const std::vector<MatchDecision>& decisions,
+                                 const GroundTruth& gt) {
+  MatchingQuality q;
+  q.decided_matches = decisions.size();
+  for (const MatchDecision& d : decisions) {
+    if (gt.IsMatch(d.pair.left, d.pair.right)) ++q.correct_matches;
+  }
+  if (!gt.empty()) {
+    q.recall = static_cast<double>(q.correct_matches) /
+               static_cast<double>(gt.size());
+  }
+  if (q.decided_matches > 0) {
+    q.precision = static_cast<double>(q.correct_matches) /
+                  static_cast<double>(q.decided_matches);
+  }
+  if (q.recall + q.precision > 0.0) {
+    q.f1 = 2.0 * q.recall * q.precision / (q.recall + q.precision);
+  }
+  return q;
+}
+
+namespace {
+
+// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;  // smaller id becomes the root -> deterministic output
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<EntityId>> ClusterMatches(
+    size_t num_entities, const std::vector<MatchDecision>& decisions) {
+  UnionFind uf(num_entities);
+  for (const MatchDecision& d : decisions) {
+    uf.Union(d.pair.left, d.pair.right);
+  }
+  std::vector<std::vector<EntityId>> by_root(num_entities);
+  for (size_t e = 0; e < num_entities; ++e) {
+    by_root[uf.Find(e)].push_back(static_cast<EntityId>(e));
+  }
+  std::vector<std::vector<EntityId>> clusters;
+  for (auto& members : by_root) {
+    if (members.size() >= 2) clusters.push_back(std::move(members));
+  }
+  return clusters;
+}
+
+}  // namespace gsmb

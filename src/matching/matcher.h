@@ -1,0 +1,80 @@
+// Reference Matching stage: turns the candidate pairs retained by
+// (Generalized Supervised) Meta-blocking into final match decisions, and
+// for Dirty ER groups them into entity clusters.
+//
+// Deliberately simple — a similarity threshold over schema-agnostic tokens,
+// plus connected-components clustering — because the paper's contribution
+// ends at the candidate set; this stage exists so end-to-end ER can be
+// exercised and evaluated (see examples/end_to_end_er.cpp).
+
+#ifndef GSMB_MATCHING_MATCHER_H_
+#define GSMB_MATCHING_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/candidate_pairs.h"
+#include "er/entity_collection.h"
+#include "er/ground_truth.h"
+#include "matching/similarity.h"
+
+namespace gsmb {
+
+struct MatchDecision {
+  CandidatePair pair;
+  double similarity;
+};
+
+class ThresholdMatcher {
+ public:
+  explicit ThresholdMatcher(double threshold = 0.5,
+                            SimilarityKind kind = SimilarityKind::kJaccard)
+      : threshold_(threshold), kind_(kind) {}
+
+  /// Clean-Clean ER: compares each retained candidate across e1 x e2.
+  /// `retained` holds indices into `pairs`.
+  std::vector<MatchDecision> Match(const EntityCollection& e1,
+                                   const EntityCollection& e2,
+                                   const std::vector<CandidatePair>& pairs,
+                                   const std::vector<uint32_t>& retained) const;
+
+  /// Dirty ER: both pair sides index the same collection.
+  std::vector<MatchDecision> Match(const EntityCollection& entities,
+                                   const std::vector<CandidatePair>& pairs,
+                                   const std::vector<uint32_t>& retained) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  std::vector<MatchDecision> MatchImpl(
+      const EntityCollection& left_source,
+      const EntityCollection& right_source,
+      const std::vector<CandidatePair>& pairs,
+      const std::vector<uint32_t>& retained) const;
+
+  double threshold_;
+  SimilarityKind kind_;
+};
+
+/// End-to-end ER quality of the matcher's decisions against |D| known
+/// matches: recall counts blocking/pruning/matching misses alike.
+struct MatchingQuality {
+  size_t decided_matches = 0;
+  size_t correct_matches = 0;
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+};
+
+MatchingQuality EvaluateMatching(const std::vector<MatchDecision>& decisions,
+                                 const GroundTruth& gt);
+
+/// Dirty ER entity clustering: connected components over the decided
+/// matches. Returns one sorted member list per cluster with >= 2 members,
+/// ordered by smallest member id.
+std::vector<std::vector<EntityId>> ClusterMatches(
+    size_t num_entities, const std::vector<MatchDecision>& decisions);
+
+}  // namespace gsmb
+
+#endif  // GSMB_MATCHING_MATCHER_H_

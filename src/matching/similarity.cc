@@ -1,0 +1,58 @@
+#include "matching/similarity.h"
+
+#include <algorithm>
+
+namespace gsmb {
+
+const char* SimilarityKindName(SimilarityKind kind) {
+  switch (kind) {
+    case SimilarityKind::kJaccard:
+      return "Jaccard";
+    case SimilarityKind::kDice:
+      return "Dice";
+    case SimilarityKind::kOverlap:
+      return "Overlap";
+  }
+  return "unknown";
+}
+
+double TokenSimilarity(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b,
+                       SimilarityKind kind) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double c = static_cast<double>(common);
+  switch (kind) {
+    case SimilarityKind::kJaccard:
+      return c / (na + nb - c);
+    case SimilarityKind::kDice:
+      return 2.0 * c / (na + nb);
+    case SimilarityKind::kOverlap:
+      return c / std::min(na, nb);
+  }
+  return 0.0;
+}
+
+double ProfileSimilarity(const EntityProfile& a, const EntityProfile& b,
+                         SimilarityKind kind) {
+  return TokenSimilarity(a.DistinctValueTokens(), b.DistinctValueTokens(),
+                         kind);
+}
+
+}  // namespace gsmb

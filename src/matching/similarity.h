@@ -1,0 +1,37 @@
+// Profile similarity functions for the Matching stage.
+//
+// Meta-blocking produces a candidate set, not resolved entities: "this
+// block collection is then processed by a Matching algorithm, whose goal is
+// to raise F1 close to 1" (paper Section 5.2). These similarity functions
+// power the reference matcher in matching/matcher.h.
+
+#ifndef GSMB_MATCHING_SIMILARITY_H_
+#define GSMB_MATCHING_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "er/entity_profile.h"
+
+namespace gsmb {
+
+enum class SimilarityKind {
+  kJaccard,  ///< |A ∩ B| / |A ∪ B| over distinct value tokens
+  kDice,     ///< 2|A ∩ B| / (|A| + |B|)
+  kOverlap,  ///< |A ∩ B| / min(|A|, |B|)
+};
+
+const char* SimilarityKindName(SimilarityKind kind);
+
+/// Similarity of two *sorted, deduplicated* token vectors in [0, 1].
+double TokenSimilarity(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b,
+                       SimilarityKind kind);
+
+/// Convenience overload tokenising both profiles (schema-agnostic).
+double ProfileSimilarity(const EntityProfile& a, const EntityProfile& b,
+                         SimilarityKind kind = SimilarityKind::kJaccard);
+
+}  // namespace gsmb
+
+#endif  // GSMB_MATCHING_SIMILARITY_H_

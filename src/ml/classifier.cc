@@ -1,0 +1,43 @@
+#include "ml/classifier.h"
+
+#include "ml/linear_svc.h"
+#include "ml/naive_bayes.h"
+#include "ml/logistic_regression.h"
+
+namespace gsmb {
+
+const char* ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kLogisticRegression:
+      return "LogisticRegression";
+    case ClassifierKind::kLinearSvc:
+      return "LinearSVC";
+    case ClassifierKind::kGaussianNaiveBayes:
+      return "GaussianNaiveBayes";
+  }
+  return "unknown";
+}
+
+std::vector<double> ProbabilisticClassifier::PredictBatch(
+    const Matrix& x) const {
+  std::vector<double> probs(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    probs[r] = PredictProbability(x.Row(r));
+  }
+  return probs;
+}
+
+std::unique_ptr<ProbabilisticClassifier> MakeClassifier(ClassifierKind kind,
+                                                        uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kLogisticRegression:
+      return std::make_unique<LogisticRegression>();
+    case ClassifierKind::kLinearSvc:
+      return std::make_unique<LinearSvc>(LinearSvc::Options{}, seed);
+    case ClassifierKind::kGaussianNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+  }
+  return nullptr;
+}
+
+}  // namespace gsmb

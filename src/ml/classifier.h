@@ -1,0 +1,58 @@
+// Probabilistic binary classifiers (paper Section 2.1.1).
+//
+// Generalized Supervised Meta-blocking needs a classifier that emits
+// P(match | feature vector) in [0, 1]; the probability becomes the edge
+// weight that the pruning algorithms threshold. The paper uses sklearn's
+// SVC (with Platt-scaled probabilities) and Weka's logistic regression and
+// reports "almost identical results" for the two — both are provided here,
+// implemented from scratch.
+
+#ifndef GSMB_ML_CLASSIFIER_H_
+#define GSMB_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace gsmb {
+
+enum class ClassifierKind {
+  kLogisticRegression,
+  kLinearSvc,
+  kGaussianNaiveBayes,
+};
+
+const char* ClassifierKindName(ClassifierKind kind);
+
+class ProbabilisticClassifier {
+ public:
+  virtual ~ProbabilisticClassifier() = default;
+
+  /// Trains on labelled rows; `labels[i]` in {0, 1} (1 = match).
+  /// Implementations standardise features internally.
+  virtual void Fit(const Matrix& x, const std::vector<int>& labels) = 0;
+
+  /// P(match) for one *raw* (unscaled) feature row of the fitted width.
+  virtual double PredictProbability(const double* row) const = 0;
+
+  /// P(match) for every row of `x`.
+  std::vector<double> PredictBatch(const Matrix& x) const;
+
+  /// Linear coefficients in the *original* (unscaled) feature space,
+  /// followed by the intercept — the representation Table 6 of the paper
+  /// reports. Empty when the model is not linear or not fitted.
+  virtual std::vector<double> CoefficientsWithIntercept() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Factory. `seed` feeds any stochastic part of training (e.g. SGD
+/// shuffling); both provided models are deterministic given the seed.
+std::unique_ptr<ProbabilisticClassifier> MakeClassifier(ClassifierKind kind,
+                                                        uint64_t seed = 0);
+
+}  // namespace gsmb
+
+#endif  // GSMB_ML_CLASSIFIER_H_

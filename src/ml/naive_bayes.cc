@@ -1,0 +1,93 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gsmb {
+
+void GaussianNaiveBayes::Fit(const Matrix& x, const std::vector<int>& labels) {
+  if (x.rows() == 0 || x.rows() != labels.size()) {
+    throw std::invalid_argument(
+        "GaussianNaiveBayes::Fit: empty data or label size mismatch");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  scaler_.Fit(x);
+  Matrix xs = scaler_.Transform(x);
+
+  size_t counts[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    variance_[c].assign(d, 0.0);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const int c = labels[r] > 0 ? 1 : 0;
+    ++counts[c];
+    const double* row = xs.Row(r);
+    for (size_t f = 0; f < d; ++f) mean_[c][f] += row[f];
+  }
+  for (int c = 0; c < 2; ++c) {
+    has_class_[c] = counts[c] > 0;
+    if (!has_class_[c]) continue;
+    for (size_t f = 0; f < d; ++f) {
+      mean_[c][f] /= static_cast<double>(counts[c]);
+    }
+  }
+  double max_variance = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const int c = labels[r] > 0 ? 1 : 0;
+    const double* row = xs.Row(r);
+    for (size_t f = 0; f < d; ++f) {
+      const double diff = row[f] - mean_[c][f];
+      variance_[c][f] += diff * diff;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (!has_class_[c]) continue;
+    for (size_t f = 0; f < d; ++f) {
+      variance_[c][f] /= static_cast<double>(counts[c]);
+      max_variance = std::max(max_variance, variance_[c][f]);
+    }
+  }
+  const double floor = std::max(options_.var_smoothing * max_variance, 1e-12);
+  for (int c = 0; c < 2; ++c) {
+    for (size_t f = 0; f < d; ++f) {
+      variance_[c][f] = std::max(variance_[c][f], floor);
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] = has_class_[c]
+                        ? std::log(static_cast<double>(counts[c]) /
+                                   static_cast<double>(n))
+                        : -1e30;
+  }
+}
+
+double GaussianNaiveBayes::PredictProbability(const double* row) const {
+  // Degenerate single-class training: predict that class outright.
+  if (!has_class_[0]) return 1.0;
+  if (!has_class_[1]) return 0.0;
+
+  const size_t d = mean_[0].size();
+  std::vector<double> scaled(row, row + d);
+  scaler_.TransformRow(scaled.data());
+
+  double log_like[2] = {log_prior_[0], log_prior_[1]};
+  for (int c = 0; c < 2; ++c) {
+    for (size_t f = 0; f < d; ++f) {
+      const double diff = scaled[f] - mean_[c][f];
+      log_like[c] -= 0.5 * (std::log(2.0 * M_PI * variance_[c][f]) +
+                            diff * diff / variance_[c][f]);
+    }
+  }
+  // P(match) = softmax over the two joint log-likelihoods, numerically
+  // stable via the max trick.
+  const double m = std::max(log_like[0], log_like[1]);
+  const double e0 = std::exp(log_like[0] - m);
+  const double e1 = std::exp(log_like[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace gsmb

@@ -1,0 +1,106 @@
+#include "ml/platt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gsmb {
+
+void PlattScaler::Fit(const std::vector<double>& decision_values,
+                      const std::vector<int>& labels) {
+  if (decision_values.size() != labels.size() || decision_values.empty()) {
+    throw std::invalid_argument("PlattScaler::Fit: size mismatch/empty");
+  }
+  const size_t n = decision_values.size();
+  double num_pos = 0.0;
+  for (int y : labels) num_pos += (y > 0) ? 1.0 : 0.0;
+  const double num_neg = static_cast<double>(n) - num_pos;
+
+  // Platt's smoothed target probabilities.
+  const double hi = (num_pos + 1.0) / (num_pos + 2.0);
+  const double lo = 1.0 / (num_neg + 2.0);
+  std::vector<double> t(n);
+  for (size_t i = 0; i < n; ++i) t[i] = (labels[i] > 0) ? hi : lo;
+
+  // Newton's method with backtracking on (A, B); Lin-Lu-Weng formulation.
+  double A = 0.0;
+  double B = std::log((num_neg + 1.0) / (num_pos + 1.0));
+  const double min_step = 1e-10;
+  const double sigma = 1e-12;  // Hessian ridge
+
+  auto objective = [&](double a, double b) {
+    double obj = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = a * decision_values[i] + b;
+      // Cross-entropy written to avoid catastrophic cancellation.
+      if (z >= 0.0) {
+        obj += t[i] * z + std::log1p(std::exp(-z));
+      } else {
+        obj += (t[i] - 1.0) * z + std::log1p(std::exp(z));
+      }
+    }
+    return obj;
+  };
+
+  double obj = objective(A, B);
+  for (int iter = 0; iter < 100; ++iter) {
+    double h11 = sigma, h22 = sigma, h21 = 0.0, g1 = 0.0, g2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = A * decision_values[i] + B;
+      double p, q;  // p = P(y=1), q = 1-p, computed stably
+      if (z >= 0.0) {
+        double e = std::exp(-z);
+        p = e / (1.0 + e);
+        q = 1.0 / (1.0 + e);
+      } else {
+        double e = std::exp(z);
+        p = 1.0 / (1.0 + e);
+        q = e / (1.0 + e);
+      }
+      double d2 = p * q;
+      h11 += decision_values[i] * decision_values[i] * d2;
+      h22 += d2;
+      h21 += decision_values[i] * d2;
+      double d1 = t[i] - p;
+      g1 += decision_values[i] * d1;
+      g2 += d1;
+    }
+    if (std::fabs(g1) < 1e-5 && std::fabs(g2) < 1e-5) break;
+
+    double det = h11 * h22 - h21 * h21;
+    double dA = -(h22 * g1 - h21 * g2) / det;
+    double dB = -(-h21 * g1 + h11 * g2) / det;
+    double gd = g1 * dA + g2 * dB;
+
+    double step = 1.0;
+    while (step >= min_step) {
+      double new_a = A + step * dA;
+      double new_b = B + step * dB;
+      double new_obj = objective(new_a, new_b);
+      if (new_obj < obj + 1e-4 * step * gd) {
+        A = new_a;
+        B = new_b;
+        obj = new_obj;
+        break;
+      }
+      step /= 2.0;
+    }
+    if (step < min_step) break;  // line search failed; accept current point
+  }
+
+  a_ = A;
+  b_ = B;
+  fitted_ = true;
+}
+
+double PlattScaler::Transform(double decision_value) const {
+  double z = a_ * decision_value + b_;
+  // P(y=1|f) = 1/(1+exp(A f + B)), computed stably on both tails.
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+}  // namespace gsmb

@@ -1,0 +1,36 @@
+// Platt scaling: maps raw SVM decision values to calibrated probabilities.
+//
+// Implements the numerically robust Newton variant of Lin, Lu & Weng (2007),
+// which is what scikit-learn runs when SVC(probability=True) is requested —
+// the configuration the paper uses. Fits P(y=1|f) = 1 / (1 + exp(A*f + B)).
+
+#ifndef GSMB_ML_PLATT_H_
+#define GSMB_ML_PLATT_H_
+
+#include <vector>
+
+namespace gsmb {
+
+class PlattScaler {
+ public:
+  /// Fits (A, B) on decision values and binary labels (1 = positive).
+  /// Uses Platt's smoothed targets to avoid overconfident endpoints.
+  void Fit(const std::vector<double>& decision_values,
+           const std::vector<int>& labels);
+
+  /// Calibrated probability for a raw decision value.
+  double Transform(double decision_value) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double a_ = -1.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_ML_PLATT_H_

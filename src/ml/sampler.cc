@@ -1,0 +1,44 @@
+#include "ml/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsmb {
+
+TrainingSet SampleBalanced(const std::vector<uint8_t>& is_positive,
+                           size_t per_class, Rng* rng) {
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < is_positive.size(); ++i) {
+    (is_positive[i] ? positives : negatives).push_back(i);
+  }
+
+  auto draw = [&](std::vector<size_t>& pool) {
+    std::vector<size_t> chosen = rng->SampleWithoutReplacement(
+        pool.size(), std::min(per_class, pool.size()));
+    std::vector<size_t> out;
+    out.reserve(chosen.size());
+    for (size_t k : chosen) out.push_back(pool[k]);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  TrainingSet ts;
+  for (size_t i : draw(positives)) {
+    ts.row_indices.push_back(i);
+    ts.labels.push_back(1);
+  }
+  for (size_t i : draw(negatives)) {
+    ts.row_indices.push_back(i);
+    ts.labels.push_back(0);
+  }
+  return ts;
+}
+
+size_t FivePercentRuleSize(size_t num_ground_truth_matches) {
+  return std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(0.05 * static_cast<double>(num_ground_truth_matches))));
+}
+
+}  // namespace gsmb

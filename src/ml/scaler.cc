@@ -1,0 +1,52 @@
+#include "ml/scaler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gsmb {
+
+void StandardScaler::Fit(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  if (n == 0) return;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (size_t c = 0; c < d; ++c) mean_[c] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < d; ++c) {
+      double diff = row[c] - mean_[c];
+      var[c] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    double s = std::sqrt(var[c] / static_cast<double>(n));
+    std_[c] = (s > 1e-12) ? s : 1.0;
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  assert(fitted() && x.cols() == mean_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* src = x.Row(r);
+    double* dst = out.Row(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+void StandardScaler::TransformRow(double* row) const {
+  for (size_t c = 0; c < mean_.size(); ++c) {
+    row[c] = (row[c] - mean_[c]) / std_[c];
+  }
+}
+
+}  // namespace gsmb

@@ -1,0 +1,41 @@
+// Feature standardisation (z-scoring).
+//
+// The classifiers fit on at most a few hundred rows of features whose raw
+// magnitudes differ by orders of magnitude (CF-IBF grows with log^2 |B|, JS
+// lives in [0,1]). Standardising with statistics of the *training* rows
+// keeps IRLS/GD well conditioned; the transform is affine and monotone per
+// feature, so the learned decision surface is equivalent.
+
+#ifndef GSMB_ML_SCALER_H_
+#define GSMB_ML_SCALER_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace gsmb {
+
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation. Zero-variance columns
+  /// get std = 1 so they pass through centred.
+  void Fit(const Matrix& x);
+
+  /// Returns (x - mean) / std column-wise. Requires Fit() first.
+  Matrix Transform(const Matrix& x) const;
+
+  /// In-place transform of a single row (length = #fitted columns).
+  void TransformRow(double* row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& std() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_ML_SCALER_H_

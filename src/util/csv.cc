@@ -1,0 +1,109 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsmb {
+
+std::vector<CsvRow> ParseCsv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);  // stray quote inside unquoted field
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallow; \n ends the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  // Final row without trailing newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::vector<CsvRow> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(EscapeCsvField(row[i]));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+  out << WriteCsv(rows);
+  if (!out) throw std::runtime_error("failed writing CSV file: " + path);
+}
+
+}  // namespace gsmb

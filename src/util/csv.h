@@ -1,0 +1,38 @@
+// Minimal RFC-4180-style CSV reader/writer.
+//
+// Used to persist synthetic datasets and to let downstream users load their
+// own entity collections (see datasets/io.h). Supports quoted fields with
+// embedded commas, quotes and newlines.
+
+#ifndef GSMB_UTIL_CSV_H_
+#define GSMB_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsmb {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses a full CSV document. Handles \r\n and \n line endings and quoted
+/// fields spanning multiple lines. Empty trailing line is ignored.
+std::vector<CsvRow> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error when the file
+/// cannot be opened.
+std::vector<CsvRow> ReadCsvFile(const std::string& path);
+
+/// Escapes a single field (quotes it when it contains , " or newline).
+std::string EscapeCsvField(std::string_view field);
+
+/// Serialises rows to CSV text with \n line endings.
+std::string WriteCsv(const std::vector<CsvRow>& rows);
+
+/// Writes rows to a file. Throws std::runtime_error on I/O failure.
+void WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows);
+
+}  // namespace gsmb
+
+#endif  // GSMB_UTIL_CSV_H_

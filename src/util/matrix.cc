@@ -1,0 +1,71 @@
+#include "util/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace gsmb {
+
+Matrix Matrix::SelectColumns(const std::vector<size_t>& columns) const {
+  Matrix out(rows_, columns.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = Row(r);
+    double* dst = out.Row(r);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      assert(columns[c] < cols_);
+      dst[c] = src[columns[c]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t r = 0; r < row_indices.size(); ++r) {
+    assert(row_indices[r] < rows_);
+    const double* src = Row(row_indices[r]);
+    double* dst = out.Row(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+bool SolveLinearSystem(std::vector<double>* a, std::vector<double>* b,
+                       size_t n) {
+  assert(a->size() == n * n && b->size() == n);
+  std::vector<double>& A = *a;
+  std::vector<double>& B = *b;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the row with the largest |entry| in this column.
+    size_t pivot = col;
+    double best = std::fabs(A[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(A[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(A[col * n + c], A[pivot * n + c]);
+      std::swap(B[col], B[pivot]);
+    }
+    double inv = 1.0 / A[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = A[r * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) A[r * n + c] -= factor * A[col * n + c];
+      B[r] -= factor * B[col];
+    }
+  }
+  // Back substitution.
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = B[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= A[ri * n + c] * B[c];
+    B[ri] = acc / A[ri * n + ri];
+  }
+  return true;
+}
+
+}  // namespace gsmb

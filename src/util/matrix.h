@@ -1,0 +1,55 @@
+// Dense row-major matrix of doubles.
+//
+// The feature pipeline materialises one row per candidate pair, so the
+// layout is optimised for row iteration (classifier inference) and column
+// selection (feature-subset experiments reuse a full 9-column matrix).
+
+#ifndef GSMB_UTIL_MATRIX_H_
+#define GSMB_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gsmb {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Returns a new matrix with only the given columns (in the given order).
+  Matrix SelectColumns(const std::vector<size_t>& columns) const;
+
+  /// Returns a new matrix with only the given rows (in the given order).
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the dense linear system A * x = b via Gaussian elimination with
+/// partial pivoting. A is n x n row-major, modified in place; b is modified
+/// in place and holds the solution on return. Returns false when A is
+/// numerically singular.
+bool SolveLinearSystem(std::vector<double>* a, std::vector<double>* b,
+                       size_t n);
+
+}  // namespace gsmb
+
+#endif  // GSMB_UTIL_MATRIX_H_

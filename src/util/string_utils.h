@@ -1,0 +1,36 @@
+// String tokenisation helpers used by the schema-agnostic blocking methods.
+
+#ifndef GSMB_UTIL_STRING_UTILS_H_
+#define GSMB_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsmb {
+
+/// Lower-cases ASCII characters in place-copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits `s` into maximal runs of alphanumeric characters, lower-cased.
+/// This is the signature function of schema-agnostic Token Blocking: every
+/// token of every attribute value becomes a blocking key.
+std::vector<std::string> TokenizeAlnum(std::string_view s);
+
+/// Returns all character q-grams of `s` (after lower-casing); strings
+/// shorter than q yield the whole string as a single gram.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Returns all suffixes of `s` with length >= min_len (after lower-casing).
+/// Strings shorter than min_len yield the whole string.
+std::vector<std::string> Suffixes(std::string_view s, size_t min_len);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimAscii(std::string_view s);
+
+}  // namespace gsmb
+
+#endif  // GSMB_UTIL_STRING_UTILS_H_

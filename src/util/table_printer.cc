@@ -1,0 +1,106 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gsmb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<size_t> ColumnWidths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void AppendPadded(std::string* out, const std::string& cell, size_t width) {
+  out->append(cell);
+  out->append(width - std::min(width, cell.size()), ' ');
+}
+
+}  // namespace
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths = ColumnWidths(header_, rows_);
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out.append("  ");
+    AppendPadded(&out, header_[c], widths[c]);
+  }
+  out.push_back('\n');
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.append("  ");
+      AppendPadded(&out, row[c], widths[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TablePrinter::ToMarkdown() const {
+  std::string out = "|";
+  for (const auto& h : header_) {
+    out.append(" ");
+    out.append(h);
+    out.append(" |");
+  }
+  out.append("\n|");
+  for (size_t c = 0; c < header_.size(); ++c) out.append("---|");
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    out.append("|");
+    for (const auto& cell : row) {
+      out.append(" ");
+      out.append(cell);
+      out.append(" |");
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TablePrinter::Fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Scientific(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Count(size_t v) {
+  // Render with thousands separators for readability: 1234567 -> 1,234,567.
+  std::string digits = std::to_string(v);
+  std::string out;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    size_t remaining = digits.size() - i;
+    if (i > 0 && remaining % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables/figures as text;
+// TablePrinter keeps their output aligned and diff-friendly.
+
+#ifndef GSMB_UTIL_TABLE_PRINTER_H_
+#define GSMB_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gsmb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; missing cells are rendered empty, extra cells dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Renders as a GitHub-flavoured markdown table.
+  std::string ToMarkdown() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Helpers for numeric cells.
+  static std::string Fixed(double v, int precision);
+  static std::string Scientific(double v, int precision);
+  static std::string Count(size_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_UTIL_TABLE_PRINTER_H_

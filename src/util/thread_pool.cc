@@ -1,0 +1,49 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsmb {
+
+size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto guarded = [&](size_t begin, size_t end) {
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  const size_t chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t begin = t * chunk;
+    if (begin >= n) break;
+    const size_t end = std::min(n, begin + chunk);
+    workers.emplace_back(guarded, begin, end);
+  }
+  for (std::thread& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gsmb

@@ -1,0 +1,29 @@
+// Minimal data-parallel helper.
+//
+// The paper's experiments run on a 72-core machine through Spark; the
+// single-node analogue here is ParallelFor, which splits a contiguous index
+// range into per-thread chunks. Used by the feature extractor (each chunk
+// covers whole pivot-entity groups, so outputs are written disjointly and
+// results are bit-identical to the serial path).
+
+#ifndef GSMB_UTIL_THREAD_POOL_H_
+#define GSMB_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace gsmb {
+
+/// Number of hardware threads (>= 1).
+size_t HardwareThreads();
+
+/// Runs fn(chunk_begin, chunk_end) over [0, n) split into roughly equal
+/// contiguous chunks, one per thread. `num_threads` <= 1 (or n small) runs
+/// inline. fn must be safe to call concurrently on disjoint ranges;
+/// exceptions thrown by fn propagate to the caller (first one wins).
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace gsmb
+
+#endif  // GSMB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,98 @@
+#include "blocking/block_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+TEST(BlockStats, PaperExampleStats) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  BlockCollectionStats stats = ComputeBlockStats(bc);
+  EXPECT_EQ(stats.num_blocks, 8u);
+  EXPECT_DOUBLE_EQ(stats.total_comparisons, 24.0);
+  EXPECT_EQ(stats.total_occurrences, 22u);
+  EXPECT_EQ(stats.max_block_size, 5u);
+  EXPECT_DOUBLE_EQ(stats.avg_block_size, 22.0 / 8.0);
+  // CEP budget: K = 22 / 2 = 11. CNP: k = max(1, 22/7).
+  EXPECT_DOUBLE_EQ(stats.cep_k, 11.0);
+  EXPECT_NEAR(stats.cnp_k, 22.0 / 7.0, 1e-12);
+}
+
+TEST(BlockStats, EmptyCollection) {
+  BlockCollection bc(/*clean_clean=*/false, 0, 0);
+  BlockCollectionStats stats = ComputeBlockStats(bc);
+  EXPECT_EQ(stats.num_blocks, 0u);
+  EXPECT_DOUBLE_EQ(stats.cnp_k, 1.0);
+}
+
+TEST(BlockStats, CnpKHasFloorOfOne) {
+  BlockCollection bc(/*clean_clean=*/false, 100, 0);
+  Block b;
+  b.key = "k";
+  b.left = {0, 1};
+  bc.Add(b);
+  EXPECT_DOUBLE_EQ(ComputeBlockStats(bc).cnp_k, 1.0);
+}
+
+TEST(BlockingQuality, PaperExample) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  GroundTruth gt = testing::PaperExampleGroundTruth();
+  BlockingQuality q = EvaluateBlockingQuality(pairs, gt);
+  EXPECT_EQ(q.num_candidates, 16u);
+  EXPECT_EQ(q.duplicates_covered, 3u);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.precision, 3.0 / 16.0);
+  EXPECT_NEAR(q.f1, 2.0 * 1.0 * (3.0 / 16) / (1.0 + 3.0 / 16), 1e-12);
+}
+
+TEST(BlockingQuality, MissedDuplicateLowersRecall) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  GroundTruth gt = testing::PaperExampleGroundTruth();
+  gt.AddMatch(0, 4);  // e1-e5 share no block in the fixture? They do: b4.
+  // (0,4) IS a candidate (both in smartphone), so recall stays 1.
+  EXPECT_DOUBLE_EQ(EvaluateBlockingQuality(pairs, gt).recall, 1.0);
+  gt.AddMatch(0, 5);  // e1-e6 share nothing -> missed
+  BlockingQuality q = EvaluateBlockingQuality(pairs, gt);
+  EXPECT_DOUBLE_EQ(q.recall, 4.0 / 5.0);
+}
+
+TEST(BlockingQuality, EmptyInputs) {
+  GroundTruth gt;
+  BlockingQuality q = EvaluateBlockingQuality({}, gt);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+}
+
+TEST(CommonBlockHistogram, PaperExample) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  GroundTruth gt = testing::PaperExampleGroundTruth();
+  std::vector<size_t> hist = CommonBlockHistogram(index, gt);
+  // Duplicates share 3, 2 and 4 blocks respectively.
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 0u);
+  EXPECT_EQ(hist[2], 1u);  // (e2, e4)
+  EXPECT_EQ(hist[3], 1u);  // (e1, e3)
+  EXPECT_EQ(hist[4], 1u);  // (e6, e7)
+}
+
+TEST(CommonBlockHistogram, CountsMissedDuplicatesAtZero) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(0, 5);  // no shared block
+  std::vector<size_t> hist = CommonBlockHistogram(index, gt);
+  ASSERT_GE(hist.size(), 1u);
+  EXPECT_EQ(hist[0], 1u);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,195 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "blocking/qgram_blocking.h"
+#include "blocking/suffix_blocking.h"
+#include "blocking/token_blocking.h"
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+using testing::MakeTinyCleanClean;
+using testing::TinyCleanClean;
+
+const Block* FindBlock(const BlockCollection& bc, const std::string& key) {
+  for (const Block& b : bc.blocks()) {
+    if (b.key == key) return &b;
+  }
+  return nullptr;
+}
+
+TEST(TokenBlocking, CleanCleanKeepsSharedKeysOnly) {
+  TinyCleanClean t = MakeTinyCleanClean();
+  BlockCollection bc = TokenBlocking().Build(t.e1, t.e2);
+  EXPECT_TRUE(bc.clean_clean());
+  EXPECT_EQ(bc.num_left_entities(), 3u);
+  EXPECT_EQ(bc.num_right_entities(), 3u);
+  // Shared tokens: alpha (a0, a2 | b0), beta (a0 | b0), gamma (a1 | b1).
+  EXPECT_NE(FindBlock(bc, "alpha"), nullptr);
+  EXPECT_NE(FindBlock(bc, "beta"), nullptr);
+  EXPECT_NE(FindBlock(bc, "gamma"), nullptr);
+  // Single-source tokens are dropped.
+  EXPECT_EQ(FindBlock(bc, "delta"), nullptr);
+  EXPECT_EQ(FindBlock(bc, "unique1"), nullptr);
+  EXPECT_EQ(FindBlock(bc, "zeta"), nullptr);
+  EXPECT_EQ(bc.size(), 3u);
+}
+
+TEST(TokenBlocking, BlockMembersAreCorrect) {
+  TinyCleanClean t = MakeTinyCleanClean();
+  BlockCollection bc = TokenBlocking().Build(t.e1, t.e2);
+  const Block* alpha = FindBlock(bc, "alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->left, (std::vector<EntityId>{0, 2}));
+  EXPECT_EQ(alpha->right, (std::vector<EntityId>{0}));
+  EXPECT_EQ(alpha->Size(), 3u);
+  EXPECT_DOUBLE_EQ(alpha->Comparisons(true), 2.0);
+}
+
+TEST(TokenBlocking, BlocksInLexicographicKeyOrder) {
+  TinyCleanClean t = MakeTinyCleanClean();
+  BlockCollection bc = TokenBlocking().Build(t.e1, t.e2);
+  std::vector<std::string> keys;
+  for (const Block& b : bc.blocks()) keys.push_back(b.key);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(TokenBlocking, DirtyRequiresTwoMembers) {
+  EntityCollection c;
+  EntityProfile p1("1");
+  p1.AddAttribute("t", "shared only1");
+  EntityProfile p2("2");
+  p2.AddAttribute("t", "shared only2");
+  c.Add(std::move(p1));
+  c.Add(std::move(p2));
+  BlockCollection bc = TokenBlocking().Build(c);
+  EXPECT_FALSE(bc.clean_clean());
+  ASSERT_EQ(bc.size(), 1u);
+  EXPECT_EQ(bc[0].key, "shared");
+  EXPECT_EQ(bc[0].left, (std::vector<EntityId>{0, 1}));
+  EXPECT_DOUBLE_EQ(bc[0].Comparisons(false), 1.0);
+}
+
+TEST(TokenBlocking, MinTokenLengthFilters) {
+  EntityCollection c1;
+  EntityProfile p("1");
+  p.AddAttribute("t", "ab abcd");
+  c1.Add(std::move(p));
+  EntityCollection c2;
+  EntityProfile q("2");
+  q.AddAttribute("t", "ab abcd");
+  c2.Add(std::move(q));
+  BlockCollection bc = TokenBlocking(/*min_token_length=*/3).Build(c1, c2);
+  EXPECT_EQ(bc.size(), 1u);
+  EXPECT_EQ(bc[0].key, "abcd");
+}
+
+TEST(TokenBlocking, PaperExampleReproduced) {
+  // The Figure 1 profiles, as a Dirty collection.
+  EntityCollection c;
+  auto add = [&](const char* id, const char* text) {
+    EntityProfile p(id);
+    p.AddAttribute("text", text);
+    c.Add(std::move(p));
+  };
+  add("e1", "Apple iPhone X Smartphone");
+  add("e2", "Samsung S20 smartphone");
+  add("e3", "iPhone 10 smartphone Apple");
+  add("e4", "Samsung 20 smartphone");
+  add("e5", "Huawei Mate 20 smartphone");
+  add("e6", "Samsung Fold foldable phone");
+  add("e7", "Samsung foldable Your perfect mate phone, today 20 % discount");
+
+  BlockCollection bc = TokenBlocking().Build(c);
+  const Block* samsung = FindBlock(bc, "samsung");
+  ASSERT_NE(samsung, nullptr);
+  EXPECT_EQ(samsung->left, (std::vector<EntityId>{1, 3, 5, 6}));
+  const Block* smartphone = FindBlock(bc, "smartphone");
+  ASSERT_NE(smartphone, nullptr);
+  EXPECT_EQ(smartphone->left, (std::vector<EntityId>{0, 1, 2, 3, 4}));
+  const Block* apple = FindBlock(bc, "apple");
+  ASSERT_NE(apple, nullptr);
+  EXPECT_EQ(apple->left, (std::vector<EntityId>{0, 2}));
+}
+
+TEST(QGramBlocking, ProducesGramBlocks) {
+  TinyCleanClean t = MakeTinyCleanClean();
+  BlockCollection bc = QGramBlocking(3).Build(t.e1, t.e2);
+  // "alpha" trigrams: alp, lph, pha — present in both sources via a0/b0.
+  EXPECT_NE(FindBlock(bc, "alp"), nullptr);
+  EXPECT_NE(FindBlock(bc, "pha"), nullptr);
+}
+
+TEST(QGramBlocking, MoreRobustThanTokensToTypos) {
+  EntityCollection c1;
+  EntityProfile p("1");
+  p.AddAttribute("t", "smartphone");
+  c1.Add(std::move(p));
+  EntityCollection c2;
+  EntityProfile q("2");
+  q.AddAttribute("t", "smartphome");  // typo
+  c2.Add(std::move(q));
+  // Token blocking yields no block; 3-gram blocking still links them.
+  EXPECT_EQ(TokenBlocking().Build(c1, c2).size(), 0u);
+  EXPECT_GT(QGramBlocking(3).Build(c1, c2).size(), 0u);
+}
+
+TEST(SuffixBlocking, EmitsSuffixKeys) {
+  EntityCollection c1;
+  EntityProfile p("1");
+  p.AddAttribute("t", "phone");
+  c1.Add(std::move(p));
+  EntityCollection c2;
+  EntityProfile q("2");
+  q.AddAttribute("t", "iphone");
+  c2.Add(std::move(q));
+  BlockCollection bc = SuffixBlocking(/*min_length=*/4).Build(c1, c2);
+  // Shared suffixes of length >= 4: "hone", "phone".
+  EXPECT_NE(FindBlock(bc, "hone"), nullptr);
+  EXPECT_NE(FindBlock(bc, "phone"), nullptr);
+}
+
+TEST(SuffixBlocking, CapsBlockSize) {
+  // 10 entities per source sharing the same token: block size 20 > cap 8.
+  EntityCollection c1;
+  EntityCollection c2;
+  for (int i = 0; i < 10; ++i) {
+    EntityProfile p("a" + std::to_string(i));
+    p.AddAttribute("t", "common");
+    c1.Add(std::move(p));
+    EntityProfile q("b" + std::to_string(i));
+    q.AddAttribute("t", "common");
+    c2.Add(std::move(q));
+  }
+  BlockCollection bc =
+      SuffixBlocking(/*min_length=*/4, /*max_block_size=*/8).Build(c1, c2);
+  EXPECT_EQ(bc.size(), 0u);
+}
+
+TEST(BlockCollection, DropEmptyBlocks) {
+  BlockCollection bc(/*clean_clean=*/true, 2, 2);
+  Block with_pairs;
+  with_pairs.key = "good";
+  with_pairs.left = {0};
+  with_pairs.right = {0};
+  bc.Add(with_pairs);
+  Block one_sided;
+  one_sided.key = "bad";
+  one_sided.left = {0, 1};
+  bc.Add(one_sided);
+  EXPECT_EQ(bc.DropEmptyBlocks(), 1u);
+  ASSERT_EQ(bc.size(), 1u);
+  EXPECT_EQ(bc[0].key, "good");
+}
+
+TEST(BlockCollection, Totals) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  // Sizes: 2+2+4+3+5+2+2+2 = 22; comparisons: 1+1+6+3+10+1+1+1 = 24.
+  EXPECT_EQ(bc.TotalEntityOccurrences(), 22u);
+  EXPECT_DOUBLE_EQ(bc.TotalComparisons(), 24.0);
+}
+
+}  // namespace
+}  // namespace gsmb

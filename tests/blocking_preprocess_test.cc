@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+BlockCollection WithBigBlock() {
+  // Dirty ER, 8 entities. One stop-word block holds 6 of 8 profiles
+  // (> half), two informative blocks hold 2 each.
+  BlockCollection bc(/*clean_clean=*/false, 8, 0);
+  Block stopword;
+  stopword.key = "the";
+  stopword.left = {0, 1, 2, 3, 4, 5};
+  bc.Add(stopword);
+  Block good1;
+  good1.key = "rare1";
+  good1.left = {0, 1};
+  bc.Add(good1);
+  Block good2;
+  good2.key = "rare2";
+  good2.left = {6, 7};
+  bc.Add(good2);
+  return bc;
+}
+
+TEST(BlockPurging, RemovesOversizedBlocks) {
+  BlockPurging purging(0.5);
+  BlockCollection out = purging.Apply(WithBigBlock());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, "rare1");
+  EXPECT_EQ(out[1].key, "rare2");
+  EXPECT_EQ(purging.last_purged_count(), 1u);
+}
+
+TEST(BlockPurging, KeepsBlocksAtTheLimit) {
+  // 8 entities, limit = 4: a block of exactly 4 stays.
+  BlockCollection bc(/*clean_clean=*/false, 8, 0);
+  Block b;
+  b.key = "limit";
+  b.left = {0, 1, 2, 3};
+  bc.Add(b);
+  BlockCollection out = BlockPurging(0.5).Apply(bc);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(BlockPurging, DropsZeroComparisonBlocks) {
+  BlockCollection bc(/*clean_clean=*/true, 4, 4);
+  Block one_sided;
+  one_sided.key = "left-only";
+  one_sided.left = {0, 1};
+  bc.Add(one_sided);
+  BlockCollection out = BlockPurging(0.5).Apply(bc);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(BlockPurging, PreservesMetadata) {
+  BlockCollection out = BlockPurging(0.5).Apply(WithBigBlock());
+  EXPECT_FALSE(out.clean_clean());
+  EXPECT_EQ(out.num_left_entities(), 8u);
+}
+
+TEST(BlockPurging, ComparisonBudgetVariantRemovesHugeBlocks) {
+  // The adaptive variant should also purge the dominant stop-word block.
+  BlockCollection input = WithBigBlock();
+  BlockCollection out = PurgeByComparisonBudget(input);
+  EXPECT_LT(out.TotalComparisons(), input.TotalComparisons());
+  for (const Block& b : out.blocks()) EXPECT_NE(b.key, "the");
+}
+
+TEST(BlockPurging, ComparisonBudgetKeepsUniformBlocks) {
+  BlockCollection bc(/*clean_clean=*/false, 10, 0);
+  for (int i = 0; i < 4; ++i) {
+    Block b;
+    b.key = "k" + std::to_string(i);
+    b.left = {static_cast<EntityId>(2 * i), static_cast<EntityId>(2 * i + 1)};
+    bc.Add(b);
+  }
+  EXPECT_EQ(PurgeByComparisonBudget(bc).size(), 4u);
+}
+
+TEST(BlockFiltering, RemovesEntityFromLargestBlocks) {
+  // Entity 0 is in 5 blocks of growing size; ratio 0.8 keeps it in the 4
+  // smallest (ceil(0.8 * 5) = 4).
+  BlockCollection bc(/*clean_clean=*/false, 12, 0);
+  for (size_t s = 0; s < 5; ++s) {
+    Block b;
+    b.key = "b" + std::to_string(s);
+    b.left.push_back(0);
+    for (size_t m = 0; m < s + 1; ++m) {
+      b.left.push_back(static_cast<EntityId>(1 + s + m));
+    }
+    bc.Add(b);
+  }
+  BlockCollection out = BlockFiltering(0.8).Apply(bc);
+  size_t entity0_blocks = 0;
+  for (const Block& b : out.blocks()) {
+    for (EntityId e : b.left) {
+      if (e == 0) ++entity0_blocks;
+    }
+  }
+  EXPECT_EQ(entity0_blocks, 4u);
+}
+
+TEST(BlockFiltering, RatioOneKeepsEverything) {
+  BlockCollection input = testing::PaperExampleBlocks();
+  BlockCollection out = BlockFiltering(1.0).Apply(input);
+  EXPECT_EQ(out.size(), input.size());
+  EXPECT_DOUBLE_EQ(out.TotalComparisons(), input.TotalComparisons());
+}
+
+TEST(BlockFiltering, EveryEntityKeepsAtLeastOneBlock) {
+  BlockCollection bc(/*clean_clean=*/false, 4, 0);
+  Block only;
+  only.key = "solo";
+  only.left = {0, 1, 2, 3};
+  bc.Add(only);
+  // Even a tiny ratio keeps each entity in >= 1 block.
+  BlockCollection out = BlockFiltering(0.01).Apply(bc);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Size(), 4u);
+}
+
+TEST(BlockFiltering, DropsBlocksLeftWithoutComparisons) {
+  // Clean-Clean: after filtering, a block keeping only one side vanishes.
+  BlockCollection bc(/*clean_clean=*/true, 2, 2);
+  Block small;
+  small.key = "small";
+  small.left = {0};
+  small.right = {0};
+  bc.Add(small);
+  Block big;
+  big.key = "big";
+  big.left = {0, 1};
+  big.right = {0, 1};
+  bc.Add(big);
+  // Ratio 0.5: each entity keeps ceil(0.5 * its block count) blocks.
+  // Entities 0/0' are in both blocks -> keep only "small" (smaller).
+  // Entities 1/1' are only in "big" -> stay there.
+  BlockCollection out = BlockFiltering(0.5).Apply(bc);
+  ASSERT_EQ(out.size(), 2u);
+  const Block& filtered_big = out[1];
+  EXPECT_EQ(filtered_big.key, "big");
+  EXPECT_EQ(filtered_big.left, (std::vector<EntityId>{1}));
+  EXPECT_EQ(filtered_big.right, (std::vector<EntityId>{1}));
+}
+
+TEST(BlockFiltering, PaperExampleShrinksComparisons) {
+  BlockCollection input = testing::PaperExampleBlocks();
+  BlockCollection out = BlockFiltering(0.8).Apply(input);
+  EXPECT_LT(out.TotalComparisons(), input.TotalComparisons());
+  EXPECT_GT(out.TotalComparisons(), 0.0);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,97 @@
+#include "blocking/candidate_pairs.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+TEST(CandidatePairs, PaperExampleDistinctSet) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  // 16 distinct comparisons (hand-enumerated from the 8 blocks).
+  EXPECT_EQ(pairs.size(), 16u);
+  std::set<std::pair<EntityId, EntityId>> got;
+  for (const CandidatePair& p : pairs) got.insert({p.left, p.right});
+  const std::set<std::pair<EntityId, EntityId>> expected = {
+      {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {1, 5},
+      {1, 6}, {2, 3}, {2, 4}, {3, 4}, {3, 5}, {3, 6}, {4, 6}, {5, 6}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CandidatePairs, GroupedAndSortedOrder) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    const bool left_ascending = pairs[i - 1].left <= pairs[i].left;
+    EXPECT_TRUE(left_ascending);
+    if (pairs[i - 1].left == pairs[i].left) {
+      EXPECT_LT(pairs[i - 1].right, pairs[i].right);
+    }
+  }
+}
+
+TEST(CandidatePairs, DirtyPairsHaveLeftLessThanRight) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  for (const CandidatePair& p : GenerateCandidatePairs(index)) {
+    EXPECT_LT(p.left, p.right);
+  }
+}
+
+TEST(CandidatePairs, CleanCleanCrossPairsOnly) {
+  BlockCollection bc(/*clean_clean=*/true, 3, 3);
+  Block b;
+  b.key = "k";
+  b.left = {0, 1};
+  b.right = {1, 2};
+  bc.Add(b);
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  ASSERT_EQ(pairs.size(), 4u);
+  // (left local, right local): all cross combinations.
+  EXPECT_EQ(pairs[0], (CandidatePair{0, 1}));
+  EXPECT_EQ(pairs[1], (CandidatePair{0, 2}));
+  EXPECT_EQ(pairs[2], (CandidatePair{1, 1}));
+  EXPECT_EQ(pairs[3], (CandidatePair{1, 2}));
+}
+
+TEST(CandidatePairs, RedundantComparisonsDeduplicated) {
+  // Two blocks implying the same pair produce it once.
+  BlockCollection bc(/*clean_clean=*/true, 1, 1);
+  for (int i = 0; i < 2; ++i) {
+    Block b;
+    b.key = "k" + std::to_string(i);
+    b.left = {0};
+    b.right = {0};
+    bc.Add(b);
+  }
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  EXPECT_EQ(pairs.size(), 1u);
+  // ... although the block collection counts 2 (redundant) comparisons.
+  EXPECT_DOUBLE_EQ(bc.TotalComparisons(), 2.0);
+}
+
+TEST(CandidatePairs, EmptyCollection) {
+  BlockCollection bc(/*clean_clean=*/false, 5, 0);
+  EntityIndex index(bc);
+  EXPECT_TRUE(GenerateCandidatePairs(index).empty());
+}
+
+TEST(CandidatePairs, CountPositives) {
+  BlockCollection bc = testing::PaperExampleBlocks();
+  EntityIndex index(bc);
+  auto pairs = GenerateCandidatePairs(index);
+  GroundTruth gt = testing::PaperExampleGroundTruth();
+  // All three duplicates co-occur in at least one block.
+  EXPECT_EQ(CountPositivePairs(pairs, gt), 3u);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,243 @@
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/clean_clean_generator.h"
+#include "datasets/dirty_generator.h"
+#include "datasets/io.h"
+#include "datasets/specs.h"
+#include "datasets/vocabulary.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace gsmb {
+namespace {
+
+TEST(Vocabulary, CommonTokensUniqueAndNonEmpty) {
+  Vocabulary v(500, 1.0, 1);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < v.common_pool_size(); ++i) {
+    const std::string& t = v.CommonToken(i);
+    EXPECT_FALSE(t.empty());
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(Vocabulary, DistinctTokensNeverCollide) {
+  Vocabulary v(10, 1.0, 2);
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(v.DistinctToken(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Vocabulary, ZipfHeadDominates) {
+  Vocabulary v(200, 1.0, 3);
+  Rng rng(4);
+  std::vector<int> counts(200, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[v.SampleCommonRank(&rng)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], counts[199]);
+}
+
+TEST(Vocabulary, MidRankSamplerStaysInRange) {
+  Vocabulary v(1000, 1.0, 5);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    size_t r = v.SampleMidRank(&rng, 0.02, 0.10);
+    EXPECT_GE(r, 20u);
+    EXPECT_LT(r, 100u);
+  }
+}
+
+TEST(CleanCleanGenerator, SizesMatchSpec) {
+  CleanCleanSpec spec;
+  spec.name = "t";
+  spec.e1_size = 120;
+  spec.e2_size = 150;
+  spec.num_duplicates = 80;
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+  EXPECT_EQ(data.e1.size(), 120u);
+  EXPECT_EQ(data.e2.size(), 150u);
+  EXPECT_EQ(data.ground_truth.size(), 80u);
+  EXPECT_FALSE(data.ground_truth.dirty());
+}
+
+TEST(CleanCleanGenerator, CollectionsAreClean) {
+  // Clean = duplicate-free: external ids unique within each source.
+  CleanCleanSpec spec;
+  spec.name = "t";
+  spec.e1_size = 100;
+  spec.e2_size = 100;
+  spec.num_duplicates = 50;
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+  for (const EntityCollection* c : {&data.e1, &data.e2}) {
+    std::set<std::string> ids;
+    for (const EntityProfile& p : c->profiles()) {
+      EXPECT_TRUE(ids.insert(p.external_id()).second);
+      EXPECT_FALSE(p.DistinctValueTokens().empty());
+    }
+  }
+}
+
+TEST(CleanCleanGenerator, DeterministicForSeed) {
+  CleanCleanSpec spec;
+  spec.name = "t";
+  spec.e1_size = 80;
+  spec.e2_size = 80;
+  spec.num_duplicates = 40;
+  spec.seed = 77;
+  GeneratedCleanClean a = CleanCleanGenerator().Generate(spec);
+  GeneratedCleanClean b = CleanCleanGenerator().Generate(spec);
+  ASSERT_EQ(a.e1.size(), b.e1.size());
+  for (EntityId i = 0; i < a.e1.size(); ++i) {
+    EXPECT_EQ(a.e1[i], b.e1[i]);
+  }
+}
+
+TEST(CleanCleanGenerator, DifferentSeedsDiffer) {
+  CleanCleanSpec spec;
+  spec.name = "t";
+  spec.e1_size = 80;
+  spec.e2_size = 80;
+  spec.num_duplicates = 40;
+  spec.seed = 1;
+  GeneratedCleanClean a = CleanCleanGenerator().Generate(spec);
+  spec.seed = 2;
+  GeneratedCleanClean b = CleanCleanGenerator().Generate(spec);
+  bool any_difference = false;
+  for (EntityId i = 0; i < a.e1.size() && !any_difference; ++i) {
+    any_difference = !(a.e1[i] == b.e1[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CleanCleanGenerator, RejectsImpossibleSpecs) {
+  CleanCleanSpec spec;
+  spec.e1_size = 10;
+  spec.e2_size = 10;
+  spec.num_duplicates = 11;
+  EXPECT_THROW(CleanCleanGenerator().Generate(spec), std::invalid_argument);
+}
+
+TEST(DirtyGenerator, SizeAndClusterGroundTruth) {
+  DirtySpec spec;
+  spec.name = "d";
+  spec.num_entities = 500;
+  GeneratedDirty data = DirtyGenerator().Generate(spec);
+  EXPECT_EQ(data.entities.size(), 500u);
+  EXPECT_TRUE(data.ground_truth.dirty());
+  // Cluster mixture means duplicate pairs are a sizeable multiple of n.
+  EXPECT_GT(data.ground_truth.size(), 100u);
+  // All pairs reference valid ids.
+  for (const MatchPair& m : data.ground_truth.pairs()) {
+    EXPECT_LT(m.left, 500u);
+    EXPECT_LT(m.right, 500u);
+    EXPECT_LT(m.left, m.right);
+  }
+}
+
+TEST(DirtyGenerator, Deterministic) {
+  DirtySpec spec;
+  spec.name = "d";
+  spec.num_entities = 200;
+  spec.seed = 5;
+  GeneratedDirty a = DirtyGenerator().Generate(spec);
+  GeneratedDirty b = DirtyGenerator().Generate(spec);
+  EXPECT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (EntityId i = 0; i < a.entities.size(); ++i) {
+    EXPECT_EQ(a.entities[i], b.entities[i]);
+  }
+}
+
+TEST(Specs, PaperListHasNineDatasets) {
+  auto specs = PaperCleanCleanSpecs();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].name, "AbtBuy");
+  EXPECT_EQ(specs[8].name, "WalmartAmazon");
+}
+
+TEST(Specs, ScalingAppliesMinimums) {
+  CleanCleanSpec spec = CleanCleanSpecByName("AbtBuy", 0.001);
+  EXPECT_GE(spec.e1_size, 60u);
+  EXPECT_GE(spec.num_duplicates, 40u);
+  EXPECT_LE(spec.num_duplicates, spec.e1_size);
+}
+
+TEST(Specs, ByNameThrowsOnUnknown) {
+  EXPECT_THROW(CleanCleanSpecByName("NoSuchDataset"), std::invalid_argument);
+}
+
+TEST(Specs, DirtyListScales) {
+  auto specs = PaperDirtySpecs(0.1);
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "D10K");
+  EXPECT_EQ(specs[0].num_entities, 1000u);
+  EXPECT_EQ(specs[4].num_entities, 30000u);
+}
+
+TEST(Specs, ScaleFromEnvParsesAndFallsBack) {
+  ::setenv("GSMB_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.125), 0.5);
+  ::setenv("GSMB_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.125), 0.125);
+  ::unsetenv("GSMB_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(0.125), 0.125);
+}
+
+TEST(Specs, SeedsFromEnv) {
+  ::setenv("GSMB_SEEDS", "7", 1);
+  EXPECT_EQ(SeedsFromEnv(3), 7u);
+  ::unsetenv("GSMB_SEEDS");
+  EXPECT_EQ(SeedsFromEnv(3), 3u);
+}
+
+TEST(DatasetIo, CollectionRoundTrip) {
+  CleanCleanSpec spec;
+  spec.name = "io";
+  spec.e1_size = 60;
+  spec.e2_size = 60;
+  spec.num_duplicates = 40;
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+
+  std::string dir = ::testing::TempDir();
+  SaveCollectionCsv(data.e1, dir + "/e1.csv");
+  EntityCollection loaded = LoadCollectionCsv(dir + "/e1.csv", "loaded");
+  ASSERT_EQ(loaded.size(), data.e1.size());
+  for (EntityId i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].external_id(), data.e1[i].external_id());
+    EXPECT_EQ(loaded[i].attributes(), data.e1[i].attributes());
+  }
+}
+
+TEST(DatasetIo, GroundTruthRoundTrip) {
+  CleanCleanSpec spec;
+  spec.name = "io";
+  spec.e1_size = 60;
+  spec.e2_size = 60;
+  spec.num_duplicates = 40;
+  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+
+  std::string dir = ::testing::TempDir();
+  SaveGroundTruthCsv(data.ground_truth, data.e1, data.e2, dir + "/gt.csv");
+  GroundTruth loaded =
+      LoadGroundTruthCsv(dir + "/gt.csv", data.e1, data.e2, false);
+  EXPECT_EQ(loaded.size(), data.ground_truth.size());
+  for (const MatchPair& m : data.ground_truth.pairs()) {
+    EXPECT_TRUE(loaded.IsMatch(m.left, m.right));
+  }
+}
+
+TEST(DatasetIo, UnknownIdInGroundTruthThrows) {
+  EntityCollection c1;
+  c1.Add(EntityProfile("a"));
+  EntityCollection c2;
+  c2.Add(EntityProfile("b"));
+  std::string path = ::testing::TempDir() + "/bad_gt.csv";
+  WriteCsvFile(path, {{"left_id", "right_id"}, {"a", "nope"}});
+  EXPECT_THROW(LoadGroundTruthCsv(path, c1, c2, false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,128 @@
+#include "blocking/entity_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+// Hand-computed aggregates for the paper's Figure 1 example (see
+// test_support.h). Block comparisons: 1,1,6,3,10,1,1,1 -> ||B|| = 24;
+// sizes 2,2,4,3,5,2,2,2 -> sum 22.
+class PaperIndexTest : public ::testing::Test {
+ protected:
+  PaperIndexTest() : bc_(testing::PaperExampleBlocks()), index_(bc_) {}
+  BlockCollection bc_;
+  EntityIndex index_;
+};
+
+TEST_F(PaperIndexTest, GlobalCounts) {
+  EXPECT_FALSE(index_.clean_clean());
+  EXPECT_EQ(index_.num_entities(), 7u);
+  EXPECT_EQ(index_.num_blocks(), 8u);
+  EXPECT_DOUBLE_EQ(index_.TotalComparisons(), 24.0);
+  EXPECT_EQ(index_.TotalEntityOccurrences(), 22u);
+}
+
+TEST_F(PaperIndexTest, BlocksOfEntitiesAreSorted) {
+  for (size_t e = 0; e < index_.num_entities(); ++e) {
+    auto blocks = index_.BlocksOf(e);
+    for (size_t i = 1; i < blocks.size(); ++i) {
+      EXPECT_LT(blocks[i - 1], blocks[i]);
+    }
+  }
+}
+
+TEST_F(PaperIndexTest, EntityBlockLists) {
+  // e0 (paper e1): apple, iphone, smartphone -> blocks 0, 1, 4.
+  auto b0 = index_.BlocksOf(0);
+  ASSERT_EQ(b0.size(), 3u);
+  EXPECT_EQ(b0[0], 0u);
+  EXPECT_EQ(b0[1], 1u);
+  EXPECT_EQ(b0[2], 4u);
+  // e6 (paper e7): samsung, 20, mate, phone, fold -> blocks 2,3,5,6,7.
+  EXPECT_EQ(index_.NumBlocksOf(6), 5u);
+  // e4 (paper e5): 20, smartphone.
+  EXPECT_EQ(index_.NumBlocksOf(4), 2u);
+}
+
+TEST_F(PaperIndexTest, BlockSizeAndComparisons) {
+  EXPECT_EQ(index_.BlockSize(2), 4u);     // samsung
+  EXPECT_DOUBLE_EQ(index_.BlockComparisons(2), 6.0);
+  EXPECT_EQ(index_.BlockSize(4), 5u);     // smartphone
+  EXPECT_DOUBLE_EQ(index_.BlockComparisons(4), 10.0);
+  EXPECT_EQ(index_.BlockSize(0), 2u);
+  EXPECT_DOUBLE_EQ(index_.BlockComparisons(0), 1.0);
+}
+
+TEST_F(PaperIndexTest, EntityAggregates) {
+  // e0: blocks {1, 1, 10}.
+  EXPECT_DOUBLE_EQ(index_.EntityComparisons(0), 12.0);
+  EXPECT_NEAR(index_.SumInvBlockComparisons(0), 2.1, 1e-12);
+  EXPECT_NEAR(index_.SumInvBlockSizes(0), 1.2, 1e-12);
+  // e5: blocks {6, 1, 1, 1}.
+  EXPECT_DOUBLE_EQ(index_.EntityComparisons(5), 9.0);
+  EXPECT_NEAR(index_.SumInvBlockComparisons(5), 1.0 / 6 + 3.0, 1e-12);
+  EXPECT_NEAR(index_.SumInvBlockSizes(5), 0.25 + 1.5, 1e-12);
+  // e6: blocks {6, 3, 1, 1, 1}.
+  EXPECT_DOUBLE_EQ(index_.EntityComparisons(6), 12.0);
+  EXPECT_NEAR(index_.SumInvBlockComparisons(6), 1.0 / 6 + 1.0 / 3 + 3.0,
+              1e-12);
+  EXPECT_NEAR(index_.SumInvBlockSizes(6), 0.25 + 1.0 / 3 + 1.5, 1e-12);
+}
+
+TEST_F(PaperIndexTest, CommonBlocks) {
+  EXPECT_EQ(index_.CommonBlocks(0, 2), 3u);  // apple, iphone, smartphone
+  EXPECT_EQ(index_.CommonBlocks(1, 3), 2u);  // samsung, smartphone
+  EXPECT_EQ(index_.CommonBlocks(5, 6), 4u);  // samsung, mate, phone, fold
+  EXPECT_EQ(index_.CommonBlocks(0, 1), 1u);  // smartphone
+  EXPECT_EQ(index_.CommonBlocks(0, 5), 0u);  // nothing shared
+}
+
+TEST_F(PaperIndexTest, BlockMembersAsGlobals) {
+  auto members = index_.BlockLeftGlobals(2);  // samsung
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0], 1u);
+  EXPECT_EQ(members[3], 6u);
+  EXPECT_TRUE(index_.BlockRightGlobals(2).empty());
+}
+
+TEST(EntityIndexCleanClean, GlobalIdMapping) {
+  testing::TinyCleanClean t = testing::MakeTinyCleanClean();
+  BlockCollection bc(/*clean_clean=*/true, t.e1.size(), t.e2.size());
+  Block b;
+  b.key = "alpha";
+  b.left = {0, 2};
+  b.right = {0};
+  bc.Add(b);
+  EntityIndex index(bc);
+  EXPECT_TRUE(index.clean_clean());
+  EXPECT_EQ(index.num_left(), 3u);
+  EXPECT_EQ(index.num_entities(), 6u);
+  EXPECT_EQ(index.GlobalId(false, 2), 2u);
+  EXPECT_EQ(index.GlobalId(true, 0), 3u);
+  // Right member stored as global id |E1| + 0 = 3.
+  auto right = index.BlockRightGlobals(0);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(right[0], 3u);
+  // The E2 entity's block list lives at its global id.
+  EXPECT_EQ(index.NumBlocksOf(3), 1u);
+  EXPECT_EQ(index.NumBlocksOf(4), 0u);
+}
+
+TEST(EntityIndexCleanClean, PerSideComparisons) {
+  BlockCollection bc(/*clean_clean=*/true, 3, 3);
+  Block b;
+  b.key = "k";
+  b.left = {0, 1};
+  b.right = {0, 1, 2};
+  bc.Add(b);
+  EntityIndex index(bc);
+  EXPECT_EQ(index.BlockSize(0), 5u);
+  EXPECT_DOUBLE_EQ(index.BlockComparisons(0), 6.0);  // 2 * 3
+  EXPECT_DOUBLE_EQ(index.TotalComparisons(), 6.0);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "er/entity_collection.h"
+#include "er/entity_profile.h"
+#include "er/ground_truth.h"
+
+namespace gsmb {
+namespace {
+
+TEST(EntityProfile, AttributesRoundTrip) {
+  EntityProfile p("e1");
+  p.AddAttribute("name", "Apple iPhone X");
+  p.AddAttribute("category", "Smartphone");
+  EXPECT_EQ(p.external_id(), "e1");
+  ASSERT_EQ(p.attributes().size(), 2u);
+  EXPECT_EQ(p.GetAttribute("name"), "Apple iPhone X");
+  EXPECT_EQ(p.GetAttribute("category"), "Smartphone");
+  EXPECT_TRUE(p.HasAttribute("name"));
+  EXPECT_FALSE(p.HasAttribute("price"));
+}
+
+TEST(EntityProfile, MissingAttributeReturnsEmpty) {
+  EntityProfile p;
+  EXPECT_EQ(p.GetAttribute("whatever"), "");
+}
+
+TEST(EntityProfile, FirstAttributeWins) {
+  EntityProfile p;
+  p.AddAttribute("k", "first");
+  p.AddAttribute("k", "second");
+  EXPECT_EQ(p.GetAttribute("k"), "first");
+}
+
+TEST(EntityProfile, DistinctValueTokensDedupesAndLowercases) {
+  EntityProfile p;
+  p.AddAttribute("name", "Apple iPhone");
+  p.AddAttribute("brand", "APPLE");
+  auto tokens = p.DistinctValueTokens();
+  EXPECT_EQ(tokens, (std::vector<std::string>{"apple", "iphone"}));
+}
+
+TEST(EntityProfile, TokensExcludeAttributeNames) {
+  EntityProfile p;
+  p.AddAttribute("uniquename", "value");
+  auto tokens = p.DistinctValueTokens();
+  EXPECT_EQ(tokens, (std::vector<std::string>{"value"}));
+}
+
+TEST(EntityProfile, ValueLength) {
+  EntityProfile p;
+  p.AddAttribute("a", "abc");
+  p.AddAttribute("b", "de");
+  EXPECT_EQ(p.ValueLength(), 5u);
+}
+
+TEST(EntityCollection, AddAndIndex) {
+  EntityCollection c("test");
+  EntityId id0 = c.Add(EntityProfile("x"));
+  EntityId id1 = c.Add(EntityProfile("y"));
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].external_id(), "x");
+  EXPECT_EQ(c.name(), "test");
+}
+
+TEST(EntityCollection, FindByExternalId) {
+  EntityCollection c;
+  c.Add(EntityProfile("a"));
+  c.Add(EntityProfile("b"));
+  ASSERT_NE(c.FindByExternalId("b"), nullptr);
+  EXPECT_EQ(c.FindByExternalId("b")->external_id(), "b");
+  EXPECT_EQ(c.FindByExternalId("zzz"), nullptr);
+}
+
+TEST(EntityCollection, MeanTokensPerProfile) {
+  EntityCollection c;
+  EntityProfile p1;
+  p1.AddAttribute("t", "a b c");
+  EntityProfile p2;
+  p2.AddAttribute("t", "a");
+  c.Add(std::move(p1));
+  c.Add(std::move(p2));
+  EXPECT_DOUBLE_EQ(c.MeanTokensPerProfile(), 2.0);
+}
+
+TEST(GroundTruth, CleanCleanPairsAreOrdered) {
+  GroundTruth gt(/*dirty=*/false);
+  gt.AddMatch(3, 1);
+  EXPECT_TRUE(gt.IsMatch(3, 1));
+  // Clean-Clean: (left, right) refer to different collections; the
+  // reversed lookup is a different (non-existent) pair.
+  EXPECT_FALSE(gt.IsMatch(1, 3));
+}
+
+TEST(GroundTruth, DirtyPairsAreUnordered) {
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(5, 2);
+  EXPECT_TRUE(gt.IsMatch(2, 5));
+  EXPECT_TRUE(gt.IsMatch(5, 2));
+  EXPECT_EQ(gt.size(), 1u);
+}
+
+TEST(GroundTruth, DuplicateInsertionsIgnored) {
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(1, 2);
+  gt.AddMatch(2, 1);
+  gt.AddMatch(1, 2);
+  EXPECT_EQ(gt.size(), 1u);
+}
+
+TEST(GroundTruth, DirtySelfPairRejected) {
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(4, 4);
+  EXPECT_EQ(gt.size(), 0u);
+}
+
+TEST(GroundTruth, CleanCleanSamePositionAllowed) {
+  // In Clean-Clean ER, (i, i) is a legitimate cross-source pair.
+  GroundTruth gt(/*dirty=*/false);
+  gt.AddMatch(4, 4);
+  EXPECT_EQ(gt.size(), 1u);
+  EXPECT_TRUE(gt.IsMatch(4, 4));
+}
+
+TEST(GroundTruth, PairsVectorMatchesInsertions) {
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(9, 4);
+  gt.AddMatch(0, 1);
+  ASSERT_EQ(gt.pairs().size(), 2u);
+  EXPECT_EQ(gt.pairs()[0], (MatchPair{4, 9}));  // normalised to left < right
+  EXPECT_EQ(gt.pairs()[1], (MatchPair{0, 1}));
+}
+
+}  // namespace
+}  // namespace gsmb

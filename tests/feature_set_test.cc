@@ -1,0 +1,100 @@
+#include "core/feature_set.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+TEST(FeatureSet, NamedSets) {
+  EXPECT_EQ(FeatureSet::Paper2014().ToString(), "{CF-IBF, RACCB, JS, LCP}");
+  EXPECT_EQ(FeatureSet::BlastOptimal().ToString(), "{CF-IBF, RACCB, RS, NRS}");
+  EXPECT_EQ(FeatureSet::RcnpOptimal().ToString(),
+            "{CF-IBF, RACCB, JS, LCP, WJS}");
+  EXPECT_EQ(FeatureSet::All().CountFeatures(), 8u);
+}
+
+TEST(FeatureSet, DimensionsCountLcpTwice) {
+  EXPECT_EQ(FeatureSet::Paper2014().Dimensions(), 5u);   // 4 schemes, LCP x2
+  EXPECT_EQ(FeatureSet::BlastOptimal().Dimensions(), 4u);
+  EXPECT_EQ(FeatureSet::RcnpOptimal().Dimensions(), 6u);
+  EXPECT_EQ(FeatureSet::All().Dimensions(), 9u);
+}
+
+TEST(FeatureSet, AddRemoveContains) {
+  FeatureSet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(Feature::kJs);
+  EXPECT_TRUE(s.Contains(Feature::kJs));
+  EXPECT_FALSE(s.Contains(Feature::kRs));
+  s.Remove(Feature::kJs);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FeatureSet, EnumerateAllHas255UniqueSets) {
+  const auto& all = FeatureSet::EnumerateAll();
+  EXPECT_EQ(all.size(), 255u);
+  std::set<uint8_t> masks;
+  for (const FeatureSet& s : all) {
+    EXPECT_FALSE(s.empty());
+    masks.insert(s.mask());
+  }
+  EXPECT_EQ(masks.size(), 255u);
+}
+
+TEST(FeatureSet, EnumerationOrderedBySizeThenMask) {
+  const auto& all = FeatureSet::EnumerateAll();
+  for (size_t i = 1; i < all.size(); ++i) {
+    const size_t prev = all[i - 1].CountFeatures();
+    const size_t cur = all[i].CountFeatures();
+    EXPECT_LE(prev, cur);
+    if (prev == cur) EXPECT_LT(all[i - 1].mask(), all[i].mask());
+  }
+  // Singletons first, full set last.
+  EXPECT_EQ(all.front().CountFeatures(), 1u);
+  EXPECT_EQ(all.back().CountFeatures(), 8u);
+}
+
+TEST(FeatureSet, IdRoundTrip) {
+  const auto& all = FeatureSet::EnumerateAll();
+  EXPECT_EQ(all[0].Id(), 1);
+  EXPECT_EQ(all[254].Id(), 255);
+  EXPECT_EQ(all[76].Id(), 77);
+  EXPECT_EQ(FeatureSet().Id(), 0);  // empty set has no id
+}
+
+TEST(FeatureSet, FullMatrixColumns) {
+  EXPECT_EQ(FeatureSet({Feature::kCfIbf}).FullMatrixColumns(),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(FeatureSet({Feature::kLcp}).FullMatrixColumns(),
+            (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(FeatureSet::Paper2014().FullMatrixColumns(),
+            (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(FeatureSet::All().FullMatrixColumns(),
+            (std::vector<size_t>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(FeatureSet, MembersInCanonicalOrder) {
+  FeatureSet s({Feature::kNrs, Feature::kCfIbf, Feature::kLcp});
+  auto members = s.Members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], Feature::kCfIbf);
+  EXPECT_EQ(members[1], Feature::kLcp);
+  EXPECT_EQ(members[2], Feature::kNrs);
+}
+
+TEST(FeatureSet, MaskRoundTrip) {
+  FeatureSet s = FeatureSet::RcnpOptimal();
+  EXPECT_EQ(FeatureSet::FromMask(s.mask()), s);
+}
+
+TEST(FeatureSet, FeatureNames) {
+  EXPECT_STREQ(FeatureName(Feature::kCfIbf), "CF-IBF");
+  EXPECT_STREQ(FeatureName(Feature::kEjs), "EJS");
+  EXPECT_STREQ(FeatureName(Feature::kWjs), "WJS");
+  EXPECT_STREQ(FeatureName(Feature::kNrs), "NRS");
+}
+
+}  // namespace
+}  // namespace gsmb

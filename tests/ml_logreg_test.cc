@@ -1,0 +1,175 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace gsmb {
+namespace {
+
+// 1-D separable data around a threshold.
+void MakeSeparable(size_t n, Matrix* x, std::vector<int>* y) {
+  *x = Matrix(n, 1);
+  y->resize(n);
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = i % 2 == 0;
+    x->At(i, 0) = positive ? 2.0 + rng.NextDouble() : -2.0 - rng.NextDouble();
+    (*y)[i] = positive ? 1 : 0;
+  }
+}
+
+TEST(LogReg, SigmoidBasics) {
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(2.0) +
+                  LogisticRegression::Sigmoid(-2.0),
+              1.0, 1e-12);
+}
+
+TEST(LogReg, SigmoidNoOverflow) {
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(-1e6), 0.0);
+}
+
+TEST(LogReg, SeparatesLinearlySeparableData) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(40, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double p = model.PredictProbability(x.Row(i));
+    EXPECT_EQ(p >= 0.5 ? 1 : 0, y[i]) << "row " << i;
+  }
+}
+
+TEST(LogReg, ProbabilitiesInUnitInterval) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(40, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y);
+  double extreme1[1] = {1e6};
+  double extreme2[1] = {-1e6};
+  EXPECT_LE(model.PredictProbability(extreme1), 1.0);
+  EXPECT_GE(model.PredictProbability(extreme2), 0.0);
+}
+
+TEST(LogReg, MonotoneInInformativeFeature) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(40, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y);
+  double prev = -1.0;
+  for (double v = -5.0; v <= 5.0; v += 0.5) {
+    double row[1] = {v};
+    double p = model.PredictProbability(row);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LogReg, DeterministicAcrossFits) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(30, &x, &y);
+  LogisticRegression a;
+  LogisticRegression b;
+  a.Fit(x, y);
+  b.Fit(x, y);
+  double probe[1] = {0.7};
+  EXPECT_DOUBLE_EQ(a.PredictProbability(probe), b.PredictProbability(probe));
+}
+
+TEST(LogReg, CoefficientsMatchPredictions) {
+  Matrix x(6, 2);
+  std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  Rng rng(3);
+  for (size_t i = 0; i < 6; ++i) {
+    x.At(i, 0) = (y[i] ? 1.5 : -1.5) + 0.1 * rng.NextDouble();
+    x.At(i, 1) = rng.NextDouble();
+  }
+  LogisticRegression model;
+  model.Fit(x, y);
+  std::vector<double> coef = model.CoefficientsWithIntercept();
+  ASSERT_EQ(coef.size(), 3u);
+  // Reconstruct the probability from raw-space coefficients.
+  double probe[2] = {0.4, 0.3};
+  double z = coef[2] + coef[0] * probe[0] + coef[1] * probe[1];
+  EXPECT_NEAR(LogisticRegression::Sigmoid(z),
+              model.PredictProbability(probe), 1e-9);
+}
+
+TEST(LogReg, SingleClassTrainingDoesNotCrash) {
+  Matrix x(4, 1);
+  for (size_t i = 0; i < 4; ++i) x.At(i, 0) = static_cast<double>(i);
+  std::vector<int> y = {1, 1, 1, 1};
+  LogisticRegression model;
+  model.Fit(x, y);
+  double probe[1] = {2.0};
+  double p = model.PredictProbability(probe);
+  EXPECT_GT(p, 0.5);  // everything looks positive
+}
+
+TEST(LogReg, ThrowsOnEmptyOrMismatched) {
+  LogisticRegression model;
+  Matrix empty;
+  std::vector<int> none;
+  EXPECT_THROW(model.Fit(empty, none), std::invalid_argument);
+  Matrix x(2, 1);
+  std::vector<int> bad = {1};
+  EXPECT_THROW(model.Fit(x, bad), std::invalid_argument);
+}
+
+TEST(LogReg, ConvergesQuickly) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(50, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y);
+  EXPECT_GT(model.last_iterations(), 0u);
+  EXPECT_LE(model.last_iterations(), 100u);
+}
+
+TEST(LogReg, HandlesConstantFeature) {
+  Matrix x(10, 2);
+  std::vector<int> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.At(i, 0) = i < 5 ? -1.0 : 1.0;
+    x.At(i, 1) = 3.0;  // constant column
+    y[i] = i < 5 ? 0 : 1;
+  }
+  LogisticRegression model;
+  EXPECT_NO_THROW(model.Fit(x, y));
+  double probe[2] = {1.0, 3.0};
+  EXPECT_GT(model.PredictProbability(probe), 0.5);
+}
+
+TEST(LogReg, NoisyLabelsStayCalibrated) {
+  // With 20% label noise, probabilities should not saturate at 0/1 for
+  // borderline points.
+  Matrix x(200, 1);
+  std::vector<int> y(200);
+  Rng rng(11);
+  for (size_t i = 0; i < 200; ++i) {
+    double v = rng.NextDouble(-1.0, 1.0);
+    x.At(i, 0) = v;
+    bool label = v > 0.0;
+    if (rng.NextBool(0.2)) label = !label;
+    y[i] = label ? 1 : 0;
+  }
+  LogisticRegression model;
+  model.Fit(x, y);
+  double border[1] = {0.0};
+  double p = model.PredictProbability(border);
+  EXPECT_GT(p, 0.2);
+  EXPECT_LT(p, 0.8);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,87 @@
+#include "ml/sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+std::vector<uint8_t> MakeLabels(size_t n, size_t positives) {
+  std::vector<uint8_t> labels(n, 0);
+  for (size_t i = 0; i < positives; ++i) labels[i * (n / positives)] = 1;
+  return labels;
+}
+
+TEST(Sampler, BalancedSizes) {
+  std::vector<uint8_t> labels = MakeLabels(1000, 100);
+  Rng rng(1);
+  TrainingSet ts = SampleBalanced(labels, 25, &rng);
+  EXPECT_EQ(ts.size(), 50u);
+  size_t positives = 0;
+  for (int l : ts.labels) positives += static_cast<size_t>(l);
+  EXPECT_EQ(positives, 25u);
+}
+
+TEST(Sampler, LabelsMatchSource) {
+  std::vector<uint8_t> labels = MakeLabels(500, 50);
+  Rng rng(2);
+  TrainingSet ts = SampleBalanced(labels, 10, &rng);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(labels[ts.row_indices[i]]), ts.labels[i]);
+  }
+}
+
+TEST(Sampler, IndicesDistinct) {
+  std::vector<uint8_t> labels = MakeLabels(200, 40);
+  Rng rng(3);
+  TrainingSet ts = SampleBalanced(labels, 20, &rng);
+  std::set<size_t> distinct(ts.row_indices.begin(), ts.row_indices.end());
+  EXPECT_EQ(distinct.size(), ts.size());
+}
+
+TEST(Sampler, TakesAllWhenClassTooSmall) {
+  std::vector<uint8_t> labels(100, 0);
+  labels[3] = labels[7] = labels[11] = 1;  // only 3 positives
+  Rng rng(4);
+  TrainingSet ts = SampleBalanced(labels, 25, &rng);
+  size_t positives = 0;
+  for (int l : ts.labels) positives += static_cast<size_t>(l);
+  EXPECT_EQ(positives, 3u);
+  EXPECT_EQ(ts.size(), 3u + 25u);
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  std::vector<uint8_t> labels = MakeLabels(400, 80);
+  Rng a(42);
+  Rng b(42);
+  TrainingSet ta = SampleBalanced(labels, 15, &a);
+  TrainingSet tb = SampleBalanced(labels, 15, &b);
+  EXPECT_EQ(ta.row_indices, tb.row_indices);
+  EXPECT_EQ(ta.labels, tb.labels);
+}
+
+TEST(Sampler, DifferentSeedsDiffer) {
+  std::vector<uint8_t> labels = MakeLabels(400, 80);
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(SampleBalanced(labels, 15, &a).row_indices,
+            SampleBalanced(labels, 15, &b).row_indices);
+}
+
+TEST(Sampler, EmptyInput) {
+  std::vector<uint8_t> labels;
+  Rng rng(5);
+  TrainingSet ts = SampleBalanced(labels, 25, &rng);
+  EXPECT_EQ(ts.size(), 0u);
+}
+
+TEST(Sampler, FivePercentRule) {
+  EXPECT_EQ(FivePercentRuleSize(1000), 50u);
+  EXPECT_EQ(FivePercentRuleSize(2224), 112u);  // DblpAcm: ceil(111.2)
+  EXPECT_EQ(FivePercentRuleSize(10), 1u);
+  EXPECT_EQ(FivePercentRuleSize(0), 1u);  // floor of one
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,63 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+Matrix Make(const std::vector<std::vector<double>>& rows) {
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+TEST(Scaler, ComputesMeanAndStd) {
+  StandardScaler s;
+  s.Fit(Make({{1, 10}, {3, 30}}));
+  ASSERT_TRUE(s.fitted());
+  EXPECT_DOUBLE_EQ(s.mean()[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.mean()[1], 20.0);
+  EXPECT_DOUBLE_EQ(s.std()[0], 1.0);   // population std of {1,3}
+  EXPECT_DOUBLE_EQ(s.std()[1], 10.0);
+}
+
+TEST(Scaler, TransformCentersAndScales) {
+  StandardScaler s;
+  s.Fit(Make({{1, 10}, {3, 30}}));
+  Matrix t = s.Transform(Make({{1, 10}, {3, 30}, {2, 20}}));
+  EXPECT_DOUBLE_EQ(t.At(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 0.0);
+}
+
+TEST(Scaler, ZeroVarianceColumnPassesThroughCentred) {
+  StandardScaler s;
+  s.Fit(Make({{5, 1}, {5, 2}}));
+  EXPECT_DOUBLE_EQ(s.std()[0], 1.0);  // guarded
+  Matrix t = s.Transform(Make({{5, 1}}));
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 0.0);
+}
+
+TEST(Scaler, TransformRowMatchesMatrixTransform) {
+  StandardScaler s;
+  s.Fit(Make({{1, 2, 3}, {4, 8, 6}, {7, 5, 9}}));
+  Matrix m = Make({{2, 3, 4}});
+  Matrix t = s.Transform(m);
+  double row[3] = {2, 3, 4};
+  s.TransformRow(row);
+  for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(row[c], t.At(0, c));
+}
+
+TEST(Scaler, SingleRowFit) {
+  StandardScaler s;
+  s.Fit(Make({{3, 4}}));
+  Matrix t = s.Transform(Make({{3, 4}}));
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,164 @@
+#include "ml/linear_svc.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/platt.h"
+#include "util/random.h"
+
+namespace gsmb {
+namespace {
+
+void MakeSeparable2D(size_t n, Matrix* x, std::vector<int>* y) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  Rng rng(17);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = i % 2 == 0;
+    x->At(i, 0) = (positive ? 1.0 : -1.0) + 0.2 * rng.NextGaussian();
+    x->At(i, 1) = rng.NextGaussian();
+    (*y)[i] = positive ? 1 : 0;
+  }
+}
+
+TEST(LinearSvc, SeparatesData) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable2D(60, &x, &y);
+  LinearSvc model;
+  model.Fit(x, y);
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double p = model.PredictProbability(x.Row(i));
+    if ((p >= 0.5 ? 1 : 0) == y[i]) ++correct;
+  }
+  EXPECT_GE(correct, 58u);
+}
+
+TEST(LinearSvc, ProbabilityMonotoneInDecisionValue) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable2D(60, &x, &y);
+  LinearSvc model;
+  model.Fit(x, y);
+  double prev_p = -1.0;
+  double prev_f = -1e9;
+  for (double v = -3.0; v <= 3.0; v += 0.25) {
+    double row[2] = {v, 0.0};
+    double f = model.DecisionValue(row);
+    double p = model.PredictProbability(row);
+    EXPECT_GT(f, prev_f);
+    EXPECT_GE(p, prev_p);
+    prev_f = f;
+    prev_p = p;
+  }
+}
+
+TEST(LinearSvc, ProbabilitiesBounded) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable2D(40, &x, &y);
+  LinearSvc model;
+  model.Fit(x, y);
+  double hi[2] = {100.0, 0.0};
+  double lo[2] = {-100.0, 0.0};
+  EXPECT_LE(model.PredictProbability(hi), 1.0);
+  EXPECT_GE(model.PredictProbability(hi), 0.5);
+  EXPECT_GE(model.PredictProbability(lo), 0.0);
+  EXPECT_LE(model.PredictProbability(lo), 0.5);
+}
+
+TEST(LinearSvc, Deterministic) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable2D(40, &x, &y);
+  LinearSvc a;
+  LinearSvc b;
+  a.Fit(x, y);
+  b.Fit(x, y);
+  double probe[2] = {0.3, -0.2};
+  EXPECT_DOUBLE_EQ(a.PredictProbability(probe), b.PredictProbability(probe));
+}
+
+TEST(LinearSvc, CoefficientsMatchDecisionValues) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable2D(40, &x, &y);
+  LinearSvc model;
+  model.Fit(x, y);
+  std::vector<double> coef = model.CoefficientsWithIntercept();
+  ASSERT_EQ(coef.size(), 3u);
+  double probe[2] = {0.7, 0.1};
+  double f = coef[2] + coef[0] * probe[0] + coef[1] * probe[1];
+  EXPECT_NEAR(f, model.DecisionValue(probe), 1e-9);
+}
+
+TEST(Platt, FitsSigmoidOnCleanScores) {
+  // Decision values already separate the classes; Platt should map
+  // positives above 0.5 and negatives below.
+  std::vector<double> f;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    f.push_back(1.0 + 0.1 * i);
+    y.push_back(1);
+    f.push_back(-1.0 - 0.1 * i);
+    y.push_back(0);
+  }
+  PlattScaler platt;
+  platt.Fit(f, y);
+  ASSERT_TRUE(platt.fitted());
+  EXPECT_GT(platt.Transform(2.0), 0.5);
+  EXPECT_LT(platt.Transform(-2.0), 0.5);
+  EXPECT_LT(platt.a(), 0.0);  // higher decision value -> higher probability
+}
+
+TEST(Platt, MonotoneTransform) {
+  std::vector<double> f = {-2, -1, -0.5, 0.5, 1, 2};
+  std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  PlattScaler platt;
+  platt.Fit(f, y);
+  double prev = -1.0;
+  for (double v = -3.0; v <= 3.0; v += 0.1) {
+    double p = platt.Transform(v);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Platt, SmoothedTargetsAvoidSaturation) {
+  std::vector<double> f = {-1, 1};
+  std::vector<int> y = {0, 1};
+  PlattScaler platt;
+  platt.Fit(f, y);
+  // With two points the smoothed targets keep probabilities off 0/1.
+  EXPECT_GT(platt.Transform(-1.0), 0.0);
+  EXPECT_LT(platt.Transform(1.0), 1.0);
+}
+
+TEST(Platt, ThrowsOnMismatch) {
+  PlattScaler platt;
+  std::vector<double> f = {1.0};
+  std::vector<int> y = {1, 0};
+  EXPECT_THROW(platt.Fit(f, y), std::invalid_argument);
+  EXPECT_THROW(platt.Fit({}, {}), std::invalid_argument);
+}
+
+TEST(LinearSvc, ImbalancedClassesStillRankCorrectly) {
+  // 5 positives, 45 negatives: ordering must survive the imbalance.
+  Matrix x(50, 1);
+  std::vector<int> y(50);
+  Rng rng(23);
+  for (size_t i = 0; i < 50; ++i) {
+    bool positive = i < 5;
+    x.At(i, 0) = (positive ? 2.0 : -2.0) + 0.3 * rng.NextGaussian();
+    y[i] = positive ? 1 : 0;
+  }
+  LinearSvc model;
+  model.Fit(x, y);
+  double pos_probe[1] = {2.0};
+  double neg_probe[1] = {-2.0};
+  EXPECT_GT(model.PredictProbability(pos_probe),
+            model.PredictProbability(neg_probe));
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,85 @@
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "test_support.h"
+#include "util/thread_pool.h"
+
+namespace gsmb {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  size_t calls = 0;
+  ParallelFor(10, 1, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(100, 4,
+                  [](size_t begin, size_t) {
+                    if (begin == 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
+
+TEST(ParallelFeatures, BitIdenticalToSerial) {
+  const PreparedDataset& prep = testing::MediumDataset();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  Matrix serial = extractor.ComputeAll(1);
+  for (size_t threads : {2, 4, 8}) {
+    Matrix parallel = extractor.ComputeAll(threads);
+    ASSERT_EQ(parallel.rows(), serial.rows());
+    ASSERT_EQ(parallel.cols(), serial.cols());
+    EXPECT_EQ(parallel.data(), serial.data()) << threads << " threads";
+  }
+}
+
+TEST(ParallelFeatures, LcpBitIdenticalToSerial) {
+  const PreparedDataset& prep = testing::SmallDirtyDataset();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  EXPECT_EQ(extractor.ComputeLcpPerEntity(1),
+            extractor.ComputeLcpPerEntity(4));
+}
+
+TEST(ParallelFeatures, SubsetSelectionAlsoIdentical) {
+  const PreparedDataset& prep = testing::MediumDataset();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  FeatureSet set = FeatureSet::RcnpOptimal();
+  EXPECT_EQ(extractor.Compute(set, 1).data(),
+            extractor.Compute(set, 4).data());
+}
+
+}  // namespace
+}  // namespace gsmb

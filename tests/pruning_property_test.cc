@@ -1,0 +1,127 @@
+// Property tests over random pruning graphs: invariants the paper's
+// algorithm taxonomy implies, checked for every algorithm and many seeds.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pruning.h"
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+class PruningSweep : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  testing::PruningFixture fixture_ =
+      testing::RandomPruningGraph(60, 0.25, GetParam());
+};
+
+TEST_P(PruningSweep, RetainedIndicesSortedUniqueAndInRange) {
+  for (PruningKind kind : AllPruningKinds()) {
+    auto retained = MakePruningAlgorithm(kind)->Prune(
+        fixture_.pairs, fixture_.probs, fixture_.context);
+    EXPECT_TRUE(std::is_sorted(retained.begin(), retained.end()))
+        << PruningKindName(kind);
+    std::set<uint32_t> unique(retained.begin(), retained.end());
+    EXPECT_EQ(unique.size(), retained.size()) << PruningKindName(kind);
+    for (uint32_t idx : retained) {
+      EXPECT_LT(idx, fixture_.pairs.size()) << PruningKindName(kind);
+    }
+  }
+}
+
+TEST_P(PruningSweep, AllRetainedAreValid) {
+  for (PruningKind kind : AllPruningKinds()) {
+    auto retained = MakePruningAlgorithm(kind)->Prune(
+        fixture_.pairs, fixture_.probs, fixture_.context);
+    for (uint32_t idx : retained) {
+      EXPECT_GE(fixture_.probs[idx], fixture_.context.validity_threshold)
+          << PruningKindName(kind);
+    }
+  }
+}
+
+TEST_P(PruningSweep, EveryAlgorithmIsSubsetOfBCl) {
+  auto bcl = MakePruningAlgorithm(PruningKind::kBCl)
+                 ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  std::set<uint32_t> bcl_set(bcl.begin(), bcl.end());
+  for (PruningKind kind : AllPruningKinds()) {
+    auto retained = MakePruningAlgorithm(kind)->Prune(
+        fixture_.pairs, fixture_.probs, fixture_.context);
+    for (uint32_t idx : retained) {
+      EXPECT_TRUE(bcl_set.count(idx)) << PruningKindName(kind);
+    }
+  }
+}
+
+TEST_P(PruningSweep, ReciprocalVariantsAreSubsets) {
+  auto wnp = MakePruningAlgorithm(PruningKind::kWnp)
+                 ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  auto rwnp = MakePruningAlgorithm(PruningKind::kRwnp)
+                  ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  auto cnp = MakePruningAlgorithm(PruningKind::kCnp)
+                 ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  auto rcnp = MakePruningAlgorithm(PruningKind::kRcnp)
+                  ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  EXPECT_TRUE(std::includes(wnp.begin(), wnp.end(), rwnp.begin(), rwnp.end()));
+  EXPECT_TRUE(std::includes(cnp.begin(), cnp.end(), rcnp.begin(), rcnp.end()));
+}
+
+TEST_P(PruningSweep, CepRespectsBudget) {
+  auto cep = MakePruningAlgorithm(PruningKind::kCep)
+                 ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  EXPECT_LE(cep.size(),
+            static_cast<size_t>(std::floor(fixture_.context.cep_k)));
+}
+
+TEST_P(PruningSweep, CepKeepsTheHeaviestValidPairs) {
+  auto cep = MakePruningAlgorithm(PruningKind::kCep)
+                 ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  if (cep.empty()) return;
+  double min_kept = 1.0;
+  for (uint32_t idx : cep) min_kept = std::min(min_kept, fixture_.probs[idx]);
+  std::set<uint32_t> kept(cep.begin(), cep.end());
+  // No discarded valid pair may be strictly heavier than the lightest kept.
+  for (size_t i = 0; i < fixture_.pairs.size(); ++i) {
+    if (kept.count(static_cast<uint32_t>(i))) continue;
+    if (fixture_.probs[i] >= fixture_.context.validity_threshold) {
+      EXPECT_LE(fixture_.probs[i], min_kept + 1e-12);
+    }
+  }
+}
+
+TEST_P(PruningSweep, WepKeepsOnlyAboveAverage) {
+  auto wep = MakePruningAlgorithm(PruningKind::kWep)
+                 ->Prune(fixture_.pairs, fixture_.probs, fixture_.context);
+  double sum = 0.0;
+  size_t count = 0;
+  for (double p : fixture_.probs) {
+    if (p >= fixture_.context.validity_threshold) {
+      sum += p;
+      ++count;
+    }
+  }
+  if (count == 0) {
+    EXPECT_TRUE(wep.empty());
+    return;
+  }
+  const double mean = sum / static_cast<double>(count);
+  for (uint32_t idx : wep) EXPECT_GE(fixture_.probs[idx], mean - 1e-12);
+}
+
+TEST_P(PruningSweep, UnsupervisedThresholdDisablesValidity) {
+  PruningContext ctx = fixture_.context;
+  ctx.validity_threshold = 0.0;
+  auto bcl = MakePruningAlgorithm(PruningKind::kBCl)
+                 ->Prune(fixture_.pairs, fixture_.probs, ctx);
+  EXPECT_EQ(bcl.size(), fixture_.pairs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningSweep,
+                         ::testing::Values(3, 9, 27, 81, 243, 729));
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,101 @@
+#include "test_support.h"
+
+#include "datasets/clean_clean_generator.h"
+#include "datasets/dirty_generator.h"
+#include "datasets/specs.h"
+#include "util/random.h"
+
+namespace gsmb::testing {
+
+BlockCollection PaperExampleBlocks() {
+  // Dirty ER over 7 entities (paper ids e1..e7 -> 0..6).
+  BlockCollection bc(/*clean_clean=*/false, /*num_left=*/7, /*num_right=*/0);
+  auto add = [&](const char* key, std::vector<EntityId> members) {
+    Block b;
+    b.key = key;
+    b.left = std::move(members);
+    bc.Add(std::move(b));
+  };
+  add("apple", {0, 2});
+  add("iphone", {0, 2});
+  add("samsung", {1, 3, 5, 6});
+  add("20", {3, 4, 6});
+  add("smartphone", {0, 1, 2, 3, 4});
+  add("mate", {5, 6});
+  add("phone", {5, 6});
+  add("fold", {5, 6});
+  return bc;
+}
+
+GroundTruth PaperExampleGroundTruth() {
+  GroundTruth gt(/*dirty=*/true);
+  gt.AddMatch(0, 2);
+  gt.AddMatch(1, 3);
+  gt.AddMatch(5, 6);
+  return gt;
+}
+
+TinyCleanClean MakeTinyCleanClean() {
+  TinyCleanClean t;
+  auto add = [](EntityCollection& c, const char* id, const char* value) {
+    EntityProfile p(id);
+    p.AddAttribute("text", value);
+    return c.Add(std::move(p));
+  };
+  EntityId a0 = add(t.e1, "a0", "alpha beta");
+  EntityId a1 = add(t.e1, "a1", "gamma delta");
+  add(t.e1, "a2", "alpha unique1");
+  EntityId b0 = add(t.e2, "b0", "alpha beta");
+  EntityId b1 = add(t.e2, "b1", "gamma epsilon");
+  add(t.e2, "b2", "zeta eta");
+  t.gt.AddMatch(a0, b0);
+  t.gt.AddMatch(a1, b1);
+  return t;
+}
+
+const PreparedDataset& MediumDataset() {
+  static const PreparedDataset* dataset = [] {
+    CleanCleanSpec spec = CleanCleanSpecByName("DblpAcm", /*scale=*/0.25);
+    GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+    auto* prep = new PreparedDataset(PrepareCleanClean(
+        spec.name, data.e1, data.e2, std::move(data.ground_truth)));
+    return prep;
+  }();
+  return *dataset;
+}
+
+const PreparedDataset& SmallDirtyDataset() {
+  static const PreparedDataset* dataset = [] {
+    DirtySpec spec;
+    spec.name = "DirtyTest";
+    spec.num_entities = 1200;
+    spec.seed = 99;
+    GeneratedDirty data = DirtyGenerator().Generate(spec);
+    auto* prep = new PreparedDataset(PrepareDirty(
+        spec.name, data.entities, std::move(data.ground_truth)));
+    return prep;
+  }();
+  return *dataset;
+}
+
+PruningFixture RandomPruningGraph(size_t num_nodes, double density,
+                                  uint64_t seed) {
+  PruningFixture f;
+  Rng rng(seed);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    for (size_t j = i + 1; j < num_nodes; ++j) {
+      if (!rng.NextBool(density)) continue;
+      f.pairs.push_back(
+          {static_cast<EntityId>(i), static_cast<EntityId>(j)});
+      f.probs.push_back(rng.NextDouble());
+    }
+  }
+  f.context.num_nodes = num_nodes;
+  f.context.right_offset = 0;
+  f.context.validity_threshold = 0.5;
+  f.context.cep_k = static_cast<double>(f.pairs.size()) / 3.0;
+  f.context.cnp_k = 2.0;
+  return f;
+}
+
+}  // namespace gsmb::testing

@@ -1,0 +1,95 @@
+#include "core/unsupervised.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+class UnsupervisedTest : public ::testing::Test {
+ protected:
+  UnsupervisedTest()
+      : bc_(testing::PaperExampleBlocks()),
+        index_(bc_),
+        pairs_(GenerateCandidatePairs(index_)) {
+    context_.num_nodes = index_.num_entities();
+    context_.right_offset = 0;
+    context_.cep_k = 11;  // Σ|b| / 2
+    context_.cnp_k = 22.0 / 7.0;
+  }
+
+  BlockCollection bc_;
+  EntityIndex index_;
+  std::vector<CandidatePair> pairs_;
+  PruningContext context_;
+};
+
+TEST_F(UnsupervisedTest, CbsWeightsAreCommonBlockCounts) {
+  auto weights = ComputeEdgeWeights(index_, pairs_, EdgeWeightScheme::kCbs);
+  ASSERT_EQ(weights.size(), pairs_.size());
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(weights[i],
+                     static_cast<double>(index_.CommonBlocks(
+                         pairs_[i].left, pairs_[i].right)));
+  }
+}
+
+TEST_F(UnsupervisedTest, SchemeWeightsMatchFeatureColumns) {
+  FeatureExtractor extractor(index_, pairs_);
+  Matrix js = extractor.Compute(FeatureSet({Feature::kJs}));
+  auto weights = ComputeEdgeWeights(index_, pairs_, EdgeWeightScheme::kJs);
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(weights[i], js.At(i, 0));
+  }
+}
+
+TEST_F(UnsupervisedTest, WepPrunesSuperfluousEdges) {
+  auto retained = UnsupervisedMetaBlocking(
+      index_, pairs_, EdgeWeightScheme::kCbs, PruningKind::kWep, context_);
+  EXPECT_GT(retained.size(), 0u);
+  EXPECT_LT(retained.size(), pairs_.size());
+  // CBS mean over the 16 edges = 24/... sum of common blocks. The three
+  // duplicate pairs all have CBS >= 2, above the mean of ~1.3, so they
+  // all survive WEP (the paper's Figure 2 narrative).
+  GroundTruth gt = testing::PaperExampleGroundTruth();
+  size_t matches_kept = 0;
+  for (uint32_t idx : retained) {
+    if (gt.IsMatch(pairs_[idx].left, pairs_[idx].right)) ++matches_kept;
+  }
+  EXPECT_EQ(matches_kept, 3u);
+}
+
+TEST_F(UnsupervisedTest, AllSchemesRunWithAllAlgorithms) {
+  for (EdgeWeightScheme scheme :
+       {EdgeWeightScheme::kCbs, EdgeWeightScheme::kCfIbf,
+        EdgeWeightScheme::kJs, EdgeWeightScheme::kRaccb,
+        EdgeWeightScheme::kEjs, EdgeWeightScheme::kWjs, EdgeWeightScheme::kRs,
+        EdgeWeightScheme::kNrs}) {
+    for (PruningKind kind : {PruningKind::kWep, PruningKind::kWnp,
+                             PruningKind::kRwnp, PruningKind::kBlast,
+                             PruningKind::kCep, PruningKind::kCnp,
+                             PruningKind::kRcnp}) {
+      auto retained =
+          UnsupervisedMetaBlocking(index_, pairs_, scheme, kind, context_);
+      EXPECT_LE(retained.size(), pairs_.size())
+          << EdgeWeightSchemeName(scheme) << "/" << PruningKindName(kind);
+    }
+  }
+}
+
+TEST_F(UnsupervisedTest, BClIsRejected) {
+  EXPECT_THROW(
+      UnsupervisedMetaBlocking(index_, pairs_, EdgeWeightScheme::kCbs,
+                               PruningKind::kBCl, context_),
+      std::invalid_argument);
+}
+
+TEST_F(UnsupervisedTest, SchemeNames) {
+  EXPECT_STREQ(EdgeWeightSchemeName(EdgeWeightScheme::kCbs), "CBS");
+  EXPECT_STREQ(EdgeWeightSchemeName(EdgeWeightScheme::kRaccb), "RACCB");
+  EXPECT_STREQ(EdgeWeightSchemeName(EdgeWeightScheme::kNrs), "NRS");
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+TEST(Csv, ParseSimple) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(Csv, ParseWithoutTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2"}));
+}
+
+TEST(Csv, QuotedComma) {
+  auto rows = ParseCsv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(Csv, EscapedQuote) {
+  auto rows = ParseCsv("\"he said \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "he said \"hi\"");
+}
+
+TEST(Csv, NewlineInsideQuotedField) {
+  auto rows = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, CrLfLineEndings) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, EmptyFields) {
+  auto rows = ParseCsv(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"", "", ""}));
+}
+
+TEST(Csv, EscapeField) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(EscapeCsvField("n\nn"), "\"n\nn\"");
+}
+
+TEST(Csv, RoundTrip) {
+  std::vector<CsvRow> rows = {
+      {"id", "name", "note"},
+      {"1", "Apple, Inc.", "said \"hello\""},
+      {"2", "multi\nline", ""},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(Csv, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/gsmb_csv_test.csv";
+  std::vector<CsvRow> rows = {{"a", "b"}, {"1", "2,3"}};
+  WriteCsvFile(path, rows);
+  EXPECT_EQ(ReadCsvFile(path), rows);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(ReadCsvFile("/nonexistent/gsmb/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,97 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(Matrix, EmptyStates) {
+  Matrix def;
+  EXPECT_TRUE(def.empty());
+  Matrix zero_rows(0, 3);
+  EXPECT_TRUE(zero_rows.empty());
+  Matrix filled(1, 1);
+  EXPECT_FALSE(filled.empty());
+}
+
+TEST(Matrix, SelectColumns) {
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = static_cast<double>(10 * r + c);
+  }
+  Matrix s = m.SelectColumns({2, 0});
+  ASSERT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 1), 10.0);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m(3, 2);
+  for (size_t r = 0; r < 3; ++r) {
+    m.At(r, 0) = static_cast<double>(r);
+    m.At(r, 1) = static_cast<double>(r * r);
+  }
+  Matrix s = m.SelectRows({2, 0, 2});
+  ASSERT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s.At(2, 1), 4.0);
+}
+
+TEST(Solve, TwoByTwo) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1
+  std::vector<double> a = {2, 1, 1, -1};
+  std::vector<double> b = {5, 1};
+  ASSERT_TRUE(SolveLinearSystem(&a, &b, 2));
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(Solve, ThreeByThreeNeedsPivoting) {
+  // First pivot is zero; partial pivoting must handle it.
+  std::vector<double> a = {0, 1, 1,
+                           1, 0, 1,
+                           1, 1, 0};
+  std::vector<double> b = {3, 4, 5};
+  ASSERT_TRUE(SolveLinearSystem(&a, &b, 3));
+  // Solution: x = 3, y = 2, z = 1.
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_NEAR(b[2], 1.0, 1e-12);
+}
+
+TEST(Solve, SingularReturnsFalse) {
+  std::vector<double> a = {1, 2, 2, 4};  // rank 1
+  std::vector<double> b = {1, 2};
+  EXPECT_FALSE(SolveLinearSystem(&a, &b, 2));
+}
+
+TEST(Solve, Identity) {
+  std::vector<double> a = {1, 0, 0, 1};
+  std::vector<double> b = {7, -3};
+  ASSERT_TRUE(SolveLinearSystem(&a, &b, 2));
+  EXPECT_DOUBLE_EQ(b[0], 7.0);
+  EXPECT_DOUBLE_EQ(b[1], -3.0);
+}
+
+TEST(Solve, OneByOne) {
+  std::vector<double> a = {4};
+  std::vector<double> b = {8};
+  ASSERT_TRUE(SolveLinearSystem(&a, &b, 1));
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+}
+
+}  // namespace
+}  // namespace gsmb

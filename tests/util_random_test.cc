@@ -1,0 +1,185 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(1000), b.NextUint64(1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64(1'000'000) != b.NextUint64(1'000'000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Rng, NextUint64Bounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextUint64BoundOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextUint64(1), 0u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // Endpoints are reachable.
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.NextDouble(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // overwhelmingly likely
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (size_t x : s) EXPECT_LT(x, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementClampsToN) {
+  Rng rng(31);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(5, 100);
+  EXPECT_EQ(s.size(), 5u);
+  std::set<size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng fork = a.Fork();
+  // The fork should not replay the parent's sequence.
+  Rng b(41);
+  b.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fork.NextUint64(1'000'000) == b.NextUint64(1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Zipf, RanksWithinBounds) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 100u);
+  }
+}
+
+TEST(Zipf, HeadIsMostFrequent) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(47);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+  // Rank 0 of a Zipf(1.0) over 50 ranks has probability 1/H_50 ~ 0.222.
+  EXPECT_NEAR(counts[0] / 20000.0, 0.222, 0.03);
+}
+
+TEST(Zipf, SingleRank) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(53);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+class RngBoundsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundsSweep, UniformCoversRange) {
+  Rng rng(GetParam());
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.NextUint64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundsSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gsmb

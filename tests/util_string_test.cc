@@ -1,0 +1,88 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+TEST(Tokenize, SplitsOnNonAlnum) {
+  EXPECT_EQ(TokenizeAlnum("Apple iPhone X"),
+            (std::vector<std::string>{"apple", "iphone", "x"}));
+  EXPECT_EQ(TokenizeAlnum("a,b;c  d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(Tokenize, LowercasesAscii) {
+  EXPECT_EQ(TokenizeAlnum("SAMSUNG S20"),
+            (std::vector<std::string>{"samsung", "s20"}));
+}
+
+TEST(Tokenize, KeepsDigits) {
+  EXPECT_EQ(TokenizeAlnum("mate-20 5g"),
+            (std::vector<std::string>{"mate", "20", "5g"}));
+}
+
+TEST(Tokenize, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeAlnum("").empty());
+  EXPECT_TRUE(TokenizeAlnum("--- ,, !!").empty());
+}
+
+TEST(Tokenize, SingleToken) {
+  EXPECT_EQ(TokenizeAlnum("smartphone"),
+            (std::vector<std::string>{"smartphone"}));
+}
+
+TEST(Tokenize, LeadingTrailingSeparators) {
+  EXPECT_EQ(TokenizeAlnum("  x  "), (std::vector<std::string>{"x"}));
+}
+
+TEST(QGrams, BasicTrigrams) {
+  EXPECT_EQ(QGrams("apple", 3),
+            (std::vector<std::string>{"app", "ppl", "ple"}));
+}
+
+TEST(QGrams, ShortStringYieldsWhole) {
+  EXPECT_EQ(QGrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_EQ(QGrams("abc", 3), (std::vector<std::string>{"abc"}));
+}
+
+TEST(QGrams, LowercasesInput) {
+  EXPECT_EQ(QGrams("AbCd", 2),
+            (std::vector<std::string>{"ab", "bc", "cd"}));
+}
+
+TEST(QGrams, EmptyAndZeroQ) {
+  EXPECT_TRUE(QGrams("", 3).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+}
+
+TEST(Suffixes, BasicSuffixes) {
+  EXPECT_EQ(Suffixes("apple", 3),
+            (std::vector<std::string>{"apple", "pple", "ple"}));
+}
+
+TEST(Suffixes, ShortStringYieldsWhole) {
+  EXPECT_EQ(Suffixes("ab", 4), (std::vector<std::string>{"ab"}));
+}
+
+TEST(Suffixes, Empty) { EXPECT_TRUE(Suffixes("", 2).empty()); }
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Trim, TrimsBothEnds) {
+  EXPECT_EQ(TrimAscii("  hi  "), "hi");
+  EXPECT_EQ(TrimAscii("hi"), "hi");
+  EXPECT_EQ(TrimAscii("   "), "");
+  EXPECT_EQ(TrimAscii("\t a b \n"), "a b");
+}
+
+TEST(Lower, LowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD 42!"), "mixed 42!");
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace gsmb {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(Table, Markdown) {
+  TablePrinter t({"h1", "h2"});
+  t.AddRow({"a", "b"});
+  std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+}
+
+TEST(Table, FixedFormat) {
+  EXPECT_EQ(TablePrinter::Fixed(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Fixed(2.0, 1), "2.0");
+}
+
+TEST(Table, ScientificFormat) {
+  EXPECT_EQ(TablePrinter::Scientific(0.000122, 2), "1.22e-04");
+}
+
+TEST(Table, CountFormat) {
+  EXPECT_EQ(TablePrinter::Count(0), "0");
+  EXPECT_EQ(TablePrinter::Count(999), "999");
+  EXPECT_EQ(TablePrinter::Count(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace gsmb
