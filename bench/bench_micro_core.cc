@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "blocking/block_filtering.h"
 #include "blocking/block_purging.h"
 #include "blocking/token_blocking.h"
@@ -140,6 +142,87 @@ void BM_ClassifierInference(benchmark::State& state) {
       static_cast<int64_t>(state.iterations() * prep.pairs.size()));
 }
 BENCHMARK(BM_ClassifierInference);
+
+// Threaded variants of the hot paths: compare Arg(1) against Arg(4)/Arg(8)
+// rows to see the parallel speedup. Results are bit-identical to serial by
+// construction, so only the wall clock moves.
+
+void BM_CandidateGenerationParallel(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  const PreparedDataset& prep = Prepared();
+  for (auto _ : state) {
+    auto pairs = GenerateCandidatePairs(*prep.index, threads);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_CandidateGenerationParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FeaturesParallel(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  const PreparedDataset& prep = Prepared();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  for (auto _ : state) {
+    Matrix m = extractor.Compute(FeatureSet::BlastOptimal(), threads);
+    benchmark::DoNotOptimize(m.rows());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_FeaturesParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ClassifierInferenceParallel(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  const PreparedDataset& prep = Prepared();
+  FeatureExtractor extractor(*prep.index, prep.pairs);
+  Matrix features = extractor.Compute(FeatureSet::BlastOptimal());
+  Rng rng(2);
+  std::vector<size_t> rows;
+  std::vector<int> labels;
+  for (size_t i = 0; i < prep.pairs.size() && labels.size() < 50; ++i) {
+    if (prep.is_positive[i] || rng.NextBool(0.001)) {
+      rows.push_back(i);
+      labels.push_back(prep.is_positive[i]);
+    }
+  }
+  LogisticRegression model;
+  model.Fit(features.SelectRows(rows), labels);
+  for (auto _ : state) {
+    std::vector<double> probs = model.PredictBatch(features, threads);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_ClassifierInferenceParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PruningParallel(benchmark::State& state) {
+  const PruningKind kind = static_cast<PruningKind>(state.range(0));
+  const auto threads = static_cast<size_t>(state.range(1));
+  const PreparedDataset& prep = Prepared();
+  std::vector<double> probs(prep.pairs.size());
+  Rng rng(3);
+  for (double& p : probs) p = rng.NextDouble();
+  PruningContext ctx = PruningContext::FromIndex(*prep.index, prep.stats);
+  ctx.num_threads = threads;
+  auto algorithm = MakePruningAlgorithm(kind);
+  for (auto _ : state) {
+    auto retained = algorithm->Prune(prep.pairs, probs, ctx);
+    benchmark::DoNotOptimize(retained.size());
+  }
+  state.SetLabel(std::string(PruningKindName(kind)) + "/t" +
+                 std::to_string(threads));
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * prep.pairs.size()));
+}
+BENCHMARK(BM_PruningParallel)
+    ->Args({static_cast<int>(PruningKind::kWnp), 1})
+    ->Args({static_cast<int>(PruningKind::kWnp), 4})
+    ->Args({static_cast<int>(PruningKind::kBlast), 1})
+    ->Args({static_cast<int>(PruningKind::kBlast), 4})
+    ->Args({static_cast<int>(PruningKind::kRcnp), 1})
+    ->Args({static_cast<int>(PruningKind::kRcnp), 4});
 
 void BM_Pruning(benchmark::State& state) {
   const PruningKind kind = static_cast<PruningKind>(state.range(0));

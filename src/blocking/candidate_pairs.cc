@@ -2,57 +2,91 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace gsmb {
 
-std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index) {
-  std::vector<CandidatePair> pairs;
+namespace {
+
+// Pivots carry much more work each than candidate pairs do, so they chunk
+// at a finer grain than kDefaultChunkGrain.
+constexpr size_t kPivotChunkGrain = 1024;
+
+}  // namespace
+
+std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index,
+                                                  size_t num_threads) {
   const size_t num_entities = index.num_entities();
   const size_t num_left = index.num_left();
+  const bool clean_clean = index.clean_clean();
+  const size_t num_pivots = clean_clean ? num_left : num_entities;
 
-  // Epoch-marked scratch array: last_seen[g] == current epoch means global
-  // entity g was already collected for the current pivot entity.
-  std::vector<uint32_t> last_seen(num_entities, 0);
-  std::vector<uint32_t> neighbours;
-  uint32_t epoch = 0;
-
-  if (index.clean_clean()) {
-    for (size_t e1 = 0; e1 < num_left; ++e1) {
-      ++epoch;
-      neighbours.clear();
-      for (uint32_t bid : index.BlocksOf(e1)) {
-        for (uint32_t g : index.BlockRightGlobals(bid)) {
-          if (last_seen[g] != epoch) {
-            last_seen[g] = epoch;
-            neighbours.push_back(g);
+  // Pivot entities are independent, so the sweep parallelises over
+  // fixed-grain pivot chunks: each worker keeps its own epoch-marked
+  // scratch (last_seen[g] == current epoch means global entity g was
+  // already collected for the current pivot) and fills chunk-owned output
+  // slots, which concatenate in chunk order — the pair list is identical
+  // to the serial sweep for any thread count.
+  const std::vector<ChunkRange> chunks =
+      DeterministicChunks(num_pivots, kPivotChunkGrain);
+  std::vector<std::vector<CandidatePair>> parts(chunks.size());
+  ParallelFor(chunks.size(), num_threads, [&](size_t chunks_begin,
+                                              size_t chunks_end) {
+    std::vector<uint32_t> last_seen(num_entities, 0);
+    std::vector<uint32_t> neighbours;
+    uint32_t epoch = 0;
+    for (size_t c = chunks_begin; c < chunks_end; ++c) {
+      std::vector<CandidatePair>& out = parts[c];
+      for (size_t e = chunks[c].begin; e < chunks[c].end; ++e) {
+        ++epoch;
+        neighbours.clear();
+        if (clean_clean) {
+          for (uint32_t bid : index.BlocksOf(e)) {
+            for (uint32_t g : index.BlockRightGlobals(bid)) {
+              if (last_seen[g] != epoch) {
+                last_seen[g] = epoch;
+                neighbours.push_back(g);
+              }
+            }
+          }
+        } else {
+          for (uint32_t bid : index.BlocksOf(e)) {
+            for (uint32_t g : index.BlockLeftGlobals(bid)) {
+              // Keep only j > i: every unordered pair is emitted exactly
+              // once, grouped under its smaller id.
+              if (g > e && last_seen[g] != epoch) {
+                last_seen[g] = epoch;
+                neighbours.push_back(g);
+              }
+            }
           }
         }
-      }
-      std::sort(neighbours.begin(), neighbours.end());
-      for (uint32_t g : neighbours) {
-        pairs.push_back({static_cast<EntityId>(e1),
-                         static_cast<EntityId>(g - num_left)});
-      }
-    }
-  } else {
-    for (size_t e = 0; e < num_entities; ++e) {
-      ++epoch;
-      neighbours.clear();
-      for (uint32_t bid : index.BlocksOf(e)) {
-        for (uint32_t g : index.BlockLeftGlobals(bid)) {
-          // Keep only j > i: every unordered pair is emitted exactly once,
-          // grouped under its smaller id.
-          if (g > e && last_seen[g] != epoch) {
-            last_seen[g] = epoch;
-            neighbours.push_back(g);
-          }
+        std::sort(neighbours.begin(), neighbours.end());
+        for (uint32_t g : neighbours) {
+          out.push_back({static_cast<EntityId>(e),
+                         static_cast<EntityId>(clean_clean ? g - num_left
+                                                           : g)});
         }
       }
-      std::sort(neighbours.begin(), neighbours.end());
-      for (uint32_t g : neighbours) {
-        pairs.push_back({static_cast<EntityId>(e), static_cast<EntityId>(g)});
-      }
     }
+  });
+
+  // Prefix offsets, then a parallel scatter into the pre-sized result;
+  // each part is released as soon as it is copied, so peak memory stays
+  // near 1x |C| instead of holding both copies through a serial merge.
+  std::vector<size_t> offsets(parts.size() + 1, 0);
+  for (size_t c = 0; c < parts.size(); ++c) {
+    offsets[c + 1] = offsets[c] + parts[c].size();
   }
+  std::vector<CandidatePair> pairs(offsets.back());
+  ParallelFor(parts.size(), num_threads, [&](size_t chunks_begin,
+                                             size_t chunks_end) {
+    for (size_t c = chunks_begin; c < chunks_end; ++c) {
+      std::copy(parts[c].begin(), parts[c].end(),
+                pairs.begin() + offsets[c]);
+      std::vector<CandidatePair>().swap(parts[c]);
+    }
+  });
   return pairs;
 }
 

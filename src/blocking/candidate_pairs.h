@@ -31,8 +31,10 @@ struct CandidatePair {
 /// Order invariant (relied upon by FeatureExtractor): pairs are grouped by
 /// `left` in ascending order and, within a group, sorted by `right`
 /// ascending. Complexity O(Σ ||b|| + |C| log k) where k is the largest
-/// neighbourhood.
-std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index);
+/// neighbourhood. `num_threads` > 1 parallelises over fixed-grain pivot
+/// chunks; the result is bit-identical to the serial sweep.
+std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index,
+                                                  size_t num_threads = 1);
 
 /// Number of candidate pairs that are matches according to `gt`.
 size_t CountPositivePairs(const std::vector<CandidatePair>& pairs,

@@ -16,14 +16,15 @@ namespace {
 
 PreparedDataset FinishPreparation(const std::string& name,
                                   BlockCollection blocks,
-                                  GroundTruth ground_truth) {
+                                  GroundTruth ground_truth,
+                                  size_t num_threads) {
   PreparedDataset prep;
   prep.name = name;
   prep.clean_clean = blocks.clean_clean();
   prep.ground_truth = std::move(ground_truth);
   prep.blocks = std::move(blocks);
   prep.index = std::make_unique<EntityIndex>(prep.blocks);
-  prep.pairs = GenerateCandidatePairs(*prep.index);
+  prep.pairs = GenerateCandidatePairs(*prep.index, num_threads);
   prep.stats = ComputeBlockStats(prep.blocks);
   prep.blocking_quality =
       EvaluateBlockingQuality(prep.pairs, prep.ground_truth);
@@ -57,7 +58,7 @@ PreparedDataset PrepareCleanClean(const std::string& name,
   }
   BlockCollection raw = TokenBlocking().Build(e1, e2);
   return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
-                           std::move(ground_truth));
+                           std::move(ground_truth), options.num_threads);
 }
 
 PreparedDataset PrepareDirty(const std::string& name,
@@ -70,13 +71,15 @@ PreparedDataset PrepareDirty(const std::string& name,
   }
   BlockCollection raw = TokenBlocking().Build(e);
   return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
-                           std::move(ground_truth));
+                           std::move(ground_truth), options.num_threads);
 }
 
 PreparedDataset PrepareFromBlocks(const std::string& name,
                                   BlockCollection blocks,
-                                  GroundTruth ground_truth) {
-  return FinishPreparation(name, std::move(blocks), std::move(ground_truth));
+                                  GroundTruth ground_truth,
+                                  size_t num_threads) {
+  return FinishPreparation(name, std::move(blocks), std::move(ground_truth),
+                           num_threads);
 }
 
 EffectivenessMetrics EvaluateRetained(
@@ -105,7 +108,7 @@ MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
                                    const MetaBlockingConfig& config) {
   Stopwatch watch;
   FeatureExtractor extractor(*dataset.index, dataset.pairs);
-  Matrix features = extractor.Compute(config.features);
+  Matrix features = extractor.Compute(config.features, config.num_threads);
   double feature_seconds = watch.ElapsedSeconds();
   return RunMetaBlockingWithFeatures(dataset, config, features,
                                      feature_seconds);
@@ -146,7 +149,8 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
 
   // ---- Weighting: classification probability per candidate pair. ----
   watch.Restart();
-  std::vector<double> probabilities = model->PredictBatch(features);
+  std::vector<double> probabilities =
+      model->PredictBatch(features, config.num_threads);
   result.classify_seconds = watch.ElapsedSeconds();
 
   // ---- Pruning. ----
@@ -154,6 +158,7 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
   PruningContext context =
       PruningContext::FromIndex(*dataset.index, dataset.stats);
   context.blast_ratio = config.blast_ratio;
+  context.num_threads = config.num_threads;
   std::vector<uint32_t> retained =
       MakePruningAlgorithm(config.pruning)
           ->Prune(dataset.pairs, probabilities, context);

@@ -38,6 +38,10 @@ struct BlockingOptions {
   double purge_size_fraction = 0.5;
   /// Block Filtering: fraction of its smallest blocks each entity keeps.
   double filter_ratio = 0.8;
+  /// Worker threads for candidate-pair generation (single-node analogue of
+  /// the paper's 72-core Spark deployment). Results are bit-identical to
+  /// the serial path for any value.
+  size_t num_threads = 1;
 };
 
 /// A dataset after blocking: everything the experiments reuse across
@@ -74,7 +78,8 @@ PreparedDataset PrepareDirty(const std::string& name,
 /// or intentionally skipped by the caller).
 PreparedDataset PrepareFromBlocks(const std::string& name,
                                   BlockCollection blocks,
-                                  GroundTruth ground_truth);
+                                  GroundTruth ground_truth,
+                                  size_t num_threads = 1);
 
 /// One experiment configuration.
 struct MetaBlockingConfig {
@@ -90,6 +95,10 @@ struct MetaBlockingConfig {
   bool keep_probabilities = false;
   /// Keep retained pair indices in the result.
   bool keep_retained = false;
+  /// Worker threads for feature extraction, batch classification and
+  /// pruning. Every parallel path is bit-identical to the serial one, so
+  /// this only changes wall-clock time, never results.
+  size_t num_threads = 1;
 };
 
 struct EffectivenessMetrics {

@@ -1,0 +1,56 @@
+// Internal machinery shared by the weight- and cardinality-based pruning
+// implementations. Not part of the public surface.
+//
+// All pruning passes parallelise over the fixed-grain chunk table of
+// util/thread_pool.h (DeterministicChunks): chunk boundaries depend only on
+// the input size, workers fill chunk-owned slots, and slots merge in chunk
+// order — so the retained set is bit-identical for any thread count.
+
+#ifndef GSMB_CORE_PRUNING_DETAIL_H_
+#define GSMB_CORE_PRUNING_DETAIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace gsmb::detail {
+
+/// Chunk-parallel filter: returns the ascending indices i in [0, n) for
+/// which keep(i) is true. Per-chunk outputs concatenate in chunk order, so
+/// the result equals the serial filter exactly.
+template <typename Keep>
+std::vector<uint32_t> ChunkedRetain(size_t n, size_t num_threads,
+                                    const Keep& keep) {
+  const std::vector<ChunkRange> chunks = DeterministicChunks(n);
+  std::vector<std::vector<uint32_t>> parts(chunks.size());
+  ParallelFor(chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+                for (size_t c = chunks_begin; c < chunks_end; ++c) {
+                  std::vector<uint32_t>& out = parts[c];
+                  for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+                    if (keep(i)) out.push_back(static_cast<uint32_t>(i));
+                  }
+                }
+              });
+  // Prefix offsets + parallel scatter; parts release as they are copied.
+  std::vector<size_t> offsets(parts.size() + 1, 0);
+  for (size_t c = 0; c < parts.size(); ++c) {
+    offsets[c + 1] = offsets[c] + parts[c].size();
+  }
+  std::vector<uint32_t> retained(offsets.back());
+  ParallelFor(parts.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+                for (size_t c = chunks_begin; c < chunks_end; ++c) {
+                  std::copy(parts[c].begin(), parts[c].end(),
+                            retained.begin() + offsets[c]);
+                  std::vector<uint32_t>().swap(parts[c]);
+                }
+              });
+  return retained;
+}
+
+}  // namespace gsmb::detail
+
+#endif  // GSMB_CORE_PRUNING_DETAIL_H_

@@ -3,6 +3,7 @@
 #include "ml/linear_svc.h"
 #include "ml/naive_bayes.h"
 #include "ml/logistic_regression.h"
+#include "util/thread_pool.h"
 
 namespace gsmb {
 
@@ -19,11 +20,13 @@ const char* ClassifierKindName(ClassifierKind kind) {
 }
 
 std::vector<double> ProbabilisticClassifier::PredictBatch(
-    const Matrix& x) const {
+    const Matrix& x, size_t num_threads) const {
   std::vector<double> probs(x.rows());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    probs[r] = PredictProbability(x.Row(r));
-  }
+  ParallelFor(x.rows(), num_threads, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      probs[r] = PredictProbability(x.Row(r));
+    }
+  });
   return probs;
 }
 

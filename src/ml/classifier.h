@@ -37,8 +37,10 @@ class ProbabilisticClassifier {
   /// P(match) for one *raw* (unscaled) feature row of the fitted width.
   virtual double PredictProbability(const double* row) const = 0;
 
-  /// P(match) for every row of `x`.
-  std::vector<double> PredictBatch(const Matrix& x) const;
+  /// P(match) for every row of `x`. Rows are independent, so
+  /// `num_threads` > 1 parallelises with bit-identical results.
+  std::vector<double> PredictBatch(const Matrix& x,
+                                   size_t num_threads = 1) const;
 
   /// Linear coefficients in the *original* (unscaled) feature space,
   /// followed by the intercept — the representation Table 6 of the paper

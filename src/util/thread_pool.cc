@@ -46,4 +46,14 @@ void ParallelFor(size_t n, size_t num_threads,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::vector<ChunkRange> DeterministicChunks(size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  std::vector<ChunkRange> chunks;
+  chunks.reserve(n / grain + 1);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    chunks.push_back({begin, std::min(n, begin + grain)});
+  }
+  return chunks;
+}
+
 }  // namespace gsmb

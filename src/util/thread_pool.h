@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace gsmb {
 
@@ -23,6 +24,31 @@ size_t HardwareThreads();
 /// exceptions thrown by fn propagate to the caller (first one wins).
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t, size_t)>& fn);
+
+/// One contiguous piece of [0, n).
+struct ChunkRange {
+  size_t begin;
+  size_t end;
+
+  bool operator==(const ChunkRange& other) const = default;
+};
+
+/// Default items-per-chunk for DeterministicChunks: large enough that the
+/// small inputs typical of tests and examples stay in a single chunk (so
+/// chunked arithmetic degenerates to the plain serial order), small enough
+/// to load-balance production-sized inputs across many workers.
+inline constexpr size_t kDefaultChunkGrain = 8192;
+
+/// Splits [0, n) into fixed-size chunks of `grain` items (the last chunk
+/// may be shorter). Boundaries depend only on n and grain — never on the
+/// worker count — so per-chunk partial results merged in chunk order are
+/// bit-identical for ANY number of threads, including one. This is the
+/// building block behind every "parallel output equals serial output"
+/// guarantee in the pruning and candidate-generation hot paths: workers
+/// write into chunk-owned slots, and the caller folds the slots in
+/// ascending chunk order.
+std::vector<ChunkRange> DeterministicChunks(size_t n,
+                                            size_t grain = kDefaultChunkGrain);
 
 }  // namespace gsmb
 

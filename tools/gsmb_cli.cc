@@ -10,7 +10,10 @@
 //        [--features blast|rcnp|2014|all]
 //        [--labels N]            balanced labelled pairs per class (25)
 //        [--seed N]              training-sample seed (0)
-//        [--threads N]           feature-extraction threads (1)
+//        [--threads N]           worker threads for blocking, features,
+//                                classification and pruning (1; 0 = all
+//                                hardware threads). Results are identical
+//                                for any thread count.
 //        [--out retained.csv]    write retained pairs as CSV
 //
 // Omitting --e2 switches to Dirty ER (deduplication of --e1).
@@ -18,6 +21,7 @@
 // evaluation oracle; in a production run you would pass only the labelled
 // subset you actually have.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -33,13 +37,17 @@ namespace {
 
 using namespace gsmb;
 
-[[noreturn]] void Usage(const char* message) {
-  if (message != nullptr) std::fprintf(stderr, "error: %s\n", message);
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* stream) {
+  std::fprintf(stream,
                "usage: gsmb --e1 a.csv [--e2 b.csv] --gt matches.csv\n"
                "            [--pruning blast] [--classifier logreg]\n"
                "            [--features blast] [--labels 25] [--seed 0]\n"
                "            [--threads 1] [--out retained.csv]\n");
+}
+
+[[noreturn]] void Usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n", message);
+  PrintUsage(stderr);
   std::exit(2);
 }
 
@@ -67,6 +75,22 @@ FeatureSet ParseFeatures(const std::string& s) {
   if (s == "2014") return FeatureSet::Paper2014();
   if (s == "all") return FeatureSet::All();
   Usage("unknown --features value");
+}
+
+uint64_t ParseNumber(const char* flag, const std::string& s) {
+  // std::stoull alone would accept "-1" (it wraps modulo 2^64), so require
+  // every character to be a digit.
+  const bool all_digits =
+      !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
+  if (all_digits) {
+    try {
+      return std::stoull(s);
+    } catch (const std::exception&) {
+      // out of range; fall through to the usage error
+    }
+  }
+  Usage((std::string(flag) + " expects a non-negative integer, got '" + s +
+         "'").c_str());
 }
 
 }  // namespace
@@ -97,17 +121,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--features") == 0) {
       config.features = ParseFeatures(need_value("--features"));
     } else if (std::strcmp(argv[i], "--labels") == 0) {
-      config.train_per_class =
-          static_cast<size_t>(std::stoul(need_value("--labels")));
+      config.train_per_class = static_cast<size_t>(
+          ParseNumber("--labels", need_value("--labels")));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      config.seed = std::stoull(need_value("--seed"));
+      config.seed = ParseNumber("--seed", need_value("--seed"));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = static_cast<size_t>(std::stoul(need_value("--threads")));
+      threads = static_cast<size_t>(
+          ParseNumber("--threads", need_value("--threads")));
       if (threads == 0) threads = HardwareThreads();
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = need_value("--out");
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      Usage(nullptr);
+      PrintUsage(stdout);
+      return 0;
     } else {
       Usage((std::string("unknown flag ") + argv[i]).c_str());
     }
@@ -125,10 +151,12 @@ int main(int argc, char** argv) {
                 e1.size(), e2.size(), gt.size());
 
     Stopwatch watch;
-    PreparedDataset prep = dirty
-                               ? PrepareDirty("cli", e1, std::move(gt))
-                               : PrepareCleanClean("cli", e1, e2,
-                                                   std::move(gt));
+    BlockingOptions blocking;
+    blocking.num_threads = threads;
+    config.num_threads = threads;
+    PreparedDataset prep =
+        dirty ? PrepareDirty("cli", e1, std::move(gt), blocking)
+              : PrepareCleanClean("cli", e1, e2, std::move(gt), blocking);
     std::printf(
         "Blocking (%.0f ms): %zu blocks, %zu candidates, recall %.4f, "
         "precision %.6f\n",
