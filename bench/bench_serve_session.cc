@@ -1,0 +1,157 @@
+// Serving-layer micro-benchmark: ingest throughput, incremental Refresh()
+// vs cold rebuild, and single-probe query latency for MetaBlockingSession
+// on the generated Dirty scalability series (D10K and friends).
+//
+// The headline number is the incremental speed-up: after a small batch of
+// late arrivals dirties a fraction of the shards, Refresh() must beat a
+// full from-scratch session rebuild by a wide margin (>= 5x at the default
+// scale) while retaining bit-identical pairs.
+//
+//   GSMB_SCALE   dataset size multiplier (default 0.25 here)
+//   GSMB_SHARDS  shard count (default 64)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datasets/dirty_generator.h"
+#include "datasets/specs.h"
+#include "serve/session.h"
+#include "serve/serving_model.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace gsmb;
+
+size_t ShardsFromEnv() {
+  const char* value = std::getenv("GSMB_SHARDS");
+  if (value == nullptr) return 128;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : 128;
+}
+
+double EnvScale() {
+  const char* value = std::getenv("GSMB_SCALE");
+  if (value == nullptr) return 0.25;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : 0.25;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale();
+  const size_t num_shards = ShardsFromEnv();
+  const size_t threads = HardwareThreads();
+  std::printf(
+      "== Serving-session micro-benchmark (scale %.3g, %zu shards, %zu "
+      "threads) ==\n\n",
+      scale, num_shards, threads);
+
+  DirtySpec spec = PaperDirtySpecs(scale).front();  // D10K at `scale`
+  const GeneratedDirty data = DirtyGenerator().Generate(spec);
+  const std::vector<EntityProfile>& profiles = data.entities.profiles();
+  std::printf("dataset %s: %zu profiles, %zu duplicate pairs\n",
+              spec.name.c_str(), profiles.size(), data.ground_truth.size());
+
+  ServingModelTraining training;
+  training.train_per_class = 50;
+  training.num_threads = threads;
+  const ServingModel model = TrainServingModel(
+      data.entities, data.ground_truth, FeatureSet::BlastOptimal(), training);
+
+  SessionOptions options;
+  options.num_shards = num_shards;
+  options.num_threads = threads;
+  options.max_block_size = 100;
+
+  // ---- Ingest throughput (tokenise + route, no re-blocking). ----
+  // Hold back a handful of "late arrivals" (~0.1%): the incremental case
+  // is a trickle of new records against a big resident collection.
+  const size_t late_count = std::max<size_t>(1, profiles.size() / 1000);
+  const size_t resident_count = profiles.size() - late_count;
+  MetaBlockingSession session(options, model);
+  Stopwatch watch;
+  session.AddProfiles({profiles.begin(), profiles.begin() + resident_count});
+  const double ingest_seconds = watch.ElapsedSeconds();
+  std::printf("ingest      %zu profiles in %.1f ms  (%.0f profiles/s)\n",
+              resident_count, ingest_seconds * 1e3,
+              static_cast<double>(resident_count) / ingest_seconds);
+
+  // ---- Cold build: refresh with every shard dirty. Best of 3 runs (the
+  // session is plain data, so forking a copy replays the same work). ----
+  watch.Restart();
+  session.Refresh();
+  double cold_seconds = watch.ElapsedSeconds();
+  for (int rep = 0; rep < 2; ++rep) {
+    MetaBlockingSession fresh(options, model);
+    fresh.AddProfiles({profiles.begin(), profiles.begin() + resident_count});
+    watch.Restart();
+    fresh.Refresh();
+    cold_seconds = std::min(cold_seconds, watch.ElapsedSeconds());
+  }
+  std::printf("cold build  %zu shards in %.1f ms (best of 3)\n", num_shards,
+              cold_seconds * 1e3);
+
+  // ---- Incremental: the late trickle arrives as one small batch;
+  // Refresh() touches only the dirtied shards. Best of 3. ----
+  watch.Restart();
+  session.AddProfiles({profiles.begin() + resident_count, profiles.end()});
+  const size_t dirty = session.DirtyShardCount();
+  const double add_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+  session.Refresh();
+  double refresh_seconds = watch.ElapsedSeconds();
+  for (int rep = 0; rep < 2; ++rep) {
+    MetaBlockingSession fresh(options, model);
+    fresh.AddProfiles({profiles.begin(), profiles.begin() + resident_count});
+    fresh.Refresh();
+    fresh.AddProfiles({profiles.begin() + resident_count, profiles.end()});
+    watch.Restart();
+    fresh.Refresh();
+    refresh_seconds = std::min(refresh_seconds, watch.ElapsedSeconds());
+  }
+  const double speedup = cold_seconds / refresh_seconds;
+  std::printf(
+      "incremental %zu late profiles -> %zu/%zu shards dirty; add %.2f ms, "
+      "refresh %.1f ms\n",
+      profiles.size() - resident_count, dirty, num_shards, add_seconds * 1e3,
+      refresh_seconds * 1e3);
+  std::printf("speed-up    refresh vs cold rebuild: %.1fx\n", speedup);
+
+  // Correctness of the headline: incremental state == cold rebuild.
+  MetaBlockingSession cold(options, model);
+  cold.AddProfiles(profiles);
+  cold.Refresh();
+  const bool identical = session.RetainedPairs() == cold.RetainedPairs();
+  std::printf("equivalence incremental == cold rebuild: %s\n",
+              identical ? "yes" : "NO");
+
+  // ---- Query latency: probe every 37th resident profile. ----
+  size_t queries = 0;
+  size_t results = 0;
+  watch.Restart();
+  for (size_t i = 0; i < profiles.size(); i += 37) {
+    results += session.QueryCandidates(profiles[i], 10).size();
+    ++queries;
+  }
+  const double query_seconds = watch.ElapsedSeconds();
+  std::printf(
+      "query       %zu probes in %.1f ms  (%.3f ms/query, %.1f results "
+      "avg)\n",
+      queries, query_seconds * 1e3, query_seconds * 1e3 / queries,
+      static_cast<double>(results) / static_cast<double>(queries));
+
+  const bool speedup_ok = speedup >= 5.0;
+  std::printf("\n%s\n", identical && speedup_ok
+                            ? "SERVE BENCH OK"
+                            : (identical ? "SERVE BENCH: speed-up below 5x"
+                                         : "SERVE BENCH: EQUIVALENCE FAILED"));
+  return identical ? 0 : 1;
+}

@@ -71,23 +71,7 @@ std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index,
     }
   });
 
-  // Prefix offsets, then a parallel scatter into the pre-sized result;
-  // each part is released as soon as it is copied, so peak memory stays
-  // near 1x |C| instead of holding both copies through a serial merge.
-  std::vector<size_t> offsets(parts.size() + 1, 0);
-  for (size_t c = 0; c < parts.size(); ++c) {
-    offsets[c + 1] = offsets[c] + parts[c].size();
-  }
-  std::vector<CandidatePair> pairs(offsets.back());
-  ParallelFor(parts.size(), num_threads, [&](size_t chunks_begin,
-                                             size_t chunks_end) {
-    for (size_t c = chunks_begin; c < chunks_end; ++c) {
-      std::copy(parts[c].begin(), parts[c].end(),
-                pairs.begin() + offsets[c]);
-      std::vector<CandidatePair>().swap(parts[c]);
-    }
-  });
-  return pairs;
+  return MergeChunkParts(&parts, num_threads);
 }
 
 size_t CountPositivePairs(const std::vector<CandidatePair>& pairs,

@@ -1,11 +1,15 @@
 #include "blocking/entity_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <memory>
+
+#include "util/thread_pool.h"
 
 namespace gsmb {
 
-EntityIndex::EntityIndex(const BlockCollection& bc)
+EntityIndex::EntityIndex(const BlockCollection& bc, size_t num_threads)
     : clean_clean_(bc.clean_clean()),
       num_left_(bc.num_left_entities()),
       num_right_(bc.num_right_entities()) {
@@ -14,65 +18,131 @@ EntityIndex::EntityIndex(const BlockCollection& bc)
 
   block_size_.resize(n_blocks);
   block_comparisons_.resize(n_blocks);
-
-  // ---- Pass 1: per-block stats and per-entity block counts. ----
-  std::vector<size_t> entity_counts(n_entities, 0);
   left_offsets_.assign(n_blocks + 1, 0);
   right_offsets_.assign(n_blocks + 1, 0);
 
-  for (uint32_t bid = 0; bid < n_blocks; ++bid) {
-    const Block& b = bc[bid];
-    block_size_[bid] = static_cast<uint32_t>(b.Size());
-    block_comparisons_[bid] = b.Comparisons(clean_clean_);
-    total_comparisons_ += block_comparisons_[bid];
-    total_occurrences_ += b.Size();
-    left_offsets_[bid + 1] = left_offsets_[bid] + b.left.size();
-    right_offsets_[bid + 1] = right_offsets_[bid] + b.right.size();
-    for (EntityId e : b.left) ++entity_counts[e];
-    for (EntityId e : b.right) ++entity_counts[num_left_ + e];
+  // ---- Pass 1: per-block stats and per-entity block counts. ----
+  // Per-block fields are disjoint writes; the floating-point totals are
+  // accumulated per fixed-grain chunk and folded in chunk order below, so
+  // they are bit-identical for any thread count (including one).
+  const std::vector<ChunkRange> block_chunks = DeterministicChunks(n_blocks);
+  std::vector<double> chunk_comparisons(block_chunks.size(), 0.0);
+  std::vector<size_t> chunk_occurrences(block_chunks.size(), 0);
+
+  std::unique_ptr<std::atomic<size_t>[]> entity_counts(
+      new std::atomic<size_t>[n_entities]);
+  ParallelFor(n_entities, num_threads, [&](size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      entity_counts[e].store(0, std::memory_order_relaxed);
+    }
+  });
+
+  ParallelFor(block_chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+    for (size_t c = chunks_begin; c < chunks_end; ++c) {
+      double comparisons = 0.0;
+      size_t occurrences = 0;
+      for (size_t bid = block_chunks[c].begin; bid < block_chunks[c].end;
+           ++bid) {
+        const Block& b = bc[bid];
+        block_size_[bid] = static_cast<uint32_t>(b.Size());
+        block_comparisons_[bid] = b.Comparisons(clean_clean_);
+        comparisons += block_comparisons_[bid];
+        occurrences += b.Size();
+        left_offsets_[bid + 1] = b.left.size();
+        right_offsets_[bid + 1] = b.right.size();
+        for (EntityId e : b.left) {
+          entity_counts[e].fetch_add(1, std::memory_order_relaxed);
+        }
+        for (EntityId e : b.right) {
+          entity_counts[num_left_ + e].fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+      }
+      chunk_comparisons[c] = comparisons;
+      chunk_occurrences[c] = occurrences;
+    }
+  });
+  for (size_t c = 0; c < block_chunks.size(); ++c) {
+    total_comparisons_ += chunk_comparisons[c];
+    total_occurrences_ += chunk_occurrences[c];
+  }
+  for (size_t bid = 0; bid < n_blocks; ++bid) {
+    left_offsets_[bid + 1] += left_offsets_[bid];
+    right_offsets_[bid + 1] += right_offsets_[bid];
   }
 
   // ---- Pass 2: fill CSR arrays. ----
   entity_offsets_.assign(n_entities + 1, 0);
   for (size_t e = 0; e < n_entities; ++e) {
-    entity_offsets_[e + 1] = entity_offsets_[e] + entity_counts[e];
+    entity_offsets_[e + 1] =
+        entity_offsets_[e] + entity_counts[e].load(std::memory_order_relaxed);
   }
   entity_blocks_.resize(entity_offsets_.back());
   left_members_.resize(left_offsets_.back());
   right_members_.resize(right_offsets_.back());
 
-  std::vector<size_t> cursor(entity_offsets_.begin(),
-                             entity_offsets_.end() - 1);
-  for (uint32_t bid = 0; bid < n_blocks; ++bid) {
-    const Block& b = bc[bid];
-    size_t lpos = left_offsets_[bid];
-    for (EntityId e : b.left) {
-      left_members_[lpos++] = e;  // E1 global id == local id
-      entity_blocks_[cursor[e]++] = bid;
+  // Member arrays write into per-block slots (disjoint); the per-entity
+  // block lists go through atomic cursors, so concurrent chunks interleave
+  // them arbitrarily — the sort pass below restores the canonical order.
+  std::unique_ptr<std::atomic<size_t>[]> cursor(
+      new std::atomic<size_t>[n_entities]);
+  ParallelFor(n_entities, num_threads, [&](size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      cursor[e].store(entity_offsets_[e], std::memory_order_relaxed);
     }
-    size_t rpos = right_offsets_[bid];
-    for (EntityId e : b.right) {
-      const auto global = static_cast<uint32_t>(num_left_ + e);
-      right_members_[rpos++] = global;
-      entity_blocks_[cursor[global]++] = bid;
+  });
+
+  ParallelFor(block_chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+    for (size_t c = chunks_begin; c < chunks_end; ++c) {
+      for (size_t bid = block_chunks[c].begin; bid < block_chunks[c].end;
+           ++bid) {
+        const Block& b = bc[bid];
+        size_t lpos = left_offsets_[bid];
+        for (EntityId e : b.left) {
+          left_members_[lpos++] = e;  // E1 global id == local id
+          entity_blocks_[cursor[e].fetch_add(1, std::memory_order_relaxed)] =
+              static_cast<uint32_t>(bid);
+        }
+        size_t rpos = right_offsets_[bid];
+        for (EntityId e : b.right) {
+          const auto global = static_cast<uint32_t>(num_left_ + e);
+          right_members_[rpos++] = global;
+          entity_blocks_[cursor[global].fetch_add(
+              1, std::memory_order_relaxed)] = static_cast<uint32_t>(bid);
+        }
+      }
     }
-  }
-  // Blocks are visited in increasing bid, so each entity's block list is
-  // already sorted ascending — an invariant CommonBlocks() relies on.
+  });
+
+  // Each entity's block list must be sorted ascending — an invariant
+  // CommonBlocks() relies on. The sorted list is the same for any thread
+  // count (it is a set ordered canonically), so determinism is preserved.
+  ParallelFor(n_entities, num_threads, [&](size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      std::sort(entity_blocks_.begin() + entity_offsets_[e],
+                entity_blocks_.begin() + entity_offsets_[e + 1]);
+    }
+  });
 
   // ---- Pass 3: per-entity aggregates. ----
+  // Each entity's sums run over its own blocks in ascending order, exactly
+  // as in the serial sweep, so the values are independent of threading.
   entity_comparisons_.assign(n_entities, 0.0);
   entity_inv_comparisons_.assign(n_entities, 0.0);
   entity_inv_sizes_.assign(n_entities, 0.0);
-  for (size_t e = 0; e < n_entities; ++e) {
-    for (uint32_t bid : BlocksOf(e)) {
-      entity_comparisons_[e] += block_comparisons_[bid];
-      if (block_comparisons_[bid] > 0.0) {
-        entity_inv_comparisons_[e] += 1.0 / block_comparisons_[bid];
+  ParallelFor(n_entities, num_threads, [&](size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      for (uint32_t bid : BlocksOf(e)) {
+        entity_comparisons_[e] += block_comparisons_[bid];
+        if (block_comparisons_[bid] > 0.0) {
+          entity_inv_comparisons_[e] += 1.0 / block_comparisons_[bid];
+        }
+        entity_inv_sizes_[e] += 1.0 / static_cast<double>(block_size_[bid]);
       }
-      entity_inv_sizes_[e] += 1.0 / static_cast<double>(block_size_[bid]);
     }
-  }
+  });
 }
 
 size_t EntityIndex::CommonBlocks(size_t global_a, size_t global_b) const {

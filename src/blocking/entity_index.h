@@ -27,7 +27,10 @@ namespace gsmb {
 
 class EntityIndex {
  public:
-  explicit EntityIndex(const BlockCollection& bc);
+  /// `num_threads` > 1 parallelises construction over fixed-grain block and
+  /// entity chunks; every field is identical for any thread count (the
+  /// floating-point totals are always folded in deterministic chunk order).
+  explicit EntityIndex(const BlockCollection& bc, size_t num_threads = 1);
 
   bool clean_clean() const { return clean_clean_; }
   size_t num_left() const { return num_left_; }

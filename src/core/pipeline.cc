@@ -23,7 +23,7 @@ PreparedDataset FinishPreparation(const std::string& name,
   prep.clean_clean = blocks.clean_clean();
   prep.ground_truth = std::move(ground_truth);
   prep.blocks = std::move(blocks);
-  prep.index = std::make_unique<EntityIndex>(prep.blocks);
+  prep.index = std::make_unique<EntityIndex>(prep.blocks, num_threads);
   prep.pairs = GenerateCandidatePairs(*prep.index, num_threads);
   prep.stats = ComputeBlockStats(prep.blocks);
   prep.blocking_quality =

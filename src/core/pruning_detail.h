@@ -34,21 +34,7 @@ std::vector<uint32_t> ChunkedRetain(size_t n, size_t num_threads,
                   }
                 }
               });
-  // Prefix offsets + parallel scatter; parts release as they are copied.
-  std::vector<size_t> offsets(parts.size() + 1, 0);
-  for (size_t c = 0; c < parts.size(); ++c) {
-    offsets[c + 1] = offsets[c] + parts[c].size();
-  }
-  std::vector<uint32_t> retained(offsets.back());
-  ParallelFor(parts.size(), num_threads,
-              [&](size_t chunks_begin, size_t chunks_end) {
-                for (size_t c = chunks_begin; c < chunks_end; ++c) {
-                  std::copy(parts[c].begin(), parts[c].end(),
-                            retained.begin() + offsets[c]);
-                  std::vector<uint32_t>().swap(parts[c]);
-                }
-              });
-  return retained;
+  return MergeChunkParts(&parts, num_threads);
 }
 
 }  // namespace gsmb::detail

@@ -1,0 +1,60 @@
+#include "serve/serving_model.h"
+
+#include <stdexcept>
+
+#include "core/pipeline.h"
+#include "ml/logistic_regression.h"
+
+namespace gsmb {
+
+double ServingModel::Predict(const double* row) const {
+  double z = intercept;
+  for (size_t c = 0; c < weights.size(); ++c) z += weights[c] * row[c];
+  return LogisticRegression::Sigmoid(z);
+}
+
+std::vector<double> ServingModel::PredictRows(const Matrix& x) const {
+  if (x.cols() != weights.size()) {
+    throw std::invalid_argument(
+        "ServingModel::PredictRows: feature width mismatch");
+  }
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  return out;
+}
+
+ServingModel TrainServingModel(const EntityCollection& labelled,
+                               const GroundTruth& ground_truth,
+                               const FeatureSet& features,
+                               const ServingModelTraining& options) {
+  if (ground_truth.empty()) {
+    throw std::invalid_argument(
+        "TrainServingModel: ground truth has no labelled matches");
+  }
+  BlockingOptions blocking;
+  blocking.num_threads = options.num_threads;
+  PreparedDataset prep =
+      PrepareDirty("serving-bootstrap", labelled, ground_truth, blocking);
+
+  MetaBlockingConfig config;
+  config.features = features;
+  config.classifier = options.classifier;
+  config.train_per_class = options.train_per_class;
+  config.seed = options.seed;
+  config.num_threads = options.num_threads;
+  MetaBlockingResult result = RunMetaBlocking(prep, config);
+  if (result.model_coefficients.size() != features.Dimensions() + 1) {
+    throw std::runtime_error(
+        "TrainServingModel: classifier has no raw-space linear form (use "
+        "logistic regression or linear SVC)");
+  }
+
+  ServingModel model;
+  model.features = features;
+  model.weights.assign(result.model_coefficients.begin(),
+                       result.model_coefficients.end() - 1);
+  model.intercept = result.model_coefficients.back();
+  return model;
+}
+
+}  // namespace gsmb

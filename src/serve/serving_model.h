@@ -1,0 +1,68 @@
+// The resident classifier of a serving session.
+//
+// A long-lived MetaBlockingSession cannot hold an opaque
+// ProbabilisticClassifier: it must be serialisable into a snapshot and its
+// scoring must be exactly reproducible after a restore. Both of the paper's
+// probabilistic models (logistic regression, Platt-scaled linear SVC) are
+// linear in raw feature space, so the serving layer pins the model down to
+// that common denominator: a raw-space weight vector plus intercept, mapped
+// through the logistic function. For logistic regression this is the same
+// function the batch pipeline evaluates (up to floating-point association);
+// either way the session applies ONE fixed scorer everywhere, which is what
+// makes incremental refreshes bit-identical to a cold rebuild.
+
+#ifndef GSMB_SERVE_SERVING_MODEL_H_
+#define GSMB_SERVE_SERVING_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/feature_set.h"
+#include "er/entity_collection.h"
+#include "er/ground_truth.h"
+#include "ml/classifier.h"
+#include "util/matrix.h"
+
+namespace gsmb {
+
+/// A linear probabilistic scorer over a fixed feature set. `weights` lives
+/// in *raw* (unscaled) feature space with `features.Dimensions()` entries,
+/// laid out in the column order FeatureExtractor::Compute(features) emits.
+struct ServingModel {
+  FeatureSet features = FeatureSet::BlastOptimal();
+  std::vector<double> weights;
+  double intercept = 0.0;
+
+  bool Valid() const {
+    return !features.empty() && weights.size() == features.Dimensions();
+  }
+
+  /// P(match) = sigmoid(weights . row + intercept) for one raw feature row
+  /// of width features.Dimensions().
+  double Predict(const double* row) const;
+
+  /// P(match) per row of `x` (x.cols() must equal features.Dimensions()).
+  std::vector<double> PredictRows(const Matrix& x) const;
+};
+
+/// Knobs for bootstrapping a ServingModel from labelled data.
+struct ServingModelTraining {
+  ClassifierKind classifier = ClassifierKind::kLogisticRegression;
+  size_t train_per_class = 250;
+  uint64_t seed = 0;
+  size_t num_threads = 1;
+};
+
+/// Trains a classifier with the batch pipeline (Token Blocking -> purging ->
+/// filtering -> features -> balanced sample -> fit) on a labelled Dirty-ER
+/// collection and returns its raw-space linear form. Throws when the chosen
+/// classifier has no linear representation (Gaussian Naive Bayes) or when
+/// the data yields too few labelled candidate pairs to train.
+ServingModel TrainServingModel(const EntityCollection& labelled,
+                               const GroundTruth& ground_truth,
+                               const FeatureSet& features,
+                               const ServingModelTraining& options = {});
+
+}  // namespace gsmb
+
+#endif  // GSMB_SERVE_SERVING_MODEL_H_

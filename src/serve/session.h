@@ -1,0 +1,204 @@
+// MetaBlockingSession: the long-lived incremental serving layer.
+//
+// The batch pipeline (core/pipeline.h) is one-shot: block, weight with the
+// generalized feature vector, prune, exit. A deployed ER system instead
+// sees a stream of new records against a resident collection. This layer
+// keeps the whole meta-blocking state warm and maintains it incrementally:
+//
+//   AddProfiles(batch)   O(tokens) ingest. Each token routes to one of
+//                        `num_shards` key shards (stable hash); only the
+//                        shards owning a touched token are marked dirty.
+//   Refresh()            Re-blocks and re-prunes *dirty shards only*. Each
+//                        shard runs the full per-shard pipeline — blocks ->
+//                        EntityIndex -> candidate pairs -> features ->
+//                        resident linear classifier -> pruning — so its
+//                        output is a pure function of its key table. That
+//                        purity is the whole design: an incremental session
+//                        retains BIT-IDENTICAL pairs to a cold session
+//                        rebuilt from scratch on the same profiles, for any
+//                        interleaving of AddProfiles/Refresh and any thread
+//                        count.
+//   QueryCandidates(p)   Scores one external probe profile against the
+//                        resident shards (as if it had been inserted)
+//                        without recomputing any global state, then prunes
+//                        by the validity threshold.
+//   Save()/Load()        Binary snapshot of the full session (options,
+//                        model, profiles, per-shard caches) for restarts.
+//
+// Sharding semantics. Every blocking key (token) lives in exactly one
+// shard, so the shards partition the block collection; the session's
+// retained set is the sorted union of the per-shard retained sets. Within
+// a shard the paper's pipeline applies unchanged; across shards the only
+// interaction is that union. Two deliberate departures from the batch
+// preprocessing keep shard outputs independent of global state (and thus
+// cacheable): oversized blocks are purged by an ABSOLUTE size cap
+// (`max_block_size`) rather than a fraction of the ever-growing collection,
+// and Block Filtering (a per-entity, cross-shard top-k) is not applied.
+
+#ifndef GSMB_SERVE_SESSION_H_
+#define GSMB_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/candidate_pairs.h"
+#include "core/pruning.h"
+#include "er/entity_collection.h"
+#include "serve/serving_model.h"
+
+namespace gsmb {
+
+struct SessionOptions {
+  /// Number of key shards. More shards = finer dirty granularity (cheaper
+  /// incremental refreshes) at slightly higher per-refresh overhead.
+  size_t num_shards = 16;
+  /// Worker threads for Refresh(); shards are data-parallel. Results are
+  /// identical for any value.
+  size_t num_threads = 1;
+  /// Minimum token length used as a blocking key.
+  size_t min_token_length = 1;
+  /// Block Purging analogue for a long-lived session: blocks with more
+  /// than this many entities are dropped. Absolute rather than a fraction
+  /// of |E| (which changes on every ingest and would dirty every shard).
+  /// 0 disables purging.
+  size_t max_block_size = 0;
+  /// Pruning algorithm applied per shard.
+  PruningKind pruning = PruningKind::kBlast;
+  double blast_ratio = 0.35;
+  /// Pairs with probability below this are never retained or returned.
+  double validity_threshold = 0.5;
+};
+
+/// One scored candidate for a probe profile.
+struct QueryMatch {
+  EntityId id = 0;           ///< resident profile id (see profiles())
+  double probability = 0.0;  ///< best per-shard classifier score
+};
+
+struct SessionStats {
+  size_t num_profiles = 0;
+  size_t num_shards = 0;
+  size_t dirty_shards = 0;
+  size_t num_blocks = 0;      ///< across shard caches (as of last Refresh)
+  size_t num_candidates = 0;  ///< sum of per-shard candidate counts
+  size_t num_retained = 0;    ///< size of RetainedPairs()
+};
+
+class MetaBlockingSession {
+ public:
+  /// Throws std::invalid_argument when `model` is not usable (empty
+  /// feature set or weight-width mismatch) or `options.num_shards` == 0.
+  MetaBlockingSession(SessionOptions options, ServingModel model);
+
+  // -- Ingest ---------------------------------------------------------------
+
+  /// Appends the batch to the resident collection and routes its tokens
+  /// into the key shards, marking touched shards dirty. Returns the
+  /// assigned profile ids. O(total tokens); no re-blocking happens here.
+  std::vector<EntityId> AddProfiles(const std::vector<EntityProfile>& batch);
+  EntityId AddProfile(const EntityProfile& profile);
+
+  // -- Maintenance ----------------------------------------------------------
+
+  /// Re-runs the per-shard pipeline on every dirty shard (parallel across
+  /// shards) and clears the dirty marks. Returns the number of shards
+  /// refreshed. After Refresh(), RetainedPairs() equals the retained set of
+  /// a cold session built from scratch on the same profiles, bit for bit.
+  size_t Refresh();
+
+  /// Union of the per-shard retained pairs, sorted by (left, right) and
+  /// deduplicated. Reflects the state as of the last Refresh(); pairs
+  /// implied by profiles ingested after it appear only after the next one.
+  std::vector<CandidatePair> RetainedPairs() const;
+
+  // -- Query ----------------------------------------------------------------
+
+  /// Scores the probe against every shard owning one of its tokens, as if
+  /// the probe had been inserted there, and returns resident profiles with
+  /// probability >= validity_threshold, best first (ties by ascending id),
+  /// at most `max_results`. Uses the per-shard aggregate caches of the
+  /// last Refresh(); no global state is recomputed. A candidate reachable
+  /// through several shards gets its best per-shard score.
+  ///
+  /// When the probe IS a resident profile, pass its id as `exclude`: the
+  /// probe is then scored as the resident it already is (block sizes stay
+  /// resident instead of as-if-inserted, so it is not double-counted) and
+  /// it never appears in its own results.
+  std::vector<QueryMatch> QueryCandidates(
+      const EntityProfile& probe, size_t max_results = 10,
+      std::optional<EntityId> exclude = std::nullopt) const;
+
+  // -- Introspection --------------------------------------------------------
+
+  size_t DirtyShardCount() const;
+  SessionStats Stats() const;
+  const SessionOptions& options() const { return options_; }
+  /// Worker threads for Refresh(); purely an execution knob (results are
+  /// identical for any value), so a restored snapshot may override it.
+  void set_num_threads(size_t num_threads) {
+    options_.num_threads = num_threads;
+  }
+  const ServingModel& model() const { return model_; }
+  /// The resident collection; QueryMatch::id indexes it.
+  const EntityCollection& profiles() const { return profiles_; }
+
+  // -- Snapshot (serve/snapshot.cc) -----------------------------------------
+
+  /// Serialises the full session (options, model, profiles, shard caches,
+  /// dirty marks) to a binary snapshot. Throws std::runtime_error on I/O
+  /// failure.
+  void Save(const std::string& path) const;
+  /// Restores a session from Save() output: RetainedPairs(), queries and
+  /// subsequent incremental behaviour are identical to the saved session's.
+  static MetaBlockingSession Load(const std::string& path);
+
+ private:
+  /// Per-entity aggregates of one shard's EntityIndex, cached for the
+  /// query path (only entities present in the shard have an entry).
+  struct EntityAggregates {
+    uint32_t num_blocks = 0;       ///< |B_e| within the shard
+    double comparisons = 0.0;      ///< ||e||
+    double inv_comparisons = 0.0;  ///< Σ 1/||b||
+    double inv_sizes = 0.0;        ///< Σ 1/|b|
+    double lcp = 0.0;              ///< distinct shard-local candidates
+  };
+
+  struct Shard {
+    /// token -> member profile ids, ascending (ids arrive in order).
+    std::map<std::string, std::vector<EntityId>> keys;
+    bool dirty = false;
+
+    // Caches, valid while !dirty (pure functions of `keys`):
+    std::vector<CandidatePair> retained;
+    std::unordered_map<EntityId, EntityAggregates> aggregates;
+    size_t num_blocks = 0;
+    double total_comparisons = 0.0;
+    size_t num_candidates = 0;
+  };
+
+  size_t ShardOf(const std::string& token) const;
+  std::vector<std::string> TokensOf(const EntityProfile& profile) const;
+  /// Recomputes one shard's caches from its key table (pure; thread-safe
+  /// across distinct shards).
+  void RefreshShard(Shard* shard) const;
+  /// Scores the probe's `tokens` (all owned by `shard`) and folds the
+  /// per-candidate best probability into `best`.
+  void QueryShard(const Shard& shard, const std::vector<std::string>& tokens,
+                  std::optional<EntityId> exclude,
+                  std::unordered_map<EntityId, double>* best) const;
+
+  SessionOptions options_;
+  ServingModel model_;
+  EntityCollection profiles_;
+  std::vector<Shard> shards_;
+  /// |RetainedPairs()| memoised across Stats() calls; reset by Refresh().
+  mutable std::optional<size_t> retained_count_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_SERVE_SESSION_H_

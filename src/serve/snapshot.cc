@@ -1,0 +1,260 @@
+// Binary snapshot save/load for MetaBlockingSession.
+//
+// Layout (native-endian, doubles bit-exact so a restored session scores and
+// prunes identically):
+//   magic "GSMBSN01"
+//   options   num_shards, num_threads, min_token_length, max_block_size,
+//             pruning kind, blast_ratio, validity_threshold
+//   model     feature mask, weights, intercept
+//   profiles  external id + attribute name/value pairs, in id order
+//   shards    per shard: dirty flag, cached block/candidate stats, retained
+//             pairs, per-entity aggregates
+//
+// The shard *key tables* are not serialised: they are a pure function of
+// the profiles (tokenise, route by stable hash), so Load() replays the
+// profiles instead — smaller snapshots and one fewer format detail that
+// could drift from the ingest path.
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "serve/session.h"
+
+namespace gsmb {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'S', 'M', 'B', 'S', 'N', '0', '1'};
+
+void PutBytes(std::ostream& out, const void* data, size_t size) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+}
+
+void PutU8(std::ostream& out, uint8_t v) { PutBytes(out, &v, sizeof v); }
+void PutU32(std::ostream& out, uint32_t v) { PutBytes(out, &v, sizeof v); }
+void PutU64(std::ostream& out, uint64_t v) { PutBytes(out, &v, sizeof v); }
+void PutF64(std::ostream& out, double v) { PutBytes(out, &v, sizeof v); }
+
+void PutString(std::ostream& out, const std::string& s) {
+  PutU64(out, s.size());
+  PutBytes(out, s.data(), s.size());
+}
+
+// Bounds-checked reader: every length field read from disk is validated
+// against the bytes actually remaining in the file *before* any container
+// is sized from it, so a corrupt or truncated snapshot fails with the
+// clean "truncated or corrupt" error instead of a multi-gigabyte
+// allocation (or bad_alloc) from a garbage count.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& in) : in_(in) {
+    const std::istream::pos_type pos = in_.tellg();
+    in_.seekg(0, std::ios::end);
+    size_ = static_cast<uint64_t>(in_.tellg());
+    in_.seekg(pos);
+  }
+
+  void Bytes(void* data, size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in_) Corrupt();
+  }
+
+  uint8_t U8() { return Scalar<uint8_t>(); }
+  uint32_t U32() { return Scalar<uint32_t>(); }
+  uint64_t U64() { return Scalar<uint64_t>(); }
+  double F64() { return Scalar<double>(); }
+
+  /// Reads an element count whose elements occupy at least
+  /// `min_element_size` bytes each; rejects counts the file cannot hold.
+  uint64_t Count(uint64_t min_element_size) {
+    const uint64_t count = U64();
+    if (min_element_size == 0) min_element_size = 1;
+    if (count > Remaining() / min_element_size) Corrupt();
+    return count;
+  }
+
+  std::string String() {
+    const uint64_t size = Count(1);
+    std::string s(size, '\0');
+    if (size > 0) Bytes(s.data(), size);
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T Scalar() {
+    T v;
+    Bytes(&v, sizeof v);
+    return v;
+  }
+
+  uint64_t Remaining() const {
+    const auto pos = static_cast<uint64_t>(in_.tellg());
+    return pos > size_ ? 0 : size_ - pos;
+  }
+
+  [[noreturn]] static void Corrupt() {
+    throw std::runtime_error("session snapshot: truncated or corrupt file");
+  }
+
+  std::istream& in_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace
+
+void MetaBlockingSession::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("session snapshot: cannot open " + path +
+                             " for writing");
+  }
+
+  PutBytes(out, kMagic, sizeof kMagic);
+  PutU64(out, options_.num_shards);
+  PutU64(out, options_.num_threads);
+  PutU64(out, options_.min_token_length);
+  PutU64(out, options_.max_block_size);
+  PutU8(out, static_cast<uint8_t>(options_.pruning));
+  PutF64(out, options_.blast_ratio);
+  PutF64(out, options_.validity_threshold);
+
+  PutU8(out, model_.features.mask());
+  PutU64(out, model_.weights.size());
+  for (double w : model_.weights) PutF64(out, w);
+  PutF64(out, model_.intercept);
+
+  PutU64(out, profiles_.size());
+  for (const EntityProfile& p : profiles_.profiles()) {
+    PutString(out, p.external_id());
+    PutU64(out, p.attributes().size());
+    for (const Attribute& a : p.attributes()) {
+      PutString(out, a.name);
+      PutString(out, a.value);
+    }
+  }
+
+  PutU64(out, shards_.size());
+  for (const Shard& shard : shards_) {
+    PutU8(out, shard.dirty ? 1 : 0);
+    PutU64(out, shard.num_blocks);
+    PutF64(out, shard.total_comparisons);
+    PutU64(out, shard.num_candidates);
+    PutU64(out, shard.retained.size());
+    for (const CandidatePair& p : shard.retained) {
+      PutU32(out, p.left);
+      PutU32(out, p.right);
+    }
+    PutU64(out, shard.aggregates.size());
+    for (const auto& [id, agg] : shard.aggregates) {
+      PutU32(out, id);
+      PutU32(out, agg.num_blocks);
+      PutF64(out, agg.comparisons);
+      PutF64(out, agg.inv_comparisons);
+      PutF64(out, agg.inv_sizes);
+      PutF64(out, agg.lcp);
+    }
+  }
+
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("session snapshot: write to " + path +
+                             " failed");
+  }
+}
+
+MetaBlockingSession MetaBlockingSession::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("session snapshot: cannot open " + path);
+  }
+  SnapshotReader reader(in);
+
+  char magic[sizeof kMagic];
+  reader.Bytes(magic, sizeof magic);
+  if (!std::equal(magic, magic + sizeof magic, kMagic)) {
+    throw std::runtime_error("session snapshot: " + path +
+                             " is not a GSMB session snapshot");
+  }
+
+  SessionOptions options;
+  options.num_shards = reader.U64();
+  options.num_threads = reader.U64();
+  options.min_token_length = reader.U64();
+  options.max_block_size = reader.U64();
+  const uint8_t pruning = reader.U8();
+  if (pruning > static_cast<uint8_t>(PruningKind::kRcnp)) {
+    throw std::runtime_error("session snapshot: invalid pruning kind");
+  }
+  options.pruning = static_cast<PruningKind>(pruning);
+  options.blast_ratio = reader.F64();
+  options.validity_threshold = reader.F64();
+
+  ServingModel model;
+  model.features = FeatureSet::FromMask(reader.U8());
+  model.weights.resize(reader.Count(sizeof(double)));
+  for (double& w : model.weights) w = reader.F64();
+  model.intercept = reader.F64();
+
+  // The constructor validates options and model and sizes the shards.
+  MetaBlockingSession session(options, std::move(model));
+
+  // Replay the profiles through the normal ingest path to rebuild the
+  // shard key tables (dirty marks are overwritten from the file below).
+  const uint64_t num_profiles = reader.Count(sizeof(uint64_t));
+  for (uint64_t i = 0; i < num_profiles; ++i) {
+    EntityProfile profile(reader.String());
+    const uint64_t num_attributes = reader.Count(2 * sizeof(uint64_t));
+    for (uint64_t a = 0; a < num_attributes; ++a) {
+      std::string name = reader.String();
+      std::string value = reader.String();
+      profile.AddAttribute(std::move(name), std::move(value));
+    }
+    session.AddProfile(profile);
+  }
+
+  const uint64_t num_shards = reader.U64();
+  if (num_shards != session.shards_.size()) {
+    throw std::runtime_error("session snapshot: shard count mismatch");
+  }
+  // Every id must index the profiles just replayed, or later queries and
+  // retained-pair exports would index out of bounds.
+  const auto checked_id = [&](uint32_t id) {
+    if (id >= session.profiles_.size()) {
+      throw std::runtime_error(
+          "session snapshot: entity id out of range (corrupt file)");
+    }
+    return static_cast<EntityId>(id);
+  };
+  for (Shard& shard : session.shards_) {
+    shard.dirty = reader.U8() != 0;
+    shard.num_blocks = reader.U64();
+    shard.total_comparisons = reader.F64();
+    shard.num_candidates = reader.U64();
+    shard.retained.assign(reader.Count(2 * sizeof(uint32_t)),
+                          CandidatePair{});
+    for (CandidatePair& p : shard.retained) {
+      p.left = checked_id(reader.U32());
+      p.right = checked_id(reader.U32());
+    }
+    const uint64_t num_aggregates =
+        reader.Count(2 * sizeof(uint32_t) + 4 * sizeof(double));
+    shard.aggregates.clear();
+    shard.aggregates.reserve(num_aggregates);
+    for (uint64_t a = 0; a < num_aggregates; ++a) {
+      const EntityId id = checked_id(reader.U32());
+      EntityAggregates agg;
+      agg.num_blocks = reader.U32();
+      agg.comparisons = reader.F64();
+      agg.inv_comparisons = reader.F64();
+      agg.inv_sizes = reader.F64();
+      agg.lcp = reader.F64();
+      shard.aggregates.emplace(id, agg);
+    }
+  }
+  return session;
+}
+
+}  // namespace gsmb

@@ -1,16 +1,129 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace gsmb {
 
 size_t HardwareThreads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+}
+
+// One submitted Run() call. `next` hands out task indices lock-free; the
+// bookkeeping that needs the pool mutex (completion count, first error) is
+// updated once per finished task.
+struct ThreadPool::Batch {
+  Batch(size_t n, const std::function<void(size_t)>& t)
+      : num_tasks(n), task(t) {}
+
+  const size_t num_tasks;
+  const std::function<void(size_t)>& task;
+  std::atomic<size_t> next{0};
+  size_t done = 0;                 // guarded by pool mutex
+  std::exception_ptr first_error;  // guarded by pool mutex
+
+  bool Exhausted() const {
+    return next.load(std::memory_order_relaxed) >= num_tasks;
+  }
+};
+
+ThreadPool::ThreadPool(size_t max_workers)
+    : max_workers_(max_workers == 0 ? HardwareThreads() : max_workers) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::ActiveWorkers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::EnsureWorkersLocked(size_t wanted) {
+  wanted = std::min(wanted, max_workers_);
+  while (workers_.size() < wanted) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch) {
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->num_tasks) return;
+    std::exception_ptr error;
+    try {
+      batch->task(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !batch->first_error) batch->first_error = error;
+      if (++batch->done == batch->num_tasks) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    // Drop fully claimed batches (their remaining tasks are executing on
+    // other threads; completion is tracked by `done`, not by the queue).
+    while (!queue_.empty() && queue_.front()->Exhausted()) queue_.pop_front();
+    std::shared_ptr<Batch> batch;
+    for (const std::shared_ptr<Batch>& b : queue_) {
+      if (!b->Exhausted()) {
+        batch = b;
+        break;
+      }
+    }
+    if (!batch) continue;
+    lock.unlock();
+    DrainBatch(batch);
+    lock.lock();
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1) {
+    task(0);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>(num_tasks, task);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The caller drains too, so num_tasks - 1 workers suffice.
+    EnsureWorkersLocked(num_tasks - 1);
+    queue_.push_back(batch);
+  }
+  work_available_.notify_all();
+
+  // Participate: claims tasks until none remain unclaimed. This also makes
+  // nested Run() calls from inside a task safe — the nested caller drains
+  // its own batch even when every worker is occupied.
+  DrainBatch(batch);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [&] { return batch->done == batch->num_tasks; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
 
 void ParallelFor(size_t n, size_t num_threads,
@@ -22,28 +135,20 @@ void ParallelFor(size_t n, size_t num_threads,
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto guarded = [&](size_t begin, size_t end) {
-    try {
-      fn(begin, end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
+  // Same chunk geometry as the original thread-spawning implementation, so
+  // fn sees identical (begin, end) ranges for any given (n, num_threads).
   const size_t chunk = (n + num_threads - 1) / num_threads;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
+  std::vector<ChunkRange> ranges;
+  ranges.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     const size_t begin = t * chunk;
     if (begin >= n) break;
-    const size_t end = std::min(n, begin + chunk);
-    workers.emplace_back(guarded, begin, end);
+    ranges.push_back({begin, std::min(n, begin + chunk)});
   }
-  for (std::thread& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  ThreadPool::Global().Run(ranges.size(), [&](size_t i) {
+    fn(ranges[i].begin, ranges[i].end);
+  });
 }
 
 std::vector<ChunkRange> DeterministicChunks(size_t n, size_t grain) {

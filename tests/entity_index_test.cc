@@ -1,5 +1,8 @@
 #include "blocking/entity_index.h"
 
+#include <algorithm>
+#include <ranges>
+
 #include <gtest/gtest.h>
 
 #include "test_support.h"
@@ -122,6 +125,39 @@ TEST(EntityIndexCleanClean, PerSideComparisons) {
   EXPECT_EQ(index.BlockSize(0), 5u);
   EXPECT_DOUBLE_EQ(index.BlockComparisons(0), 6.0);  // 2 * 3
   EXPECT_DOUBLE_EQ(index.TotalComparisons(), 6.0);
+}
+
+// Parallel construction must produce a field-for-field identical index for
+// any thread count (the serving layer's Refresh() and the batch pipeline
+// both rely on this).
+TEST(EntityIndexParallel, ConstructionIdenticalAcrossThreadCounts) {
+  const BlockCollection& bc = testing::MediumDataset().blocks;
+  const EntityIndex serial(bc, 1);
+  for (size_t threads : {2, 4, 8}) {
+    const EntityIndex parallel(bc, threads);
+    ASSERT_EQ(parallel.num_entities(), serial.num_entities());
+    ASSERT_EQ(parallel.num_blocks(), serial.num_blocks());
+    EXPECT_EQ(parallel.TotalComparisons(), serial.TotalComparisons());
+    EXPECT_EQ(parallel.TotalEntityOccurrences(),
+              serial.TotalEntityOccurrences());
+    for (size_t e = 0; e < serial.num_entities(); ++e) {
+      ASSERT_TRUE(std::ranges::equal(parallel.BlocksOf(e),
+                                     serial.BlocksOf(e)))
+          << "entity " << e << ", " << threads << " threads";
+      EXPECT_EQ(parallel.EntityComparisons(e), serial.EntityComparisons(e));
+      EXPECT_EQ(parallel.SumInvBlockComparisons(e),
+                serial.SumInvBlockComparisons(e));
+      EXPECT_EQ(parallel.SumInvBlockSizes(e), serial.SumInvBlockSizes(e));
+    }
+    for (uint32_t b = 0; b < serial.num_blocks(); ++b) {
+      ASSERT_TRUE(std::ranges::equal(parallel.BlockLeftGlobals(b),
+                                     serial.BlockLeftGlobals(b)));
+      ASSERT_TRUE(std::ranges::equal(parallel.BlockRightGlobals(b),
+                                     serial.BlockRightGlobals(b)));
+      EXPECT_EQ(parallel.BlockSize(b), serial.BlockSize(b));
+      EXPECT_EQ(parallel.BlockComparisons(b), serial.BlockComparisons(b));
+    }
+  }
 }
 
 }  // namespace

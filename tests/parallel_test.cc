@@ -108,6 +108,81 @@ TEST(ParallelFor, AllWorkersThrowingPropagatesExactlyOne) {
 
 TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
 
+// ---- Persistent pool behaviour (ParallelFor dispatches to it). ----
+
+TEST(ThreadPool, ReusedAcrossManySmallCalls) {
+  // 200 parallel regions; with per-call thread spawning this was 800
+  // threads, with the pool the worker count stays bounded.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    ParallelFor(100, 4, [&](size_t begin, size_t end) {
+      sum.fetch_add(static_cast<int>(end - begin));
+    });
+    ASSERT_EQ(sum.load(), 100);
+  }
+  EXPECT_LE(ThreadPool::Global().ActiveWorkers(),
+            ThreadPool::Global().max_workers());
+}
+
+TEST(ThreadPool, RunExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.Run(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.Run(16,
+                        [](size_t i) {
+                          if (i % 2 == 0) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> ok{0};
+  pool.Run(8, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  ParallelFor(4, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ParallelFor(64, 4, [&](size_t inner_begin, size_t inner_end) {
+        total.fetch_add(static_cast<int>(inner_end - inner_begin));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 4 * 64);
+}
+
+TEST(ThreadPool, ConcurrentRunsFromDistinctThreads) {
+  // Two plain threads submitting to the global pool at once: batches drain
+  // independently (each submitter participates in its own).
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread ta([&] {
+    for (int i = 0; i < 50; ++i) {
+      ParallelFor(32, 4,
+                  [&](size_t begin, size_t end) {
+                    a.fetch_add(static_cast<int>(end - begin));
+                  });
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 50; ++i) {
+      ParallelFor(32, 4,
+                  [&](size_t begin, size_t end) {
+                    b.fetch_add(static_cast<int>(end - begin));
+                  });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 50 * 32);
+  EXPECT_EQ(b.load(), 50 * 32);
+}
+
 TEST(DeterministicChunks, PartitionsRangeInOrder) {
   const std::vector<ChunkRange> chunks = DeterministicChunks(1000, 64);
   ASSERT_FALSE(chunks.empty());

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and flag hot-path regressions.
+
+Usage:
+    bench_diff.py baseline.json current.json [--threshold 0.20] [--strict]
+
+Prints a per-benchmark delta table and flags every benchmark whose real_time
+regressed by more than the threshold (default 20%). Benchmarks present in
+only one file are reported but never flagged. Emits GitHub Actions
+`::warning::` annotations so regressions surface on the workflow run page;
+with --strict the exit code is 1 when any regression is flagged (CI runs
+non-strict: shared runners are noisy, so the diff is advisory).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative real_time regression to flag")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any regression exceeds threshold")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:50s} {'-':>12s} {current[name]:12.1f}     new")
+            continue
+        if name not in current:
+            print(f"{name:50s} {baseline[name]:12.1f} {'-':>12s} removed")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:50s} {base:12.1f} {cur:12.1f} {delta:+7.1%}{marker}")
+
+    if regressions:
+        print()
+        for name, delta in regressions:
+            print(f"::warning title=bench regression::{name} real_time "
+                  f"regressed {delta:+.1%} (threshold "
+                  f"{args.threshold:.0%})")
+        print(f"{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}")
+        if args.strict:
+            return 1
+    else:
+        print("\nno regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

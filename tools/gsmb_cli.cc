@@ -1,7 +1,7 @@
 // gsmb — command-line front end for the library.
 //
-// Runs the full (Generalized) Supervised Meta-blocking pipeline on CSV
-// data and prints the retained pairs or their evaluation.
+// Batch mode runs the full (Generalized) Supervised Meta-blocking pipeline
+// on CSV data and prints the retained pairs or their evaluation.
 //
 // Usage:
 //   gsmb --e1 a.csv [--e2 b.csv] --gt matches.csv
@@ -17,6 +17,20 @@
 //        [--out retained.csv]    write retained pairs as CSV
 //
 // Omitting --e2 switches to Dirty ER (deduplication of --e1).
+//
+// Serve mode keeps a long-lived incremental MetaBlockingSession resident
+// and drives it with commands from stdin (see serve/session.h):
+//
+//   gsmb serve --data a.csv --gt matches.csv
+//        [--shards 16] [--threads 1] [--max-block-size 200]
+//        [--pruning blast] [--classifier logreg] [--features blast]
+//        [--labels 25] [--seed 0]
+//   gsmb serve --snapshot-in session.snap [--threads N]
+//
+//   Commands: ingest <csv> | refresh | query <external-id> |
+//             queryfile <csv> | retained <csv> | save <path> | stats |
+//             help | quit
+//
 // The ground truth serves both as the labelled sample pool and as the
 // evaluation oracle; in a production run you would pass only the labelled
 // subset you actually have.
@@ -24,11 +38,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "core/pipeline.h"
 #include "datasets/io.h"
+#include "serve/session.h"
+#include "serve/serving_model.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -42,7 +63,13 @@ void PrintUsage(std::FILE* stream) {
                "usage: gsmb --e1 a.csv [--e2 b.csv] --gt matches.csv\n"
                "            [--pruning blast] [--classifier logreg]\n"
                "            [--features blast] [--labels 25] [--seed 0]\n"
-               "            [--threads 1] [--out retained.csv]\n");
+               "            [--threads 1] [--out retained.csv]\n"
+               "   or: gsmb serve --data a.csv --gt matches.csv\n"
+               "            [--shards 16] [--threads 1]\n"
+               "            [--max-block-size 200] [--pruning blast]\n"
+               "            [--classifier logreg] [--features blast]\n"
+               "            [--labels 25] [--seed 0]\n"
+               "   or: gsmb serve --snapshot-in session.snap [--threads 1]\n");
 }
 
 [[noreturn]] void Usage(const char* message) {
@@ -93,9 +120,302 @@ uint64_t ParseNumber(const char* flag, const std::string& s) {
          "'").c_str());
 }
 
+/// Loads a profile CSV with clear diagnostics: a missing path or a file
+/// that parses to zero profiles is an immediate, explicit error instead of
+/// an empty collection that fails later in some opaque way.
+EntityCollection LoadProfilesChecked(const std::string& path,
+                                     const std::string& role) {
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error(role + " dataset path does not exist: " + path);
+  }
+  EntityCollection collection = LoadCollectionCsv(path, role);
+  if (collection.empty()) {
+    throw std::runtime_error(role + " dataset " + path +
+                             " parses to zero profiles");
+  }
+  return collection;
+}
+
+void RequireFileExists(const std::string& path, const char* role) {
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error(std::string(role) + " path does not exist: " +
+                             path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serve mode
+// ---------------------------------------------------------------------------
+
+void PrintServeHelp() {
+  std::printf(
+      "commands:\n"
+      "  ingest <csv>     add profiles from id,attribute,value CSV\n"
+      "  refresh          re-block + re-prune dirty shards\n"
+      "  query <id>       candidates for the resident profile <id>\n"
+      "  queryfile <csv>  query every profile of the CSV (top 3 each)\n"
+      "  retained <csv>   write the retained pairs as CSV\n"
+      "  save <path>      write a session snapshot\n"
+      "  stats            session counters\n"
+      "  help             this text\n"
+      "  quit             exit\n");
+}
+
+void PrintStats(const MetaBlockingSession& session) {
+  const SessionStats stats = session.Stats();
+  std::printf(
+      "profiles %zu | shards %zu (%zu dirty) | blocks %zu | candidates %zu "
+      "| retained %zu\n",
+      stats.num_profiles, stats.num_shards, stats.dirty_shards,
+      stats.num_blocks, stats.num_candidates, stats.num_retained);
+}
+
+void PrintQuery(const MetaBlockingSession& session, const EntityProfile& probe,
+                size_t top_k,
+                std::optional<EntityId> exclude = std::nullopt) {
+  Stopwatch watch;
+  const std::vector<QueryMatch> matches =
+      session.QueryCandidates(probe, top_k, exclude);
+  const double ms = watch.ElapsedMillis();
+  if (matches.empty()) {
+    std::printf("  no candidates above threshold (%.2f ms)\n", ms);
+    return;
+  }
+  for (size_t i = 0; i < matches.size(); ++i) {
+    std::printf("  %zu. %s  p=%.4f\n", i + 1,
+                session.profiles()[matches[i].id].external_id().c_str(),
+                matches[i].probability);
+  }
+  std::printf("  (%zu candidates, %.2f ms)\n", matches.size(), ms);
+}
+
+int RunServeLoop(MetaBlockingSession& session) {
+  PrintStats(session);
+  std::printf("ready — type 'help' for commands\n");
+
+  // external id -> resident id, extended lazily as ingests grow the
+  // collection (a linear FindByExternalId scan per query would not keep up
+  // with a production-sized resident set).
+  std::unordered_map<std::string, EntityId> id_index;
+  size_t indexed = 0;
+  auto resident_id =
+      [&](const std::string& external_id) -> std::optional<EntityId> {
+    const EntityCollection& profiles = session.profiles();
+    for (; indexed < profiles.size(); ++indexed) {
+      id_index.emplace(profiles[static_cast<EntityId>(indexed)].external_id(),
+                       static_cast<EntityId>(indexed));
+    }
+    auto it = id_index.find(external_id);
+    if (it == id_index.end()) return std::nullopt;
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream parts(line);
+    std::string command;
+    parts >> command;
+    if (command.empty()) continue;
+    try {
+      if (command == "quit" || command == "exit") {
+        break;
+      } else if (command == "help") {
+        PrintServeHelp();
+      } else if (command == "stats") {
+        PrintStats(session);
+      } else if (command == "refresh") {
+        Stopwatch watch;
+        const size_t refreshed = session.Refresh();
+        std::printf("refreshed %zu shard%s in %.1f ms\n", refreshed,
+                    refreshed == 1 ? "" : "s", watch.ElapsedMillis());
+      } else if (command == "ingest") {
+        std::string path;
+        parts >> path;
+        if (path.empty()) throw std::runtime_error("ingest needs a path");
+        const EntityCollection batch = LoadProfilesChecked(path, "ingest");
+        Stopwatch watch;
+        session.AddProfiles(batch.profiles());
+        std::printf(
+            "ingested %zu profiles in %.1f ms; %zu shards now dirty "
+            "(run 'refresh')\n",
+            batch.size(), watch.ElapsedMillis(), session.DirtyShardCount());
+      } else if (command == "query") {
+        std::string external_id;
+        parts >> external_id;
+        if (external_id.empty()) {
+          throw std::runtime_error("query needs an external id");
+        }
+        const std::optional<EntityId> self = resident_id(external_id);
+        if (!self.has_value()) {
+          throw std::runtime_error("no resident profile with id " +
+                                   external_id);
+        }
+        // The probe is resident: exclude it from its own candidates.
+        PrintQuery(session, session.profiles()[*self], 10, *self);
+      } else if (command == "queryfile") {
+        std::string path;
+        parts >> path;
+        if (path.empty()) throw std::runtime_error("queryfile needs a path");
+        const EntityCollection probes = LoadProfilesChecked(path, "query");
+        for (const EntityProfile& probe : probes.profiles()) {
+          std::printf("%s:\n", probe.external_id().c_str());
+          // A probe that is already resident (same external id) must not
+          // match itself.
+          PrintQuery(session, probe, 3, resident_id(probe.external_id()));
+        }
+      } else if (command == "retained") {
+        std::string path;
+        parts >> path;
+        if (path.empty()) throw std::runtime_error("retained needs a path");
+        const std::vector<CandidatePair> retained = session.RetainedPairs();
+        std::vector<CsvRow> rows;
+        rows.reserve(retained.size() + 1);
+        rows.push_back({"left_id", "right_id"});
+        for (const CandidatePair& p : retained) {
+          rows.push_back({session.profiles()[p.left].external_id(),
+                          session.profiles()[p.right].external_id()});
+        }
+        WriteCsvFile(path, rows);
+        std::printf("wrote %zu retained pairs to %s\n", retained.size(),
+                    path.c_str());
+      } else if (command == "save") {
+        std::string path;
+        parts >> path;
+        if (path.empty()) throw std::runtime_error("save needs a path");
+        session.Save(path);
+        std::printf("saved session to %s\n", path.c_str());
+      } else {
+        std::printf("unknown command '%s' — type 'help'\n", command.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}
+
+int ServeMain(int argc, char** argv) {
+  std::string data_path, gt_path, snapshot_path;
+  SessionOptions options;
+  options.max_block_size = 200;
+  ServingModelTraining training;
+  training.train_per_class = 25;
+  FeatureSet features = FeatureSet::BlastOptimal();
+  bool threads_given = false;
+  // A restored snapshot carries its own options and model; every flag that
+  // would contradict them is rejected rather than silently ignored.
+  std::string bootstrap_flag;
+
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) Usage((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    auto bootstrap_only = [&](const char* flag) {
+      bootstrap_flag = flag;
+      return flag;
+    };
+    if (std::strcmp(argv[i], "--data") == 0) {
+      data_path = need_value("--data");
+    } else if (std::strcmp(argv[i], "--gt") == 0) {
+      gt_path = need_value("--gt");
+    } else if (std::strcmp(argv[i], "--snapshot-in") == 0) {
+      snapshot_path = need_value("--snapshot-in");
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      options.num_shards = static_cast<size_t>(
+          ParseNumber("--shards", need_value(bootstrap_only("--shards"))));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.num_threads = static_cast<size_t>(
+          ParseNumber("--threads", need_value("--threads")));
+      if (options.num_threads == 0) options.num_threads = HardwareThreads();
+      threads_given = true;
+    } else if (std::strcmp(argv[i], "--max-block-size") == 0) {
+      options.max_block_size = static_cast<size_t>(ParseNumber(
+          "--max-block-size", need_value(bootstrap_only("--max-block-size"))));
+    } else if (std::strcmp(argv[i], "--pruning") == 0) {
+      options.pruning = ParsePruning(need_value(bootstrap_only("--pruning")));
+    } else if (std::strcmp(argv[i], "--classifier") == 0) {
+      training.classifier =
+          ParseClassifier(need_value(bootstrap_only("--classifier")));
+    } else if (std::strcmp(argv[i], "--features") == 0) {
+      features = ParseFeatures(need_value(bootstrap_only("--features")));
+    } else if (std::strcmp(argv[i], "--labels") == 0) {
+      training.train_per_class = static_cast<size_t>(
+          ParseNumber("--labels", need_value(bootstrap_only("--labels"))));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      training.seed =
+          ParseNumber("--seed", need_value(bootstrap_only("--seed")));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      Usage((std::string("unknown serve flag ") + argv[i]).c_str());
+    }
+  }
+
+  if (snapshot_path.empty() && (data_path.empty() || gt_path.empty())) {
+    Usage("serve needs --data and --gt (or --snapshot-in)");
+  }
+  if (!snapshot_path.empty()) {
+    if (!data_path.empty() || !gt_path.empty()) {
+      Usage("--snapshot-in restores a full session; it cannot be combined "
+            "with --data/--gt");
+    }
+    if (!bootstrap_flag.empty()) {
+      Usage((bootstrap_flag +
+             " configures a new session and is ignored by --snapshot-in "
+             "(the snapshot's options govern); only --threads applies")
+                .c_str());
+    }
+  }
+
+  try {
+    if (!snapshot_path.empty()) {
+      RequireFileExists(snapshot_path, "--snapshot-in");
+      Stopwatch watch;
+      MetaBlockingSession session = MetaBlockingSession::Load(snapshot_path);
+      // The snapshot's options govern the session's semantics; the thread
+      // count is purely an execution knob, so the flag wins when given.
+      if (threads_given) session.set_num_threads(options.num_threads);
+      std::printf("restored session from %s in %.1f ms\n",
+                  snapshot_path.c_str(), watch.ElapsedMillis());
+      return RunServeLoop(session);
+    }
+
+    const EntityCollection data = LoadProfilesChecked(data_path, "--data");
+    RequireFileExists(gt_path, "--gt");
+    const GroundTruth gt =
+        LoadGroundTruthCsv(gt_path, data, data, /*dirty=*/true);
+    std::printf("loaded %zu profiles, %zu labelled matches\n", data.size(),
+                gt.size());
+
+    training.num_threads = options.num_threads;
+    Stopwatch watch;
+    ServingModel model = TrainServingModel(data, gt, features, training);
+    std::printf("trained %s serving model on %s in %.1f ms\n",
+                ClassifierKindName(training.classifier),
+                features.ToString().c_str(), watch.ElapsedMillis());
+
+    MetaBlockingSession session(options, std::move(model));
+    watch.Restart();
+    session.AddProfiles(data.profiles());
+    session.Refresh();
+    std::printf("bootstrapped %zu-shard session in %.1f ms\n",
+                session.options().num_shards, watch.ElapsedMillis());
+    return RunServeLoop(session);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return ServeMain(argc, argv);
+  }
+
   std::string e1_path, e2_path, gt_path, out_path;
   MetaBlockingConfig config;
   config.features = FeatureSet::BlastOptimal();
@@ -142,9 +462,10 @@ int main(int argc, char** argv) {
 
   try {
     const bool dirty = e2_path.empty();
-    EntityCollection e1 = LoadCollectionCsv(e1_path, "E1");
+    EntityCollection e1 = LoadProfilesChecked(e1_path, "--e1");
     EntityCollection e2 =
-        dirty ? EntityCollection() : LoadCollectionCsv(e2_path, "E2");
+        dirty ? EntityCollection() : LoadProfilesChecked(e2_path, "--e2");
+    RequireFileExists(gt_path, "--gt");
     GroundTruth gt =
         LoadGroundTruthCsv(gt_path, e1, dirty ? e1 : e2, dirty);
     std::printf("Loaded %zu + %zu profiles, %zu labelled matches\n",
