@@ -13,6 +13,7 @@
 #include "datasets/clean_clean_generator.h"
 #include "datasets/specs.h"
 #include "ml/logistic_regression.h"
+#include "util/mem_stats.h"
 #include "util/random.h"
 
 namespace {
@@ -250,6 +251,20 @@ BENCHMARK(BM_Pruning)
     ->Arg(static_cast<int>(PruningKind::kCep))
     ->Arg(static_cast<int>(PruningKind::kCnp))
     ->Arg(static_cast<int>(PruningKind::kRcnp));
+
+// Registered last so it runs after every other benchmark: VmHWM is a
+// process-wide monotone high-water mark, so per-benchmark readings would
+// be order-dependent and mask later regressions. One reading over the
+// whole suite gives bench_diff.py a single stable peak_rss_mb to track
+// (run with no --benchmark_filter when comparing it across runs).
+void BM_ProcessPeakRss(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PeakRssKb());
+  }
+  state.counters["peak_rss_mb"] =
+      benchmark::Counter(static_cast<double>(PeakRssKb()) / 1024.0);
+}
+BENCHMARK(BM_ProcessPeakRss)->Iterations(1);
 
 }  // namespace
 

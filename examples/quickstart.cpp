@@ -10,19 +10,46 @@
 //      candidate and prunes with supervised BLAST.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// `quickstart --export-csv DIR` instead writes the quickstart dataset as
+// DIR/e1.csv, DIR/e2.csv and DIR/gt.csv — the fixture the CI smoke tests
+// feed to `gsmb_cli` (including `--streaming`).
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "core/pipeline.h"
 #include "datasets/clean_clean_generator.h"
+#include "datasets/io.h"
 #include "datasets/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gsmb;
 
   // ---- 1. Data: two clean collections with known matches. ----
   CleanCleanSpec spec = CleanCleanSpecByName("AbtBuy", /*scale=*/0.25);
   GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
+
+  if (argc > 1 && (argc != 3 || std::strcmp(argv[1], "--export-csv") != 0)) {
+    std::fprintf(stderr, "usage: quickstart [--export-csv DIR]\n");
+    return 2;
+  }
+  if (argc == 3) {
+    const std::string dir = argv[2];
+    std::filesystem::create_directories(dir);
+    SaveCollectionCsv(data.e1, dir + "/e1.csv");
+    SaveCollectionCsv(data.e2, dir + "/e2.csv");
+    SaveGroundTruthCsv(data.ground_truth, data.e1, data.e2,
+                       dir + "/gt.csv");
+    std::printf("Exported quickstart dataset (%zu + %zu profiles, %zu "
+                "matches) to %s\n",
+                data.e1.size(), data.e2.size(), data.ground_truth.size(),
+                dir.c_str());
+    return 0;
+  }
+
   std::printf("Input: |E1| = %zu, |E2| = %zu, known matches |D| = %zu\n",
               data.e1.size(), data.e2.size(), data.ground_truth.size());
 

@@ -14,62 +14,72 @@ constexpr size_t kPivotChunkGrain = 1024;
 
 }  // namespace
 
-std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index,
-                                                  size_t num_threads) {
-  const size_t num_entities = index.num_entities();
-  const size_t num_left = index.num_left();
-  const bool clean_clean = index.clean_clean();
-  const size_t num_pivots = clean_clean ? num_left : num_entities;
+size_t NumCandidatePivots(const EntityIndex& index) {
+  return index.clean_clean() ? index.num_left() : index.num_entities();
+}
 
-  // Pivot entities are independent, so the sweep parallelises over
-  // fixed-grain pivot chunks: each worker keeps its own epoch-marked
-  // scratch (last_seen[g] == current epoch means global entity g was
-  // already collected for the current pivot) and fills chunk-owned output
-  // slots, which concatenate in chunk order — the pair list is identical
-  // to the serial sweep for any thread count.
-  const std::vector<ChunkRange> chunks =
-      DeterministicChunks(num_pivots, kPivotChunkGrain);
-  std::vector<std::vector<CandidatePair>> parts(chunks.size());
-  ParallelFor(chunks.size(), num_threads, [&](size_t chunks_begin,
-                                              size_t chunks_end) {
-    std::vector<uint32_t> last_seen(num_entities, 0);
-    std::vector<uint32_t> neighbours;
-    uint32_t epoch = 0;
-    for (size_t c = chunks_begin; c < chunks_end; ++c) {
-      std::vector<CandidatePair>& out = parts[c];
-      for (size_t e = chunks[c].begin; e < chunks[c].end; ++e) {
-        ++epoch;
-        neighbours.clear();
-        if (clean_clean) {
-          for (uint32_t bid : index.BlocksOf(e)) {
-            for (uint32_t g : index.BlockRightGlobals(bid)) {
-              if (last_seen[g] != epoch) {
-                last_seen[g] = epoch;
-                neighbours.push_back(g);
-              }
-            }
-          }
-        } else {
-          for (uint32_t bid : index.BlocksOf(e)) {
-            for (uint32_t g : index.BlockLeftGlobals(bid)) {
-              // Keep only j > i: every unordered pair is emitted exactly
-              // once, grouped under its smaller id.
-              if (g > e && last_seen[g] != epoch) {
-                last_seen[g] = epoch;
-                neighbours.push_back(g);
-              }
-            }
-          }
-        }
-        std::sort(neighbours.begin(), neighbours.end());
-        for (uint32_t g : neighbours) {
-          out.push_back({static_cast<EntityId>(e),
-                         static_cast<EntityId>(clean_clean ? g - num_left
-                                                           : g)});
+PivotNeighbourGenerator::PivotNeighbourGenerator(const EntityIndex& index)
+    : index_(index), last_seen_(index.num_entities(), 0) {}
+
+void PivotNeighbourGenerator::Generate(size_t pivot,
+                                       std::vector<EntityId>* neighbours) {
+  // Epoch-marked dedup: last_seen_[g] == current epoch means global entity
+  // g was already collected for this pivot. Identical to the sweep inside
+  // GenerateCandidatePairs.
+  ++epoch_;
+  neighbours->clear();
+  const bool clean_clean = index_.clean_clean();
+  const size_t num_left = index_.num_left();
+  if (clean_clean) {
+    for (uint32_t bid : index_.BlocksOf(pivot)) {
+      for (uint32_t g : index_.BlockRightGlobals(bid)) {
+        if (last_seen_[g] != epoch_) {
+          last_seen_[g] = epoch_;
+          neighbours->push_back(static_cast<EntityId>(g - num_left));
         }
       }
     }
-  });
+  } else {
+    for (uint32_t bid : index_.BlocksOf(pivot)) {
+      for (uint32_t g : index_.BlockLeftGlobals(bid)) {
+        // Keep only j > i: every unordered pair is emitted exactly once,
+        // grouped under its smaller id.
+        if (g > pivot && last_seen_[g] != epoch_) {
+          last_seen_[g] = epoch_;
+          neighbours->push_back(static_cast<EntityId>(g));
+        }
+      }
+    }
+  }
+  std::sort(neighbours->begin(), neighbours->end());
+}
+
+std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index,
+                                                  size_t num_threads) {
+  const size_t num_pivots = NumCandidatePivots(index);
+
+  // Pivot entities are independent, so the sweep parallelises over
+  // fixed-grain pivot chunks: each worker keeps its own epoch-marked
+  // scratch and fills chunk-owned output slots, which concatenate in chunk
+  // order — the pair list is identical to the serial sweep for any thread
+  // count.
+  const std::vector<ChunkRange> chunks =
+      DeterministicChunks(num_pivots, kPivotChunkGrain);
+  std::vector<std::vector<CandidatePair>> parts(chunks.size());
+  ParallelFor(chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+                PivotNeighbourGenerator generator(index);
+                std::vector<EntityId> neighbours;
+                for (size_t c = chunks_begin; c < chunks_end; ++c) {
+                  std::vector<CandidatePair>& out = parts[c];
+                  for (size_t e = chunks[c].begin; e < chunks[c].end; ++e) {
+                    generator.Generate(e, &neighbours);
+                    for (EntityId right : neighbours) {
+                      out.push_back({static_cast<EntityId>(e), right});
+                    }
+                  }
+                }
+              });
 
   return MergeChunkParts(&parts, num_threads);
 }

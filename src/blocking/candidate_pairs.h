@@ -36,6 +36,31 @@ struct CandidatePair {
 std::vector<CandidatePair> GenerateCandidatePairs(const EntityIndex& index,
                                                   size_t num_threads = 1);
 
+/// Number of pivot entities the candidate sweep iterates: |E1| for
+/// Clean-Clean ER (left entities pivot), |E| for Dirty ER.
+size_t NumCandidatePivots(const EntityIndex& index);
+
+/// Enumerates one pivot entity's distinct candidate neighbours — the exact
+/// per-pivot step of GenerateCandidatePairs, exposed so shard-scoped
+/// iteration (stream/) can regenerate any contiguous slice of the global
+/// candidate order without materialising the whole set. Holds the
+/// epoch-marked scratch, so one instance per worker thread amortises the
+/// O(|E|) allocation across pivots.
+class PivotNeighbourGenerator {
+ public:
+  explicit PivotNeighbourGenerator(const EntityIndex& index);
+
+  /// Fills `neighbours` (replacing its contents) with the pivot's candidate
+  /// partners as LOCAL right-side ids, ascending — exactly the `right` ids
+  /// GenerateCandidatePairs emits for this pivot, in the same order.
+  void Generate(size_t pivot, std::vector<EntityId>* neighbours);
+
+ private:
+  const EntityIndex& index_;
+  std::vector<uint32_t> last_seen_;
+  uint32_t epoch_ = 0;
+};
+
 /// Number of candidate pairs that are matches according to `gt`.
 size_t CountPositivePairs(const std::vector<CandidatePair>& pairs,
                           const GroundTruth& gt);

@@ -3,21 +3,51 @@
 #include <map>
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace gsmb {
 
 namespace {
 
+// Key extraction (tokenising every attribute value) dominates the cost of
+// building the table, so profiles chunk finely enough to load-balance.
+constexpr size_t kExtractChunkGrain = 256;
+
 // Accumulates key -> (E1 members, E2 members). std::map keeps keys in
 // lexicographic order, which makes block ids deterministic across runs and
-// platforms; blocking is not a hot path compared to meta-blocking itself.
+// platforms.
 using KeyTable =
     std::map<std::string, std::pair<std::vector<EntityId>,
                                     std::vector<EntityId>>>;
 
+// Chunk-and-merge extraction: each fixed-grain entity chunk extracts its
+// (key, id) rows in scan order, then the chunk outputs fold into the table
+// in ascending chunk order — member ids therefore arrive ascending exactly
+// as the serial scan produced them, for any thread count. Only the fold
+// (cheap map inserts and pushes) stays serial.
 void Accumulate(const EntityCollection& collection, bool into_left,
-                const KeyFunction& keys, KeyTable* table) {
-  for (EntityId id = 0; id < collection.size(); ++id) {
-    for (std::string& key : keys(collection[id])) {
+                const KeyFunction& keys, size_t num_threads,
+                KeyTable* table) {
+  const std::vector<ChunkRange> chunks =
+      DeterministicChunks(collection.size(), kExtractChunkGrain);
+  std::vector<std::vector<std::pair<std::string, EntityId>>> parts(
+      chunks.size());
+  ParallelFor(chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+                for (size_t c = chunks_begin; c < chunks_end; ++c) {
+                  std::vector<std::pair<std::string, EntityId>>& out =
+                      parts[c];
+                  for (size_t e = chunks[c].begin; e < chunks[c].end; ++e) {
+                    const auto id = static_cast<EntityId>(e);
+                    for (std::string& key : keys(collection[id])) {
+                      out.emplace_back(std::move(key), id);
+                    }
+                  }
+                }
+              });
+
+  for (std::vector<std::pair<std::string, EntityId>>& part : parts) {
+    for (auto& [key, id] : part) {
       auto& entry = (*table)[std::move(key)];
       if (into_left) {
         entry.first.push_back(id);
@@ -25,6 +55,7 @@ void Accumulate(const EntityCollection& collection, bool into_left,
         entry.second.push_back(id);
       }
     }
+    std::vector<std::pair<std::string, EntityId>>().swap(part);
   }
 }
 
@@ -32,10 +63,11 @@ void Accumulate(const EntityCollection& collection, bool into_left,
 
 BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
                                          const EntityCollection& e2,
-                                         const KeyFunction& keys) {
+                                         const KeyFunction& keys,
+                                         size_t num_threads) {
   KeyTable table;
-  Accumulate(e1, /*into_left=*/true, keys, &table);
-  Accumulate(e2, /*into_left=*/false, keys, &table);
+  Accumulate(e1, /*into_left=*/true, keys, num_threads, &table);
+  Accumulate(e2, /*into_left=*/false, keys, num_threads, &table);
 
   BlockCollection out(/*clean_clean=*/true, e1.size(), e2.size());
   for (auto& [key, members] : table) {
@@ -50,9 +82,10 @@ BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
 }
 
 BlockCollection BuildKeyBlocksDirty(const EntityCollection& e,
-                                    const KeyFunction& keys) {
+                                    const KeyFunction& keys,
+                                    size_t num_threads) {
   KeyTable table;
-  Accumulate(e, /*into_left=*/true, keys, &table);
+  Accumulate(e, /*into_left=*/true, keys, num_threads, &table);
 
   BlockCollection out(/*clean_clean=*/false, e.size(), 0);
   for (auto& [key, members] : table) {

@@ -17,21 +17,27 @@
 namespace gsmb {
 
 /// Derives the blocking keys of one profile (distinct, order irrelevant).
+/// Must be safe to call concurrently on distinct profiles: key extraction
+/// parallelises over entity chunks.
 using KeyFunction =
     std::function<std::vector<std::string>(const EntityProfile&)>;
 
 /// Builds a Clean-Clean block collection: one block per key that appears in
 /// *both* sources (keys confined to one source imply no comparison and are
 /// dropped eagerly). Blocks are emitted in lexicographic key order so the
-/// output is deterministic.
+/// output is deterministic. `num_threads` > 1 parallelises key extraction
+/// over fixed-grain entity chunks whose outputs fold in chunk order — the
+/// collection is bit-identical for any thread count.
 BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
                                          const EntityCollection& e2,
-                                         const KeyFunction& keys);
+                                         const KeyFunction& keys,
+                                         size_t num_threads = 1);
 
 /// Builds a Dirty block collection: one block per key shared by at least two
 /// profiles of the single input collection.
 BlockCollection BuildKeyBlocksDirty(const EntityCollection& e,
-                                    const KeyFunction& keys);
+                                    const KeyFunction& keys,
+                                    size_t num_threads = 1);
 
 }  // namespace gsmb
 

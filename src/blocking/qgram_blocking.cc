@@ -26,12 +26,14 @@ KeyFunction QGramKeys(size_t q) {
 }  // namespace
 
 BlockCollection QGramBlocking::Build(const EntityCollection& e1,
-                                     const EntityCollection& e2) const {
-  return BuildKeyBlocksCleanClean(e1, e2, QGramKeys(q_));
+                                     const EntityCollection& e2,
+                                     size_t num_threads) const {
+  return BuildKeyBlocksCleanClean(e1, e2, QGramKeys(q_), num_threads);
 }
 
-BlockCollection QGramBlocking::Build(const EntityCollection& e) const {
-  return BuildKeyBlocksDirty(e, QGramKeys(q_));
+BlockCollection QGramBlocking::Build(const EntityCollection& e,
+                                     size_t num_threads) const {
+  return BuildKeyBlocksDirty(e, QGramKeys(q_), num_threads);
 }
 
 }  // namespace gsmb

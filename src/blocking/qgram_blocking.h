@@ -19,8 +19,10 @@ class QGramBlocking {
   explicit QGramBlocking(size_t q = 3) : q_(q) {}
 
   BlockCollection Build(const EntityCollection& e1,
-                        const EntityCollection& e2) const;
-  BlockCollection Build(const EntityCollection& e) const;
+                        const EntityCollection& e2,
+                        size_t num_threads = 1) const;
+  BlockCollection Build(const EntityCollection& e,
+                        size_t num_threads = 1) const;
 
   size_t q() const { return q_; }
 

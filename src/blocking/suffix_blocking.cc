@@ -36,12 +36,16 @@ BlockCollection SuffixBlocking::CapBlocks(BlockCollection bc) const {
 }
 
 BlockCollection SuffixBlocking::Build(const EntityCollection& e1,
-                                      const EntityCollection& e2) const {
-  return CapBlocks(BuildKeyBlocksCleanClean(e1, e2, SuffixKeys(min_length_)));
+                                      const EntityCollection& e2,
+                                      size_t num_threads) const {
+  return CapBlocks(BuildKeyBlocksCleanClean(e1, e2, SuffixKeys(min_length_),
+                                            num_threads));
 }
 
-BlockCollection SuffixBlocking::Build(const EntityCollection& e) const {
-  return CapBlocks(BuildKeyBlocksDirty(e, SuffixKeys(min_length_)));
+BlockCollection SuffixBlocking::Build(const EntityCollection& e,
+                                      size_t num_threads) const {
+  return CapBlocks(
+      BuildKeyBlocksDirty(e, SuffixKeys(min_length_), num_threads));
 }
 
 }  // namespace gsmb

@@ -19,8 +19,10 @@ class SuffixBlocking {
       : min_length_(min_length), max_block_size_(max_block_size) {}
 
   BlockCollection Build(const EntityCollection& e1,
-                        const EntityCollection& e2) const;
-  BlockCollection Build(const EntityCollection& e) const;
+                        const EntityCollection& e2,
+                        size_t num_threads = 1) const;
+  BlockCollection Build(const EntityCollection& e,
+                        size_t num_threads = 1) const;
 
  private:
   BlockCollection CapBlocks(BlockCollection bc) const;

@@ -20,12 +20,15 @@ KeyFunction TokenKeys(size_t min_len) {
 }  // namespace
 
 BlockCollection TokenBlocking::Build(const EntityCollection& e1,
-                                     const EntityCollection& e2) const {
-  return BuildKeyBlocksCleanClean(e1, e2, TokenKeys(min_token_length_));
+                                     const EntityCollection& e2,
+                                     size_t num_threads) const {
+  return BuildKeyBlocksCleanClean(e1, e2, TokenKeys(min_token_length_),
+                                  num_threads);
 }
 
-BlockCollection TokenBlocking::Build(const EntityCollection& e) const {
-  return BuildKeyBlocksDirty(e, TokenKeys(min_token_length_));
+BlockCollection TokenBlocking::Build(const EntityCollection& e,
+                                     size_t num_threads) const {
+  return BuildKeyBlocksDirty(e, TokenKeys(min_token_length_), num_threads);
 }
 
 }  // namespace gsmb

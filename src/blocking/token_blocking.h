@@ -24,11 +24,15 @@ class TokenBlocking {
       : min_token_length_(min_token_length) {}
 
   /// Clean-Clean ER: blocks over two duplicate-free collections.
+  /// `num_threads` > 1 parallelises key extraction (chunk-and-merge);
+  /// the collection is bit-identical for any thread count.
   BlockCollection Build(const EntityCollection& e1,
-                        const EntityCollection& e2) const;
+                        const EntityCollection& e2,
+                        size_t num_threads = 1) const;
 
   /// Dirty ER: blocks over a single collection.
-  BlockCollection Build(const EntityCollection& e) const;
+  BlockCollection Build(const EntityCollection& e,
+                        size_t num_threads = 1) const;
 
  private:
   size_t min_token_length_;

@@ -1,209 +1,33 @@
 #include "core/cardinality_pruning.h"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-#include <vector>
+#include "core/pruning_aggregates.h"
 
-#include "util/thread_pool.h"
+// The cardinality-based algorithms are thin shells over the
+// chunk-decomposed aggregators of core/pruning_aggregates.h — the same
+// top-k selection code the streaming executor drives one shard at a time,
+// which is what keeps the two paths bit-identical.
 
 namespace gsmb {
-
-namespace {
-
-inline bool Valid(double p, const PruningContext& ctx) {
-  return p >= ctx.validity_threshold;
-}
-
-// Min-heap entry: the weakest retained pair sits on top. Ties on
-// probability are broken by pair index, ejecting the *later* pair first, so
-// results are deterministic and independent of heap internals.
-struct HeapEntry {
-  double prob;
-  uint32_t index;
-};
-
-// Strict total order "a outranks b": higher probability wins, ties go to
-// the smaller index (so later pairs are evicted first and results are
-// deterministic, independent of heap internals). The top-k of any entry
-// set under this order is unique, so per-chunk top-k selections can merge
-// in any order and still produce the exact serial result.
-inline bool Outranks(const HeapEntry& a, const HeapEntry& b) {
-  if (a.prob != b.prob) return a.prob > b.prob;
-  return a.index < b.index;
-}
-
-// Min-heap on Outranks: the weakest retained pair sits on top.
-struct WeakerFirst {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    return Outranks(a, b);
-  }
-};
-
-using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                                    WeakerFirst>;
-
-// Offers `e` to a queue capped at `k` entries, replacing the weakest kept
-// entry when outranked. Exact for any offer order (unlike a min-prob
-// fast-path, which assumes ascending-index offers).
-inline void OfferCapped(MinHeap& queue, size_t k, const HeapEntry& e) {
-  if (queue.size() < k) {
-    queue.push(e);
-  } else if (Outranks(e, queue.top())) {
-    queue.pop();
-    queue.push(e);
-  }
-}
-
-// Trims `entries` to its top-k under Outranks (unordered).
-void KeepTopK(std::vector<HeapEntry>& entries, size_t k) {
-  if (entries.size() <= k) return;
-  std::nth_element(entries.begin(), entries.begin() + k, entries.end(),
-                   Outranks);
-  entries.resize(k);
-}
-
-}  // namespace
 
 std::vector<uint32_t> CepPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  const auto k = static_cast<size_t>(std::max(0.0, std::floor(context.cep_k)));
-  if (k == 0) return {};
-
-  // Each chunk selects its local top-k valid pairs; the global top-k is
-  // the top-k of the union of the locals, which is unique under Outranks.
-  const std::vector<ChunkRange> chunks = DeterministicChunks(pairs.size());
-  std::vector<std::vector<HeapEntry>> parts(chunks.size());
-  ParallelFor(chunks.size(), context.num_threads,
-              [&](size_t chunks_begin, size_t chunks_end) {
-                for (size_t c = chunks_begin; c < chunks_end; ++c) {
-                  std::vector<HeapEntry>& local = parts[c];
-                  for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
-                    if (Valid(probabilities[i], context)) {
-                      local.push_back(
-                          {probabilities[i], static_cast<uint32_t>(i)});
-                    }
-                  }
-                  KeepTopK(local, k);
-                }
-              });
-
-  MinHeap queue;
-  for (const std::vector<HeapEntry>& part : parts) {
-    for (const HeapEntry& e : part) OfferCapped(queue, k, e);
-  }
-
-  std::vector<uint32_t> retained;
-  retained.reserve(queue.size());
-  while (!queue.empty()) {
-    retained.push_back(queue.top().index);
-    queue.pop();
-  }
-  std::sort(retained.begin(), retained.end());
-  return retained;
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
-
-namespace {
-
-// One chunk's candidate entry for a node's top-k queue.
-struct NodeOffer {
-  uint32_t node;
-  HeapEntry entry;
-};
-
-// Shared machinery of CNP/RCNP: build the per-node top-k queues, then count
-// in how many of its own two queues each pair appears (0, 1 or 2). Each
-// chunk pre-selects its per-node top-k by sorting its offers (no dense
-// per-worker scratch); the sparse chunk contributions then merge into the
-// global queues — per-node top-k is unique under Outranks, so the merge
-// order is immaterial and the result matches the serial sweep exactly.
-std::vector<uint8_t> QueueMembershipCounts(
-    const std::vector<CandidatePair>& pairs,
-    const std::vector<double>& probabilities, const PruningContext& context) {
-  const auto k = static_cast<size_t>(
-      std::max<long long>(1, std::llround(context.cnp_k)));
-
-  const std::vector<ChunkRange> chunks = DeterministicChunks(pairs.size());
-  std::vector<std::vector<NodeOffer>> parts(chunks.size());
-  ParallelFor(chunks.size(), context.num_threads,
-              [&](size_t chunks_begin, size_t chunks_end) {
-                std::vector<NodeOffer> offers;
-                for (size_t c = chunks_begin; c < chunks_end; ++c) {
-                  offers.clear();
-                  for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
-                    const double p = probabilities[i];
-                    if (!Valid(p, context)) continue;
-                    const auto index = static_cast<uint32_t>(i);
-                    offers.push_back(
-                        {static_cast<uint32_t>(LeftNode(pairs[i])),
-                         {p, index}});
-                    offers.push_back(
-                        {static_cast<uint32_t>(RightNode(pairs[i], context)),
-                         {p, index}});
-                  }
-                  std::sort(offers.begin(), offers.end(),
-                            [](const NodeOffer& a, const NodeOffer& b) {
-                              if (a.node != b.node) return a.node < b.node;
-                              return Outranks(a.entry, b.entry);
-                            });
-                  std::vector<NodeOffer>& out = parts[c];
-                  size_t pos = 0;
-                  while (pos < offers.size()) {
-                    const uint32_t node = offers[pos].node;
-                    size_t kept = 0;
-                    for (; pos < offers.size() && offers[pos].node == node;
-                         ++pos) {
-                      if (kept < k) {
-                        out.push_back(offers[pos]);
-                        ++kept;
-                      }
-                    }
-                  }
-                }
-              });
-
-  std::vector<MinHeap> queues(context.num_nodes);
-  for (const std::vector<NodeOffer>& part : parts) {
-    for (const NodeOffer& o : part) OfferCapped(queues[o.node], k, o.entry);
-  }
-
-  std::vector<uint8_t> membership(pairs.size(), 0);
-  for (MinHeap& q : queues) {
-    while (!q.empty()) {
-      ++membership[q.top().index];
-      q.pop();
-    }
-  }
-  return membership;
-}
-
-std::vector<uint32_t> RetainByMembership(const std::vector<uint8_t>& counts,
-                                         uint8_t required) {
-  std::vector<uint32_t> retained;
-  for (uint32_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] >= required) retained.push_back(i);
-  }
-  return retained;
-}
-
-}  // namespace
 
 std::vector<uint32_t> CnpPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  return RetainByMembership(
-      QueueMembershipCounts(pairs, probabilities, context), 1);
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
 
 std::vector<uint32_t> RcnpPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  return RetainByMembership(
-      QueueMembershipCounts(pairs, probabilities, context), 2);
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
 
 }  // namespace gsmb

@@ -197,21 +197,30 @@ void FeatureExtractor::ComputeGroup(const FeatureSet& set, size_t group_begin,
   }
 }
 
-Matrix FeatureExtractor::Compute(const FeatureSet& set,
-                                 size_t num_threads) const {
+Matrix FeatureExtractor::Compute(const FeatureSet& set, size_t num_threads,
+                                 const std::vector<double>* precomputed_lcp)
+    const {
   assert(!set.empty());
   const std::vector<size_t> layout = set.FullMatrixColumns();
   Matrix out(pairs_.size(), layout.size());
   if (pairs_.empty()) return out;
 
-  std::vector<double> lcp;
-  if (set.Contains(Feature::kLcp)) lcp = ComputeLcpPerEntity(num_threads);
+  std::vector<double> lcp_local;
+  const std::vector<double>* lcp = &lcp_local;
+  if (set.Contains(Feature::kLcp)) {
+    if (precomputed_lcp != nullptr) {
+      assert(precomputed_lcp->size() == index_.num_entities());
+      lcp = precomputed_lcp;
+    } else {
+      lcp_local = ComputeLcpPerEntity(num_threads);
+    }
+  }
 
   const std::vector<std::pair<size_t, size_t>> groups = PivotGroups();
   ParallelFor(groups.size(), num_threads, [&](size_t begin, size_t end) {
     NeighbourAccumulators acc(index_.num_entities());
     for (size_t g = begin; g < end; ++g) {
-      ComputeGroup(set, groups[g].first, groups[g].second, lcp, &acc, &out);
+      ComputeGroup(set, groups[g].first, groups[g].second, *lcp, &acc, &out);
     }
   });
   return out;

@@ -47,7 +47,14 @@ class FeatureExtractor {
   /// set.FullMatrixColumns() order. Only the requested schemes are
   /// computed. `num_threads` > 1 parallelises over pivot groups with
   /// bit-identical results.
-  Matrix Compute(const FeatureSet& set, size_t num_threads = 1) const;
+  ///
+  /// `precomputed_lcp` (optional) supplies the per-entity LCP values of
+  /// ComputeLcpPerEntity() so repeated Compute() calls over slices of the
+  /// same index — the streaming executor's per-shard sweeps — pay the
+  /// O(Σ||b||) LCP pass once instead of once per slice. Ignored when the
+  /// set does not contain LCP.
+  Matrix Compute(const FeatureSet& set, size_t num_threads = 1,
+                 const std::vector<double>* precomputed_lcp = nullptr) const;
 
   /// All nine canonical columns (see FeatureSet::FullMatrixColumns()).
   Matrix ComputeAll(size_t num_threads = 1) const {

@@ -38,14 +38,14 @@ PreparedDataset FinishPreparation(const std::string& name,
   return prep;
 }
 
+}  // namespace
+
 BlockCollection PreprocessBlocks(BlockCollection raw,
                                  const BlockingOptions& options) {
   BlockPurging purging(options.purge_size_fraction);
   BlockFiltering filtering(options.filter_ratio);
   return filtering.Apply(purging.Apply(raw));
 }
-
-}  // namespace
 
 PreparedDataset PrepareCleanClean(const std::string& name,
                                   const EntityCollection& e1,
@@ -56,7 +56,7 @@ PreparedDataset PrepareCleanClean(const std::string& name,
     throw std::invalid_argument(
         "PrepareCleanClean: ground truth has Dirty-ER semantics");
   }
-  BlockCollection raw = TokenBlocking().Build(e1, e2);
+  BlockCollection raw = TokenBlocking().Build(e1, e2, options.num_threads);
   return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
                            std::move(ground_truth), options.num_threads);
 }
@@ -69,7 +69,7 @@ PreparedDataset PrepareDirty(const std::string& name,
     throw std::invalid_argument(
         "PrepareDirty: ground truth has Clean-Clean semantics");
   }
-  BlockCollection raw = TokenBlocking().Build(e);
+  BlockCollection raw = TokenBlocking().Build(e, options.num_threads);
   return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
                            std::move(ground_truth), options.num_threads);
 }
@@ -82,14 +82,11 @@ PreparedDataset PrepareFromBlocks(const std::string& name,
                            num_threads);
 }
 
-EffectivenessMetrics EvaluateRetained(
-    const std::vector<uint32_t>& retained_indices,
-    const std::vector<uint8_t>& is_positive, size_t num_ground_truth) {
+EffectivenessMetrics MetricsFromCounts(size_t true_positives, size_t retained,
+                                       size_t num_ground_truth) {
   EffectivenessMetrics m;
-  m.retained = retained_indices.size();
-  for (uint32_t idx : retained_indices) {
-    if (is_positive[idx]) ++m.true_positives;
-  }
+  m.true_positives = true_positives;
+  m.retained = retained;
   if (num_ground_truth > 0) {
     m.recall = static_cast<double>(m.true_positives) /
                static_cast<double>(num_ground_truth);
@@ -102,6 +99,17 @@ EffectivenessMetrics EvaluateRetained(
     m.f1 = 2.0 * m.recall * m.precision / (m.recall + m.precision);
   }
   return m;
+}
+
+EffectivenessMetrics EvaluateRetained(
+    const std::vector<uint32_t>& retained_indices,
+    const std::vector<uint8_t>& is_positive, size_t num_ground_truth) {
+  size_t true_positives = 0;
+  for (uint32_t idx : retained_indices) {
+    if (is_positive[idx]) ++true_positives;
+  }
+  return MetricsFromCounts(true_positives, retained_indices.size(),
+                           num_ground_truth);
 }
 
 MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,

@@ -60,6 +60,13 @@ struct PreparedDataset {
   size_t num_candidates() const { return pairs.size(); }
 };
 
+/// The fixed preprocessing of every preparation path: Block Purging then
+/// Block Filtering with the options' parameters. Shared with the streaming
+/// preparation (stream/streaming_dataset.cc) so the two paths' implied
+/// candidate sets cannot drift apart.
+BlockCollection PreprocessBlocks(BlockCollection raw,
+                                 const BlockingOptions& options);
+
 /// Clean-Clean ER preparation (Token Blocking over two clean collections).
 PreparedDataset PrepareCleanClean(const std::string& name,
                                   const EntityCollection& e1,
@@ -115,6 +122,12 @@ struct EffectivenessMetrics {
 EffectivenessMetrics EvaluateRetained(
     const std::vector<uint32_t>& retained_indices,
     const std::vector<uint8_t>& is_positive, size_t num_ground_truth);
+
+/// Same measures from pre-counted tallies — for callers (the streaming
+/// executor) that evaluate retained pairs on the fly instead of holding an
+/// is_positive vector over the whole candidate set.
+EffectivenessMetrics MetricsFromCounts(size_t true_positives, size_t retained,
+                                       size_t num_ground_truth);
 
 struct MetaBlockingResult {
   EffectivenessMetrics metrics;

@@ -1,221 +1,47 @@
 #include "core/weight_pruning.h"
 
-#include <cstdint>
-#include <vector>
+#include "core/pruning_aggregates.h"
 
-#include "core/pruning_detail.h"
-#include "util/thread_pool.h"
+// The weight-based algorithms are thin shells over the chunk-decomposed
+// aggregators of core/pruning_aggregates.h — the same accumulate/fold/keep
+// code the streaming executor drives one shard at a time, which is what
+// keeps the two paths bit-identical.
 
 namespace gsmb {
-
-namespace {
-
-inline bool Valid(double p, const PruningContext& ctx) {
-  return p >= ctx.validity_threshold;
-}
-
-}  // namespace
 
 std::vector<uint32_t> BClPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  return detail::ChunkedRetain(
-      pairs.size(), context.num_threads,
-      [&](size_t i) { return Valid(probabilities[i], context); });
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
 
 std::vector<uint32_t> WepPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  // First pass: average probability over the valid pairs. Partial sums per
-  // fixed-grain chunk fold in chunk order, so the mean does not depend on
-  // the thread count.
-  const std::vector<ChunkRange> chunks =
-      DeterministicChunks(probabilities.size());
-  std::vector<double> part_sum(chunks.size(), 0.0);
-  std::vector<size_t> part_count(chunks.size(), 0);
-  ParallelFor(chunks.size(), context.num_threads,
-              [&](size_t chunks_begin, size_t chunks_end) {
-                for (size_t c = chunks_begin; c < chunks_end; ++c) {
-                  double sum = 0.0;
-                  size_t count = 0;
-                  for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
-                    if (Valid(probabilities[i], context)) {
-                      sum += probabilities[i];
-                      ++count;
-                    }
-                  }
-                  part_sum[c] = sum;
-                  part_count[c] = count;
-                }
-              });
-  double sum = 0.0;
-  size_t count = 0;
-  for (size_t c = 0; c < chunks.size(); ++c) {
-    sum += part_sum[c];
-    count += part_count[c];
-  }
-  if (count == 0) return {};
-  const double mean = sum / static_cast<double>(count);
-
-  // Second pass: keep pairs at or above the average. Valid pairs only —
-  // the average of valid probabilities is itself >= the threshold, so the
-  // check is implied, but kept explicit for the unsupervised (threshold
-  // <= 0) reuse of this class.
-  return detail::ChunkedRetain(pairs.size(), context.num_threads,
-                               [&](size_t i) {
-                                 return Valid(probabilities[i], context) &&
-                                        mean <= probabilities[i];
-                               });
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
-
-namespace {
-
-// One chunk's contribution to a node's probability sum.
-struct NodeContribution {
-  uint32_t node;
-  double sum;
-  uint32_t count;
-};
-
-// Shared first pass of WNP/RWNP: per-node averages over valid pairs. Each
-// chunk accumulates its touched nodes into a sparse contribution list;
-// contributions fold in chunk order, so the averages are bit-identical for
-// any thread count.
-std::vector<double> NodeAverages(const std::vector<CandidatePair>& pairs,
-                                 const std::vector<double>& probabilities,
-                                 const PruningContext& context) {
-  const std::vector<ChunkRange> chunks = DeterministicChunks(pairs.size());
-  std::vector<std::vector<NodeContribution>> parts(chunks.size());
-  ParallelFor(chunks.size(), context.num_threads,
-              [&](size_t chunks_begin, size_t chunks_end) {
-                // Dense scratch, reused across this worker's chunks; only
-                // the touched slots are read or reset.
-                std::vector<double> local_sum(context.num_nodes, 0.0);
-                std::vector<uint32_t> local_count(context.num_nodes, 0);
-                std::vector<uint32_t> touched;
-                auto add = [&](size_t node, double p) {
-                  if (local_count[node] == 0) {
-                    touched.push_back(static_cast<uint32_t>(node));
-                  }
-                  local_sum[node] += p;
-                  ++local_count[node];
-                };
-                for (size_t c = chunks_begin; c < chunks_end; ++c) {
-                  touched.clear();
-                  for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
-                    const double p = probabilities[i];
-                    if (!Valid(p, context)) continue;
-                    add(LeftNode(pairs[i]), p);
-                    add(RightNode(pairs[i], context), p);
-                  }
-                  parts[c].reserve(touched.size());
-                  for (uint32_t node : touched) {
-                    parts[c].push_back(
-                        {node, local_sum[node], local_count[node]});
-                    local_sum[node] = 0.0;
-                    local_count[node] = 0;
-                  }
-                }
-              });
-
-  std::vector<double> sum(context.num_nodes, 0.0);
-  std::vector<uint32_t> count(context.num_nodes, 0);
-  for (const std::vector<NodeContribution>& part : parts) {
-    for (const NodeContribution& c : part) {
-      sum[c.node] += c.sum;
-      count[c.node] += c.count;
-    }
-  }
-  for (size_t n = 0; n < sum.size(); ++n) {
-    sum[n] = count[n] > 0 ? sum[n] / count[n]
-                          : 2.0;  // unreachable threshold: no valid pairs
-  }
-  return sum;
-}
-
-}  // namespace
 
 std::vector<uint32_t> WnpPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  const std::vector<double> avg = NodeAverages(pairs, probabilities, context);
-  return detail::ChunkedRetain(
-      pairs.size(), context.num_threads, [&](size_t i) {
-        const double p = probabilities[i];
-        return Valid(p, context) &&
-               (avg[LeftNode(pairs[i])] <= p ||
-                avg[RightNode(pairs[i], context)] <= p);
-      });
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
 
 std::vector<uint32_t> RwnpPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  const std::vector<double> avg = NodeAverages(pairs, probabilities, context);
-  return detail::ChunkedRetain(
-      pairs.size(), context.num_threads, [&](size_t i) {
-        const double p = probabilities[i];
-        return Valid(p, context) &&
-               avg[LeftNode(pairs[i])] <= p &&
-               avg[RightNode(pairs[i], context)] <= p;
-      });
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
 
 std::vector<uint32_t> BlastPruning::Prune(
     const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities,
     const PruningContext& context) const {
-  // First pass: per-node maximum over valid pairs. max is exact (no
-  // rounding), so per-chunk maxima merge to the same values in any order.
-  const std::vector<ChunkRange> chunks = DeterministicChunks(pairs.size());
-  std::vector<std::vector<NodeContribution>> parts(chunks.size());
-  ParallelFor(chunks.size(), context.num_threads,
-              [&](size_t chunks_begin, size_t chunks_end) {
-                std::vector<double> local_max(context.num_nodes, 0.0);
-                std::vector<uint32_t> touched;
-                auto raise = [&](size_t node, double p) {
-                  if (local_max[node] == 0.0) {
-                    touched.push_back(static_cast<uint32_t>(node));
-                  }
-                  if (local_max[node] < p) local_max[node] = p;
-                };
-                for (size_t c = chunks_begin; c < chunks_end; ++c) {
-                  touched.clear();
-                  for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
-                    const double p = probabilities[i];
-                    if (!Valid(p, context) || p == 0.0) continue;
-                    raise(LeftNode(pairs[i]), p);
-                    raise(RightNode(pairs[i], context), p);
-                  }
-                  parts[c].reserve(touched.size());
-                  for (uint32_t node : touched) {
-                    parts[c].push_back({node, local_max[node], 0});
-                    local_max[node] = 0.0;
-                  }
-                }
-              });
-  std::vector<double> max_prob(context.num_nodes, 0.0);
-  for (const std::vector<NodeContribution>& part : parts) {
-    for (const NodeContribution& c : part) {
-      if (max_prob[c.node] < c.sum) max_prob[c.node] = c.sum;
-    }
-  }
-
-  // Second pass: p must reach r * (max_i + max_j).
-  return detail::ChunkedRetain(
-      pairs.size(), context.num_threads, [&](size_t i) {
-        const double p = probabilities[i];
-        if (!Valid(p, context)) return false;
-        const double threshold =
-            context.blast_ratio * (max_prob[LeftNode(pairs[i])] +
-                                   max_prob[RightNode(pairs[i], context)]);
-        return threshold <= p;
-      });
+  return PruneWithAggregator(kind(), pairs, probabilities, context);
 }
 
 }  // namespace gsmb

@@ -1,0 +1,397 @@
+#include "stream/streaming_executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/features.h"
+#include "core/pruning_aggregates.h"
+#include "ml/sampler.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace gsmb {
+
+namespace {
+
+// Mirrors the pivot chunking of blocking/candidate_pairs.cc.
+constexpr size_t kPivotChunkGrain = 1024;
+
+constexpr size_t kNoPivot = std::numeric_limits<size_t>::max();
+
+/// Replays SampleBalanced (ml/sampler.cc) without an is_positive byte per
+/// candidate: the positive pool is the explicit ascending index list, the
+/// negative pool is its complement in [0, num_candidates). The Rng draw
+/// sequence — positives first, then negatives, partial Fisher-Yates each —
+/// is identical, so the selected rows and their order are identical.
+TrainingSet SampleBalancedFromPlan(const std::vector<uint64_t>& positives,
+                                   uint64_t num_candidates, size_t per_class,
+                                   Rng* rng) {
+  const size_t num_pos = positives.size();
+  const auto num_neg = static_cast<size_t>(num_candidates) - num_pos;
+
+  std::vector<size_t> pos_ranks = rng->SampleWithoutReplacementSparse(
+      num_pos, std::min(per_class, num_pos));
+  std::vector<uint64_t> pos_chosen;
+  pos_chosen.reserve(pos_ranks.size());
+  for (size_t rank : pos_ranks) pos_chosen.push_back(positives[rank]);
+  std::sort(pos_chosen.begin(), pos_chosen.end());
+
+  std::vector<size_t> neg_ranks = rng->SampleWithoutReplacementSparse(
+      num_neg, std::min(per_class, num_neg));
+  // The k-th negative is the k-th candidate index that is not positive:
+  // idx = rank + (#positives <= idx), resolved by a merged sweep over the
+  // ascending ranks. Ascending ranks map to ascending indices, so the
+  // mapped list is already the sorted order the batch sampler produces.
+  std::sort(neg_ranks.begin(), neg_ranks.end());
+  std::vector<uint64_t> neg_chosen;
+  neg_chosen.reserve(neg_ranks.size());
+  size_t skipped = 0;
+  for (size_t rank : neg_ranks) {
+    while (skipped < num_pos && positives[skipped] <= rank + skipped) {
+      ++skipped;
+    }
+    neg_chosen.push_back(rank + skipped);
+  }
+
+  TrainingSet ts;
+  for (uint64_t i : pos_chosen) {
+    ts.row_indices.push_back(static_cast<size_t>(i));
+    ts.labels.push_back(1);
+  }
+  for (uint64_t i : neg_chosen) {
+    ts.row_indices.push_back(static_cast<size_t>(i));
+    ts.labels.push_back(0);
+  }
+  return ts;
+}
+
+}  // namespace
+
+struct StreamingExecutor::ShardArena {
+  std::vector<CandidatePair> pairs;
+  Matrix features;
+  std::vector<double> probabilities;
+};
+
+StreamingExecutor::StreamingExecutor(const StreamingDataset& dataset,
+                                     StreamingOptions options)
+    : dataset_(dataset), options_(options) {
+  if (options_.num_shards == 0 && options_.memory_budget_mb == 0) {
+    throw std::invalid_argument(
+        "StreamingExecutor: options need num_shards > 0 or a positive "
+        "memory budget");
+  }
+}
+
+std::vector<StreamingExecutor::ShardSlice> StreamingExecutor::PlanShards(
+    size_t num_chunks, size_t feature_dims) const {
+  const uint64_t n = dataset_.num_candidates();
+  size_t shards = options_.num_shards;
+  if (options_.memory_budget_mb > 0) {
+    const uint64_t budget_bytes = static_cast<uint64_t>(
+                                      options_.memory_budget_mb)
+                                  << 20;
+    // Approximate arena bytes per candidate: the pair, its feature row,
+    // its probability, plus slack for the per-chunk aggregation partials.
+    const uint64_t bytes_per_pair =
+        sizeof(CandidatePair) + 8ull * feature_dims + 8 + 8;
+    const uint64_t pairs_per_shard =
+        std::max<uint64_t>(1, budget_bytes / bytes_per_pair);
+    const uint64_t derived =
+        n == 0 ? 1 : (n + pairs_per_shard - 1) / pairs_per_shard;
+    shards = std::max(shards, static_cast<size_t>(derived));
+  }
+  shards = std::clamp<size_t>(shards, 1, std::max<size_t>(1, num_chunks));
+
+  std::vector<ShardSlice> slices;
+  if (num_chunks == 0) return slices;
+  const size_t base = num_chunks / shards;
+  const size_t extra = num_chunks % shards;
+  size_t chunk = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t take = base + (s < extra ? 1 : 0);
+    if (take == 0) continue;
+    ShardSlice slice;
+    slice.chunk_begin = chunk;
+    slice.chunk_end = chunk + take;
+    slice.first_index = chunk * kDefaultChunkGrain;
+    slice.end_index = std::min<size_t>(static_cast<size_t>(n),
+                                       slice.chunk_end * kDefaultChunkGrain);
+    slices.push_back(slice);
+    chunk += take;
+  }
+  return slices;
+}
+
+size_t StreamingExecutor::PivotOf(uint64_t index) const {
+  const std::vector<uint64_t>& offsets = dataset_.pivot_offsets;
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), index);
+  return static_cast<size_t>(it - offsets.begin()) - 1;
+}
+
+void StreamingExecutor::FillArena(const ShardSlice& shard,
+                                  const MetaBlockingConfig& config,
+                                  const ProbabilisticClassifier& model,
+                                  const std::vector<double>* lcp,
+                                  ShardArena* arena,
+                                  StreamingResult* timings) const {
+  const EntityIndex& index = *dataset_.index;
+  const std::vector<uint64_t>& offsets = dataset_.pivot_offsets;
+
+  // ---- Regenerate the shard's slice of the global candidate order. ----
+  Stopwatch watch;
+  arena->pairs.resize(shard.end_index - shard.first_index);
+  const size_t pivot_begin = PivotOf(shard.first_index);
+  const size_t pivot_end = PivotOf(shard.end_index - 1) + 1;
+  const std::vector<ChunkRange> pivot_chunks =
+      DeterministicChunks(pivot_end - pivot_begin, kPivotChunkGrain);
+  ParallelFor(
+      pivot_chunks.size(), config.num_threads,
+      [&](size_t chunks_begin, size_t chunks_end) {
+        PivotNeighbourGenerator generator(index);
+        std::vector<EntityId> neighbours;
+        for (size_t c = chunks_begin; c < chunks_end; ++c) {
+          for (size_t p = pivot_chunks[c].begin; p < pivot_chunks[c].end;
+               ++p) {
+            const size_t pivot = pivot_begin + p;
+            const uint64_t begin =
+                std::max<uint64_t>(offsets[pivot], shard.first_index);
+            const uint64_t end =
+                std::min<uint64_t>(offsets[pivot + 1], shard.end_index);
+            if (begin >= end) continue;  // empty pivot, or boundary overlap
+            generator.Generate(pivot, &neighbours);
+            for (uint64_t i = begin; i < end; ++i) {
+              arena->pairs[i - shard.first_index] = {
+                  static_cast<EntityId>(pivot),
+                  neighbours[i - offsets[pivot]]};
+            }
+          }
+        }
+      });
+  timings->generate_seconds += watch.ElapsedSeconds();
+
+  // ---- Features (against the GLOBAL index: rows are bit-identical to the
+  // corresponding rows of the batch path's full matrix). ----
+  watch.Restart();
+  FeatureExtractor extractor(index, arena->pairs);
+  arena->features = extractor.Compute(config.features, config.num_threads,
+                                      lcp);
+  timings->feature_seconds += watch.ElapsedSeconds();
+
+  // ---- Classify. ----
+  watch.Restart();
+  arena->probabilities =
+      model.PredictBatch(arena->features, config.num_threads);
+  timings->classify_seconds += watch.ElapsedSeconds();
+}
+
+StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
+                                       const RetainedSink& sink) const {
+  const EntityIndex& index = *dataset_.index;
+  const uint64_t n64 = dataset_.num_candidates();
+  if (n64 > std::numeric_limits<uint32_t>::max()) {
+    throw std::runtime_error(
+        "StreamingExecutor: candidate count exceeds the 32-bit pair index "
+        "space shared with the batch path");
+  }
+  const auto n = static_cast<size_t>(n64);
+  const std::vector<ChunkRange> chunks = DeterministicChunks(n);
+
+  StreamingResult result;
+  const std::vector<ShardSlice> shards =
+      PlanShards(chunks.size(), config.features.Dimensions());
+  result.num_shards_used = shards.size();
+  for (const ShardSlice& shard : shards) {
+    result.max_shard_candidates = std::max(
+        result.max_shard_candidates, shard.end_index - shard.first_index);
+  }
+
+  // ---- LCP once, reused by every per-shard extraction. ----
+  Stopwatch watch;
+  static const std::vector<CandidatePair> kNoPairs;
+  std::vector<double> lcp;
+  const std::vector<double>* lcp_ptr = nullptr;
+  if (config.features.Contains(Feature::kLcp)) {
+    lcp = FeatureExtractor(index, kNoPairs)
+              .ComputeLcpPerEntity(config.num_threads);
+    lcp_ptr = &lcp;
+  }
+  result.feature_seconds += watch.ElapsedSeconds();
+
+  // ---- Training: replay of the batch sample, rows and fit. ----
+  watch.Restart();
+  Rng rng(config.seed);
+  TrainingSet training = SampleBalancedFromPlan(
+      dataset_.positive_indices, n64, config.train_per_class, &rng);
+  if (training.size() < 2) {
+    throw std::runtime_error(
+        "StreamingExecutor: not enough labelled pairs to train (dataset '" +
+        dataset_.name + "')");
+  }
+
+  // Feature rows for the training pairs only: regenerate them grouped by
+  // pivot (FeatureExtractor's order invariant), then reorder the rows into
+  // the sampler's positives-then-negatives layout the batch path trains on.
+  std::vector<uint64_t> sorted_rows(training.row_indices.begin(),
+                                    training.row_indices.end());
+  std::sort(sorted_rows.begin(), sorted_rows.end());
+  std::vector<CandidatePair> training_pairs(sorted_rows.size());
+  {
+    PivotNeighbourGenerator generator(index);
+    std::vector<EntityId> neighbours;
+    size_t current_pivot = kNoPivot;
+    for (size_t r = 0; r < sorted_rows.size(); ++r) {
+      const size_t pivot = PivotOf(sorted_rows[r]);
+      if (pivot != current_pivot) {
+        generator.Generate(pivot, &neighbours);
+        current_pivot = pivot;
+      }
+      training_pairs[r] = {
+          static_cast<EntityId>(pivot),
+          neighbours[sorted_rows[r] - dataset_.pivot_offsets[pivot]]};
+    }
+  }
+  FeatureExtractor training_extractor(index, training_pairs);
+  const Matrix sorted_features = training_extractor.Compute(
+      config.features, config.num_threads, lcp_ptr);
+  std::unordered_map<uint64_t, size_t> row_of;
+  row_of.reserve(sorted_rows.size());
+  for (size_t r = 0; r < sorted_rows.size(); ++r) row_of[sorted_rows[r]] = r;
+  Matrix train_x(training.size(), sorted_features.cols());
+  for (size_t t = 0; t < training.row_indices.size(); ++t) {
+    const double* src =
+        sorted_features.Row(row_of.at(training.row_indices[t]));
+    std::copy(src, src + sorted_features.cols(), train_x.Row(t));
+  }
+
+  std::unique_ptr<ProbabilisticClassifier> model =
+      MakeClassifier(config.classifier, config.seed);
+  model->Fit(train_x, training.labels);
+  result.train_seconds = watch.ElapsedSeconds();
+  result.training_size = training.size();
+  result.model_coefficients = model->CoefficientsWithIntercept();
+
+  // ---- Pruning context, identical to the batch path's. ----
+  PruningContext context =
+      PruningContext::FromIndex(index, dataset_.stats);
+  context.blast_ratio = config.blast_ratio;
+  context.num_threads = config.num_threads;
+
+  std::unique_ptr<PruningAggregator> aggregator =
+      MakePruningAggregator(config.pruning, chunks.size(), context);
+  ShardArena arena;
+
+  // ---- Sweep 1: accumulate per-chunk aggregates, folding after each
+  // shard — the identical fold sequence PruneWithAggregator performs. ----
+  if (aggregator->needs_accumulation()) {
+    ++result.sweeps;
+    for (const ShardSlice& shard : shards) {
+      FillArena(shard, config, *model, lcp_ptr, &arena, &result);
+      watch.Restart();
+      const size_t shard_chunks = shard.chunk_end - shard.chunk_begin;
+      ParallelFor(shard_chunks, config.num_threads,
+                  [&](size_t begin, size_t end) {
+                    std::unique_ptr<AggregatorScratch> scratch =
+                        aggregator->MakeScratch();
+                    for (size_t sc = begin; sc < end; ++sc) {
+                      const size_t c = shard.chunk_begin + sc;
+                      PairChunkView view;
+                      view.chunk_index = c;
+                      view.first_index = chunks[c].begin;
+                      view.pairs = arena.pairs.data() +
+                                   (chunks[c].begin - shard.first_index);
+                      view.probabilities =
+                          arena.probabilities.data() +
+                          (chunks[c].begin - shard.first_index);
+                      view.count = chunks[c].end - chunks[c].begin;
+                      aggregator->AccumulateChunk(view, scratch.get());
+                    }
+                  });
+      aggregator->FoldChunks(shard.chunk_begin, shard.chunk_end);
+      result.prune_seconds += watch.ElapsedSeconds();
+    }
+    watch.Restart();
+    aggregator->Finalize();
+    result.prune_seconds += watch.ElapsedSeconds();
+  }
+
+  // ---- Emit the retained set, ascending by global index. ----
+  size_t retained_count = 0;
+  size_t true_positives = 0;
+  auto emit = [&](uint32_t idx, const CandidatePair& pair,
+                  double probability) {
+    ++retained_count;
+    if (dataset_.ground_truth.IsMatch(pair.left, pair.right)) {
+      ++true_positives;
+    }
+    if (config.keep_retained) result.retained_indices.push_back(idx);
+    if (sink) sink(idx, pair, probability);
+  };
+
+  if (aggregator->emits_from_aggregates()) {
+    // Cardinality kinds: the folded top-k structures already hold the
+    // retained indices and weights; only their pairs are regenerated.
+    watch.Restart();
+    const std::vector<RetainedCandidate> retained =
+        aggregator->TakeRetained();
+    PivotNeighbourGenerator generator(index);
+    std::vector<EntityId> neighbours;
+    size_t current_pivot = kNoPivot;
+    for (const RetainedCandidate& candidate : retained) {
+      const size_t pivot = PivotOf(candidate.index);
+      if (pivot != current_pivot) {
+        generator.Generate(pivot, &neighbours);
+        current_pivot = pivot;
+      }
+      const CandidatePair pair{
+          static_cast<EntityId>(pivot),
+          neighbours[candidate.index - dataset_.pivot_offsets[pivot]]};
+      emit(candidate.index, pair, candidate.probability);
+    }
+    result.prune_seconds += watch.ElapsedSeconds();
+  } else {
+    // Weight-based kinds: a second sweep re-scores each shard and applies
+    // the finalized thresholds; per-chunk keeps merge in chunk order, so
+    // emission is ascending and equals the batch ChunkedRetain exactly.
+    ++result.sweeps;
+    for (const ShardSlice& shard : shards) {
+      FillArena(shard, config, *model, lcp_ptr, &arena, &result);
+      watch.Restart();
+      const size_t shard_chunks = shard.chunk_end - shard.chunk_begin;
+      std::vector<std::vector<uint32_t>> parts(shard_chunks);
+      ParallelFor(shard_chunks, config.num_threads,
+                  [&](size_t begin, size_t end) {
+                    for (size_t sc = begin; sc < end; ++sc) {
+                      const size_t c = shard.chunk_begin + sc;
+                      for (size_t i = chunks[c].begin; i < chunks[c].end;
+                           ++i) {
+                        const size_t local = i - shard.first_index;
+                        if (aggregator->Keep(i, arena.pairs[local],
+                                             arena.probabilities[local])) {
+                          parts[sc].push_back(static_cast<uint32_t>(i));
+                        }
+                      }
+                    }
+                  });
+      for (const std::vector<uint32_t>& part : parts) {
+        for (uint32_t idx : part) {
+          const size_t local = idx - shard.first_index;
+          emit(idx, arena.pairs[local], arena.probabilities[local]);
+        }
+      }
+      result.prune_seconds += watch.ElapsedSeconds();
+    }
+  }
+
+  result.metrics = MetricsFromCounts(true_positives, retained_count,
+                                     dataset_.ground_truth.size());
+  result.total_seconds = result.generate_seconds + result.feature_seconds +
+                         result.train_seconds + result.classify_seconds +
+                         result.prune_seconds;
+  return result;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,28 @@
+#include "util/mem_stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gsmb {
+
+MemStats ReadMemStats() {
+  MemStats stats;
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return stats;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    // Lines look like "VmHWM:     12345 kB".
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      stats.vm_hwm_kb = static_cast<size_t>(std::strtoull(line + 6, nullptr, 10));
+    } else if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      stats.vm_rss_kb = static_cast<size_t>(std::strtoull(line + 6, nullptr, 10));
+    }
+  }
+  std::fclose(file);
+  return stats;
+}
+
+size_t PeakRssKb() { return ReadMemStats().vm_hwm_kb; }
+
+}  // namespace gsmb

@@ -1,0 +1,31 @@
+// Process memory statistics from /proc/self/status (Linux).
+//
+// The bench harnesses report VmHWM — the peak resident set size — next to
+// wall-clock time, so memory regressions (and the streaming executor's
+// bounded-memory claim) are tracked by the same bench_diff.py machinery
+// that tracks runtime. On platforms without procfs the readings are zero
+// and callers simply report nothing.
+
+#ifndef GSMB_UTIL_MEM_STATS_H_
+#define GSMB_UTIL_MEM_STATS_H_
+
+#include <cstddef>
+
+namespace gsmb {
+
+struct MemStats {
+  size_t vm_rss_kb = 0;  ///< current resident set size
+  size_t vm_hwm_kb = 0;  ///< peak resident set size ("high-water mark")
+
+  bool available() const { return vm_hwm_kb > 0 || vm_rss_kb > 0; }
+};
+
+/// Reads VmRSS/VmHWM of this process; all-zero when procfs is unavailable.
+MemStats ReadMemStats();
+
+/// Shorthand for ReadMemStats().vm_hwm_kb.
+size_t PeakRssKb();
+
+}  // namespace gsmb
+
+#endif  // GSMB_UTIL_MEM_STATS_H_

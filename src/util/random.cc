@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <unordered_map>
 
 namespace gsmb {
 
@@ -56,6 +57,29 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   }
   idx.resize(k);
   return idx;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacementSparse(size_t n, size_t k) {
+  k = std::min(k, n);
+  // Virtual partial Fisher-Yates: `displaced[j]` holds what the dense
+  // version's idx[j] would hold after earlier swaps; untouched slots hold
+  // their own position. Draw i reads slot j = i + NextUint64(n - i), emits
+  // its value, and stores slot i's value there — exactly the dense swap,
+  // so the engine consumption and the output are identical.
+  std::unordered_map<size_t, size_t> displaced;
+  auto value_at = [&](size_t slot) {
+    auto it = displaced.find(slot);
+    return it == displaced.end() ? slot : it->second;
+  };
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(NextUint64(n - i));
+    const size_t value_i = value_at(i);
+    out.push_back(value_at(j));
+    displaced[j] = value_i;  // slot i is never read again
+  }
+  return out;
 }
 
 Rng Rng::Fork() {

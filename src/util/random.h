@@ -56,6 +56,13 @@ class Rng {
   /// If k >= n, returns a permutation of all n indices.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
+  /// Bit-identical to SampleWithoutReplacement — same engine draws, same
+  /// output sequence — but O(k) memory instead of O(n): the partial
+  /// Fisher-Yates array is virtualised through a hash map of displaced
+  /// slots. Used where n is a full candidate count (stream/) and the dense
+  /// identity array would dwarf the memory budget.
+  std::vector<size_t> SampleWithoutReplacementSparse(size_t n, size_t k);
+
   /// Derives an independent child generator; useful to give each
   /// sub-component its own stream without correlated draws.
   Rng Fork();

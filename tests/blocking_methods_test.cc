@@ -191,5 +191,69 @@ TEST(BlockCollection, Totals) {
   EXPECT_DOUBLE_EQ(bc.TotalComparisons(), 24.0);
 }
 
+
+// ---------------------------------------------------------------------------
+// Parallel key extraction: chunk-and-merge must be bit-identical to the
+// serial scan for every key-based blocking method and any thread count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void ExpectSameCollections(const BlockCollection& a,
+                           const BlockCollection& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.clean_clean(), b.clean_clean());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].left, b[i].left);
+    EXPECT_EQ(a[i].right, b[i].right);
+  }
+}
+
+EntityCollection NoisyProfiles(const char* prefix, size_t count,
+                               uint64_t salt) {
+  EntityCollection collection;
+  for (size_t i = 0; i < count; ++i) {
+    EntityProfile p(prefix + std::to_string(i));
+    p.AddAttribute("name", "entity shard" + std::to_string((i * salt) % 97) +
+                               " token" + std::to_string(i % 13));
+    p.AddAttribute("desc", "common word" + std::to_string((i + salt) % 29));
+    collection.Add(std::move(p));
+  }
+  return collection;
+}
+
+}  // namespace
+
+TEST(ParallelKeyExtraction, TokenBlockingDeterministicAcrossThreadCounts) {
+  const EntityCollection e1 = NoisyProfiles("a", 700, 3);
+  const EntityCollection e2 = NoisyProfiles("b", 650, 7);
+  const BlockCollection serial = TokenBlocking().Build(e1, e2, 1);
+  for (size_t threads : {2u, 5u, 8u}) {
+    ExpectSameCollections(serial, TokenBlocking().Build(e1, e2, threads));
+  }
+  const BlockCollection dirty_serial = TokenBlocking().Build(e1, 1);
+  ExpectSameCollections(dirty_serial, TokenBlocking().Build(e1, 8));
+}
+
+TEST(ParallelKeyExtraction, QGramBlockingDeterministicAcrossThreadCounts) {
+  const EntityCollection e1 = NoisyProfiles("a", 400, 5);
+  const EntityCollection e2 = NoisyProfiles("b", 380, 11);
+  ExpectSameCollections(QGramBlocking().Build(e1, e2, 1),
+                        QGramBlocking().Build(e1, e2, 8));
+  ExpectSameCollections(QGramBlocking().Build(e1, 1),
+                        QGramBlocking().Build(e1, 6));
+}
+
+TEST(ParallelKeyExtraction, SuffixBlockingDeterministicAcrossThreadCounts) {
+  const EntityCollection e1 = NoisyProfiles("a", 400, 13);
+  const EntityCollection e2 = NoisyProfiles("b", 420, 17);
+  ExpectSameCollections(SuffixBlocking().Build(e1, e2, 1),
+                        SuffixBlocking().Build(e1, e2, 8));
+  ExpectSameCollections(SuffixBlocking().Build(e1, 1),
+                        SuffixBlocking().Build(e1, 3));
+}
+
+
 }  // namespace
 }  // namespace gsmb

@@ -1,0 +1,232 @@
+// Streaming-vs-batch equivalence: the StreamingExecutor must retain pairs
+// BIT-IDENTICAL to RunMetaBlocking for all 8 pruning kinds, at every
+// tested shard count x thread count, on both Clean-Clean and Dirty
+// fixtures. This is the load-bearing guarantee of stream/ — everything
+// else (memory bounds, sweeps, sinks) is checked afterwards.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/candidate_pairs.h"
+#include "core/pipeline.h"
+#include "datasets/dirty_generator.h"
+#include "datasets/specs.h"
+#include "stream/streaming_dataset.h"
+#include "stream/streaming_executor.h"
+#include "test_support.h"
+
+namespace gsmb {
+namespace {
+
+using testing::MediumDataset;
+using testing::SmallDirtyDataset;
+
+StreamingDataset StreamingTwin(const PreparedDataset& prep) {
+  return PrepareStreamingFromBlocks(prep.name, prep.blocks,
+                                    prep.ground_truth, /*num_threads=*/2);
+}
+
+MetaBlockingConfig BaseConfig(PruningKind kind) {
+  MetaBlockingConfig config;
+  config.features = FeatureSet::BlastOptimal();
+  config.pruning = kind;
+  config.train_per_class = 25;
+  config.seed = 7;
+  config.keep_retained = true;
+  return config;
+}
+
+void ExpectIdentical(const MetaBlockingResult& batch,
+                     const StreamingResult& stream, PruningKind kind,
+                     size_t shards, size_t threads) {
+  SCOPED_TRACE(std::string(PruningKindName(kind)) + " shards=" +
+               std::to_string(shards) + " threads=" +
+               std::to_string(threads));
+  EXPECT_EQ(batch.retained_indices, stream.retained_indices);
+  EXPECT_EQ(batch.metrics.retained, stream.metrics.retained);
+  EXPECT_EQ(batch.metrics.true_positives, stream.metrics.true_positives);
+  EXPECT_EQ(batch.metrics.recall, stream.metrics.recall);
+  EXPECT_EQ(batch.metrics.precision, stream.metrics.precision);
+  EXPECT_EQ(batch.metrics.f1, stream.metrics.f1);
+  EXPECT_EQ(batch.training_size, stream.training_size);
+  EXPECT_EQ(batch.model_coefficients, stream.model_coefficients);
+}
+
+void RunEquivalenceSweep(const PreparedDataset& prep) {
+  const StreamingDataset twin = StreamingTwin(prep);
+  ASSERT_EQ(prep.pairs.size(), twin.num_candidates());
+  for (PruningKind kind : AllPruningKinds()) {
+    const MetaBlockingConfig config = BaseConfig(kind);
+    const MetaBlockingResult batch = RunMetaBlocking(prep, config);
+    for (size_t shards : {size_t{1}, size_t{4}, size_t{128}}) {
+      for (size_t threads : {size_t{1}, size_t{8}}) {
+        StreamingOptions options;
+        options.num_shards = shards;
+        MetaBlockingConfig stream_config = config;
+        stream_config.num_threads = threads;
+        const StreamingResult stream =
+            StreamingExecutor(twin, options).Run(stream_config);
+        ExpectIdentical(batch, stream, kind, shards, threads);
+      }
+    }
+  }
+}
+
+TEST(StreamExecutorTest, PreparationMatchesBatchGeometry) {
+  const PreparedDataset& prep = MediumDataset();
+  const StreamingDataset twin = StreamingTwin(prep);
+
+  ASSERT_EQ(twin.num_candidates(), prep.pairs.size());
+  ASSERT_EQ(twin.pivot_offsets.size(),
+            NumCandidatePivots(*prep.index) + 1);
+  // The offsets must reproduce the grouped-by-pivot order of the batch
+  // candidate list.
+  for (size_t i = 0; i < prep.pairs.size(); ++i) {
+    const size_t pivot = prep.pairs[i].left;
+    EXPECT_GE(i, twin.pivot_offsets[pivot]);
+    EXPECT_LT(i, twin.pivot_offsets[pivot + 1]);
+  }
+  // positive_indices are exactly the ascending candidate indices the batch
+  // path labels positive.
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i < prep.is_positive.size(); ++i) {
+    if (prep.is_positive[i]) expected.push_back(i);
+  }
+  EXPECT_EQ(expected, twin.positive_indices);
+  EXPECT_EQ(prep.blocking_quality.num_candidates,
+            twin.blocking_quality.num_candidates);
+  EXPECT_EQ(prep.blocking_quality.duplicates_covered,
+            twin.blocking_quality.duplicates_covered);
+  EXPECT_EQ(prep.blocking_quality.recall, twin.blocking_quality.recall);
+  EXPECT_EQ(prep.blocking_quality.precision,
+            twin.blocking_quality.precision);
+  EXPECT_EQ(prep.blocking_quality.f1, twin.blocking_quality.f1);
+}
+
+TEST(StreamExecutorTest, AllKindsMatchBatchCleanClean) {
+  RunEquivalenceSweep(MediumDataset());
+}
+
+TEST(StreamExecutorTest, AllKindsMatchBatchDirty) {
+  RunEquivalenceSweep(SmallDirtyDataset());
+}
+
+// LCP forces the precomputed-per-entity path (and the 2014 feature set is
+// the one whose rows depend on a feature the shard cannot see locally).
+TEST(StreamExecutorTest, LcpFeaturesMatchBatch) {
+  const PreparedDataset& prep = MediumDataset();
+  const StreamingDataset twin = StreamingTwin(prep);
+  MetaBlockingConfig config = BaseConfig(PruningKind::kRcnp);
+  config.features = FeatureSet::Paper2014();
+  const MetaBlockingResult batch = RunMetaBlocking(prep, config);
+  StreamingOptions options;
+  options.num_shards = 5;
+  MetaBlockingConfig stream_config = config;
+  stream_config.num_threads = 4;
+  const StreamingResult stream =
+      StreamingExecutor(twin, options).Run(stream_config);
+  ExpectIdentical(batch, stream, config.pruning, 5, 4);
+}
+
+// A dataset large enough for dozens of chunks, so shard boundaries cut
+// through pivot groups many times (the truncated-group path).
+TEST(StreamExecutorTest, ManyShardDirtyDatasetMatchesBatch) {
+  DirtySpec spec;
+  spec.name = "StreamD6K";
+  spec.num_entities = 6000;
+  spec.seed = 5;
+  GeneratedDirty data = DirtyGenerator().Generate(spec);
+  GroundTruth gt_copy = data.ground_truth;
+  const PreparedDataset prep =
+      PrepareDirty(spec.name, data.entities, std::move(gt_copy),
+                   BlockingOptions{.num_threads = 4});
+  const StreamingDataset twin = StreamingTwin(prep);
+
+  for (PruningKind kind : {PruningKind::kBlast, PruningKind::kWep,
+                           PruningKind::kCnp}) {
+    MetaBlockingConfig config = BaseConfig(kind);
+    config.num_threads = 4;
+    const MetaBlockingResult batch = RunMetaBlocking(prep, config);
+    for (size_t shards : {size_t{3}, size_t{32}}) {
+      StreamingOptions options;
+      options.num_shards = shards;
+      const StreamingResult stream =
+          StreamingExecutor(twin, options).Run(config);
+      EXPECT_GT(stream.num_shards_used, 1u);
+      ExpectIdentical(batch, stream, kind, shards, 4);
+    }
+  }
+}
+
+TEST(StreamExecutorTest, MemoryBudgetDerivesShardCountAndBoundsArena) {
+  const PreparedDataset& prep = MediumDataset();
+  const StreamingDataset twin = StreamingTwin(prep);
+  MetaBlockingConfig config = BaseConfig(PruningKind::kBlast);
+  const MetaBlockingResult batch = RunMetaBlocking(prep, config);
+
+  StreamingOptions options;
+  options.num_shards = 1;
+  options.memory_budget_mb = 1;  // ~1 MiB arena => multiple shards
+  const StreamingExecutor executor(twin, options);
+  const StreamingResult stream = executor.Run(config);
+
+  EXPECT_GT(stream.num_shards_used, 1u);
+  // One candidate costs ~sizeof(pair) + feature row + probability; the
+  // high-water arena must respect the derived per-shard budget (chunk
+  // granularity makes it exact only up to one chunk).
+  const size_t bytes_per_pair =
+      sizeof(CandidatePair) + 8 * config.features.Dimensions() + 16;
+  EXPECT_LE(stream.max_shard_candidates * bytes_per_pair,
+            (options.memory_budget_mb << 20) + bytes_per_pair * 8192);
+  ExpectIdentical(batch, stream, config.pruning, stream.num_shards_used, 1);
+}
+
+TEST(StreamExecutorTest, SinkReceivesRetainedAscendingWithPairs) {
+  const PreparedDataset& prep = MediumDataset();
+  const StreamingDataset twin = StreamingTwin(prep);
+  // One weight-based and one cardinality kind: the two emission paths.
+  for (PruningKind kind : {PruningKind::kWnp, PruningKind::kCep}) {
+    MetaBlockingConfig config = BaseConfig(kind);
+    StreamingOptions options;
+    options.num_shards = 4;
+    std::vector<uint32_t> seen;
+    StreamingResult stream = StreamingExecutor(twin, options).Run(
+        config, [&](uint32_t index, const CandidatePair& pair,
+                    double probability) {
+          if (!seen.empty()) EXPECT_LT(seen.back(), index);
+          seen.push_back(index);
+          EXPECT_EQ(prep.pairs[index], pair);
+          EXPECT_GE(probability, 0.5);  // default validity threshold
+        });
+    EXPECT_EQ(seen.size(), stream.metrics.retained);
+    EXPECT_EQ(seen, stream.retained_indices);
+  }
+}
+
+TEST(StreamExecutorTest, SweepCountsPerAlgorithmFamily) {
+  const StreamingDataset twin = StreamingTwin(MediumDataset());
+  StreamingOptions options;
+  options.num_shards = 4;
+  auto sweeps = [&](PruningKind kind) {
+    return StreamingExecutor(twin, options)
+        .Run(BaseConfig(kind))
+        .sweeps;
+  };
+  EXPECT_EQ(sweeps(PruningKind::kBCl), 1u);    // stateless: single pass
+  EXPECT_EQ(sweeps(PruningKind::kBlast), 2u);  // aggregate + threshold pass
+  EXPECT_EQ(sweeps(PruningKind::kCnp), 1u);    // emits from aggregates
+}
+
+TEST(StreamExecutorTest, RejectsUnusableOptions) {
+  const StreamingDataset twin = StreamingTwin(MediumDataset());
+  StreamingOptions options;
+  options.num_shards = 0;
+  options.memory_budget_mb = 0;
+  EXPECT_THROW(StreamingExecutor(twin, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -169,6 +169,32 @@ TEST(Zipf, SingleRank) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
 }
 
+
+TEST(SampleWithoutReplacementSparse, MatchesDenseDrawForDraw) {
+  for (uint64_t seed : {1u, 9u, 42u}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{10}, size_t{1000}}) {
+      for (size_t k : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+        Rng dense(seed);
+        Rng sparse(seed);
+        EXPECT_EQ(dense.SampleWithoutReplacement(n, k),
+                  sparse.SampleWithoutReplacementSparse(n, k))
+            << "seed=" << seed << " n=" << n << " k=" << k;
+        // Both must leave the engine in the same state (same draw count).
+        EXPECT_EQ(dense.NextUint64(1u << 30), sparse.NextUint64(1u << 30));
+      }
+    }
+  }
+}
+
+TEST(SampleWithoutReplacementSparse, LargePopulationStaysDistinct) {
+  Rng rng(123);
+  const std::vector<size_t> sample =
+      rng.SampleWithoutReplacementSparse(size_t{1} << 40, 500);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), sample.size());
+  for (size_t v : sample) EXPECT_LT(v, size_t{1} << 40);
+}
+
 class RngBoundsSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RngBoundsSweep, UniformCoversRange) {

@@ -5,6 +5,7 @@ Usage:
     bench_diff.py baseline.json current.json [--threshold 0.20] [--strict]
 
 Prints a per-benchmark delta table and flags every benchmark whose real_time
+— or peak RSS, for benchmarks that report a `peak_rss_mb` user counter —
 regressed by more than the threshold (default 20%). Benchmarks present in
 only one file are reported but never flagged. Emits GitHub Actions
 `::warning::` annotations so regressions surface on the workflow run page;
@@ -16,8 +17,15 @@ import argparse
 import json
 import sys
 
+# Probes that exist only to carry a user counter (their real_time measures
+# a single /proc read and jitters far beyond any threshold): their time is
+# printed but never flagged; their counters are diffed like any other.
+COUNTER_ONLY_BENCHMARKS = {"BM_ProcessPeakRss/iterations:1",
+                           "BM_ProcessPeakRss"}
+
 
 def load_benchmarks(path):
+    """name -> (real_time, peak_rss_mb or None)."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     out = {}
@@ -25,7 +33,9 @@ def load_benchmarks(path):
         # Skip aggregate rows (mean/median/stddev of repetitions).
         if bench.get("run_type") == "aggregate":
             continue
-        out[bench["name"]] = float(bench["real_time"])
+        rss = bench.get("peak_rss_mb")
+        out[bench["name"]] = (float(bench["real_time"]),
+                              float(rss) if rss is not None else None)
     return out
 
 
@@ -46,26 +56,34 @@ def main():
     print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
-            print(f"{name:50s} {'-':>12s} {current[name]:12.1f}     new")
+            print(f"{name:50s} {'-':>12s} {current[name][0]:12.1f}     new")
             continue
         if name not in current:
-            print(f"{name:50s} {baseline[name]:12.1f} {'-':>12s} removed")
+            print(f"{name:50s} {baseline[name][0]:12.1f} {'-':>12s} removed")
             continue
-        base, cur = baseline[name], current[name]
+        (base, base_rss), (cur, cur_rss) = baseline[name], current[name]
         delta = (cur - base) / base if base > 0 else 0.0
         marker = ""
-        if delta > args.threshold:
+        if delta > args.threshold and name not in COUNTER_ONLY_BENCHMARKS:
             marker = "  << REGRESSION"
-            regressions.append((name, delta))
+            regressions.append((name, "real_time", delta))
         print(f"{name:50s} {base:12.1f} {cur:12.1f} {delta:+7.1%}{marker}")
+        if base_rss is not None and cur_rss is not None:
+            rss_delta = (cur_rss - base_rss) / base_rss if base_rss > 0 else 0.0
+            rss_marker = ""
+            if rss_delta > args.threshold:
+                rss_marker = "  << RSS REGRESSION"
+                regressions.append((name, "peak_rss_mb", rss_delta))
+            print(f"{'  peak_rss_mb':50s} {base_rss:12.1f} {cur_rss:12.1f} "
+                  f"{rss_delta:+7.1%}{rss_marker}")
 
     if regressions:
         print()
-        for name, delta in regressions:
-            print(f"::warning title=bench regression::{name} real_time "
+        for name, metric, delta in regressions:
+            print(f"::warning title=bench regression::{name} {metric} "
                   f"regressed {delta:+.1%} (threshold "
                   f"{args.threshold:.0%})")
-        print(f"{len(regressions)} benchmark(s) regressed more than "
+        print(f"{len(regressions)} benchmark metric(s) regressed more than "
               f"{args.threshold:.0%}")
         if args.strict:
             return 1

@@ -14,9 +14,21 @@
 //                                classification and pruning (1; 0 = all
 //                                hardware threads). Results are identical
 //                                for any thread count.
+//        [--streaming]           bounded-memory out-of-core execution
+//                                (stream/): never materialises the global
+//                                candidate set; retained pairs are
+//                                bit-identical to the in-memory path.
+//        [--shards N]            candidate-space slices for --streaming
+//                                (16); more shards = lower peak memory.
+//        [--memory-budget-mb M]  raise the shard count until one shard's
+//                                arena fits M MiB (implies nothing else;
+//                                combines with --shards by taking the
+//                                stricter of the two).
 //        [--out retained.csv]    write retained pairs as CSV
 //
 // Omitting --e2 switches to Dirty ER (deduplication of --e1).
+// --shards/--memory-budget-mb without --streaming, --shards 0, and
+// --memory-budget-mb 0 are contradictions and rejected up front.
 //
 // Serve mode keeps a long-lived incremental MetaBlockingSession resident
 // and drives it with commands from stdin (see serve/session.h):
@@ -39,6 +51,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -50,6 +63,8 @@
 #include "datasets/io.h"
 #include "serve/session.h"
 #include "serve/serving_model.h"
+#include "stream/streaming_dataset.h"
+#include "stream/streaming_executor.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -64,6 +79,8 @@ void PrintUsage(std::FILE* stream) {
                "            [--pruning blast] [--classifier logreg]\n"
                "            [--features blast] [--labels 25] [--seed 0]\n"
                "            [--threads 1] [--out retained.csv]\n"
+               "            [--streaming [--shards 16]\n"
+               "             [--memory-budget-mb M]]\n"
                "   or: gsmb serve --data a.csv --gt matches.csv\n"
                "            [--shards 16] [--threads 1]\n"
                "            [--max-block-size 200] [--pruning blast]\n"
@@ -345,12 +362,22 @@ int ServeMain(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       training.seed =
           ParseNumber("--seed", need_value(bootstrap_only("--seed")));
+    } else if (std::strcmp(argv[i], "--streaming") == 0 ||
+               std::strcmp(argv[i], "--memory-budget-mb") == 0) {
+      Usage((std::string(argv[i]) +
+             " drives the one-shot batch pipeline and contradicts serve "
+             "mode, which is incremental by construction — drop the flag "
+             "or run without 'serve'")
+                .c_str());
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage(stdout);
       return 0;
     } else {
       Usage((std::string("unknown serve flag ") + argv[i]).c_str());
     }
+  }
+  if (options.num_shards == 0) {
+    Usage("--shards 0 is contradictory: a session needs at least one shard");
   }
 
   if (snapshot_path.empty() && (data_path.empty() || gt_path.empty())) {
@@ -422,6 +449,9 @@ int main(int argc, char** argv) {
   config.pruning = PruningKind::kBlast;
   config.train_per_class = 25;
   size_t threads = 1;
+  bool streaming = false;
+  bool shards_given = false;
+  StreamingOptions stream_options;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> std::string {
@@ -449,6 +479,19 @@ int main(int argc, char** argv) {
       threads = static_cast<size_t>(
           ParseNumber("--threads", need_value("--threads")));
       if (threads == 0) threads = HardwareThreads();
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      stream_options.num_shards = static_cast<size_t>(
+          ParseNumber("--shards", need_value("--shards")));
+      shards_given = true;
+    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0) {
+      stream_options.memory_budget_mb = static_cast<size_t>(ParseNumber(
+          "--memory-budget-mb", need_value("--memory-budget-mb")));
+      if (stream_options.memory_budget_mb == 0) {
+        Usage("--memory-budget-mb 0 is contradictory: a zero-byte arena "
+              "cannot hold any candidates (omit the flag for no budget)");
+      }
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = need_value("--out");
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -459,6 +502,14 @@ int main(int argc, char** argv) {
     }
   }
   if (e1_path.empty() || gt_path.empty()) Usage("--e1 and --gt are required");
+  if (shards_given && stream_options.num_shards == 0) {
+    Usage("--shards 0 is contradictory: streaming needs at least one "
+          "candidate-space slice");
+  }
+  if (!streaming && (shards_given || stream_options.memory_budget_mb > 0)) {
+    Usage("--shards/--memory-budget-mb only shape --streaming execution; "
+          "add --streaming or drop them");
+  }
 
   try {
     const bool dirty = e2_path.empty();
@@ -475,6 +526,66 @@ int main(int argc, char** argv) {
     BlockingOptions blocking;
     blocking.num_threads = threads;
     config.num_threads = threads;
+
+    if (streaming) {
+      StreamingDataset prep =
+          dirty ? PrepareStreamingDirty("cli", e1, std::move(gt), blocking)
+                : PrepareStreamingCleanClean("cli", e1, e2, std::move(gt),
+                                             blocking);
+      std::printf(
+          "Blocking (%.0f ms): %zu blocks, %llu candidates (not "
+          "materialised), recall %.4f, precision %.6f\n",
+          watch.ElapsedMillis(), prep.blocks.size(),
+          static_cast<unsigned long long>(prep.num_candidates()),
+          prep.blocking_quality.recall, prep.blocking_quality.precision);
+
+      StreamingExecutor executor(prep, stream_options);
+      // Retained pairs stream straight to disk — buffering them would
+      // reintroduce the O(retained) memory the mode exists to avoid.
+      std::ofstream out_file;
+      size_t rows_written = 0;
+      StreamingExecutor::RetainedSink sink;
+      if (!out_path.empty()) {
+        // Binary mode matches WriteCsvFile, so the streaming CSV stays
+        // byte-identical to the batch branch's on every platform.
+        out_file.open(out_path, std::ios::binary);
+        if (!out_file) {
+          throw std::runtime_error("cannot write " + out_path);
+        }
+        out_file << "left_id,right_id\n";
+        sink = [&](uint32_t, const CandidatePair& p, double) {
+          out_file << EscapeCsvField(e1[p.left].external_id()) << ','
+                   << EscapeCsvField(dirty ? e1[p.right].external_id()
+                                           : e2[p.right].external_id())
+                   << '\n';
+          ++rows_written;
+        };
+      }
+      StreamingResult result = executor.Run(config, sink);
+      std::printf(
+          "%s + %s on %s, %zu labels (%zu threads, streaming: %zu shards, "
+          "arena %zu pairs, %zu sweep%s):\n"
+          "  retained  %zu pairs\n  recall    %.4f\n  precision %.4f\n"
+          "  F1        %.4f\n  run-time  %.1f ms\n",
+          ClassifierKindName(config.classifier),
+          PruningKindName(config.pruning),
+          config.features.ToString().c_str(), result.training_size, threads,
+          result.num_shards_used, result.max_shard_candidates,
+          result.sweeps, result.sweeps == 1 ? "" : "s",
+          result.metrics.retained, result.metrics.recall,
+          result.metrics.precision, result.metrics.f1,
+          result.total_seconds * 1e3);
+      if (!out_path.empty()) {
+        out_file.close();
+        if (!out_file) {
+          throw std::runtime_error("error writing " + out_path);
+        }
+        std::printf("Wrote %zu retained pairs to %s\n", rows_written,
+                    out_path.c_str());
+      }
+      return 0;
+    }
+
     PreparedDataset prep =
         dirty ? PrepareDirty("cli", e1, std::move(gt), blocking)
               : PrepareCleanClean("cli", e1, e2, std::move(gt), blocking);
