@@ -1,0 +1,119 @@
+// Engine-facade benchmark: ONE JobSpec driven through every registered
+// backend, timing each and asserting the cross-backend equivalence the
+// facade promises (batch == streaming retained counts for any spec;
+// serving joins them on a shard-pure spec with one shard).
+//
+// This is the bench-side answer to "what does the facade cost?": the
+// engine adds validation + dispatch + spec plumbing on top of the raw
+// pipelines, and this harness shows that overhead is noise against the
+// pipeline itself while giving one place to compare backend wall-clocks.
+//
+//   GSMB_SCALE    dataset size multiplier (default 0.25)
+//   GSMB_THREADS  worker threads (default: all hardware threads)
+//
+// Exits non-zero on any cross-backend retained-count mismatch, so CI can
+// run it as a smoke.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace gsmb;
+
+double EnvScale() {
+  const char* value = std::getenv("GSMB_SCALE");
+  if (value == nullptr) return 0.25;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : 0.25;
+}
+
+size_t EnvThreads() {
+  const char* value = std::getenv("GSMB_THREADS");
+  if (value == nullptr) return HardwareThreads();
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : HardwareThreads();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale();
+  const size_t threads = EnvThreads();
+  std::printf("== Engine facade benchmark (scale %.3g, %zu threads) ==\n\n",
+              scale, threads);
+
+  // A serving-compatible spec, so all three backends run the same job:
+  // Dirty ER, token blocking, no filtering, linear classifier, one shard.
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = scale;
+  spec.blocking.filter_ratio = 1.0;
+  spec.training.labels_per_class = 50;
+  spec.training.seed = 1;
+  spec.execution.options.num_threads = threads;
+  spec.execution.shards = 1;
+
+  Engine engine;
+  TablePrinter table({"backend", "pruning", "retained", "recall",
+                      "precision", "engine ms", "pipeline ms"});
+
+  bool consistent = true;
+  for (PruningKind pruning : {PruningKind::kBlast, PruningKind::kRcnp}) {
+    spec.pruning.kind = pruning;
+    size_t reference_retained = 0;
+    bool have_reference = false;
+    for (const std::string& backend : engine.BackendNames()) {
+      Stopwatch watch;
+      Result<JobResult> result = engine.RunOn(backend, spec);
+      const double engine_ms = watch.ElapsedMillis();
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", backend.c_str(),
+                     PruningKindName(pruning),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({backend, PruningKindName(pruning),
+                    std::to_string(result->metrics.retained),
+                    TablePrinter::Fixed(result->metrics.recall, 4),
+                    TablePrinter::Fixed(result->metrics.precision, 4),
+                    TablePrinter::Fixed(engine_ms, 1),
+                    TablePrinter::Fixed(result->total_seconds * 1e3, 1)});
+      if (!have_reference) {
+        reference_retained = result->metrics.retained;
+        have_reference = true;
+      } else if (result->metrics.retained != reference_retained) {
+        std::fprintf(stderr,
+                     "MISMATCH: %s retained %zu pairs, expected %zu\n",
+                     backend.c_str(), result->metrics.retained,
+                     reference_retained);
+        consistent = false;
+      }
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // The facade's own overhead: a spec JSON round trip plus validation per
+  // Run() is the only cost the engine adds before dispatch.
+  Stopwatch watch;
+  constexpr int kReps = 1000;
+  for (int i = 0; i < kReps; ++i) {
+    Result<JobSpec> parsed = JobSpec::FromJson(spec.ToJson());
+    if (!parsed.ok() || !parsed->Validate().ok()) return 1;
+  }
+  std::printf("\nspec JSON round trip + validation: %.1f us/job\n",
+              watch.ElapsedMillis() * 1e3 / kReps);
+
+  if (!consistent) return 1;
+  std::printf("ENGINE BENCH OK: all backends retained identical counts\n");
+  return 0;
+}

@@ -206,7 +206,7 @@ void BM_PruningParallel(benchmark::State& state) {
   Rng rng(3);
   for (double& p : probs) p = rng.NextDouble();
   PruningContext ctx = PruningContext::FromIndex(*prep.index, prep.stats);
-  ctx.num_threads = threads;
+  ctx.execution.num_threads = threads;
   auto algorithm = MakePruningAlgorithm(kind);
   for (auto _ : state) {
     auto retained = algorithm->Prune(prep.pairs, probs, ctx);

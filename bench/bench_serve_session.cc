@@ -62,13 +62,13 @@ int main() {
 
   ServingModelTraining training;
   training.train_per_class = 50;
-  training.num_threads = threads;
+  training.execution.num_threads = threads;
   const ServingModel model = TrainServingModel(
       data.entities, data.ground_truth, FeatureSet::BlastOptimal(), training);
 
   SessionOptions options;
   options.num_shards = num_shards;
-  options.num_threads = threads;
+  options.execution.num_threads = threads;
   options.max_block_size = 100;
 
   // ---- Ingest throughput (tokenise + route, no re-blocking). ----

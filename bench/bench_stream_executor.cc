@@ -57,7 +57,7 @@ MetaBlockingConfig BenchConfig() {
   config.features = FeatureSet::BlastOptimal();
   config.pruning = PruningKind::kBlast;
   config.train_per_class = 50;
-  config.num_threads = HardwareThreads();
+  config.execution.num_threads = HardwareThreads();
   return config;
 }
 
@@ -92,7 +92,7 @@ int RunChild(const std::string& mode, const std::string& props_path) {
   const GeneratedDirty data = MakeDataset();
   const MetaBlockingConfig config = BenchConfig();
   BlockingOptions blocking;
-  blocking.num_threads = config.num_threads;
+  blocking.execution.num_threads = config.execution.num_threads;
 
   Props props;
   props["mode"] = mode;

@@ -1,8 +1,10 @@
 // Incremental serving: a long-lived MetaBlockingSession fed by a stream of
-// arriving records.
+// arriving records — opened through the gsmb::Engine facade.
 //
-//   1. bootstrap — train a ServingModel on labelled data with the batch
-//      pipeline, build a sharded session, ingest the initial collection,
+//   1. bootstrap — describe the serving job as a JobSpec (CSV dataset,
+//      serving mode, shard count, purge cap) and Engine::OpenSession() it:
+//      the engine trains the resident model with the batch pipeline,
+//      ingests the initial collection and refreshes every shard,
 //   2. stream    — records arrive in batches; each AddProfiles() marks only
 //      the shards owning a touched token dirty, each Refresh() re-blocks
 //      and re-prunes those shards — the retained pairs are bit-identical to
@@ -15,46 +17,71 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "datasets/dirty_generator.h"
+#include "datasets/io.h"
 #include "datasets/specs.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
 #include "serve/session.h"
-#include "serve/serving_model.h"
 #include "util/stopwatch.h"
 
 int main() {
   using namespace gsmb;
 
-  // ---- 1. Bootstrap: labelled data -> resident model -> warm session. ----
-  DirtySpec spec;
-  spec.name = "serving-demo";
-  spec.num_entities = 2010;
-  spec.seed = 17;
-  GeneratedDirty data = DirtyGenerator().Generate(spec);
+  // ---- 0. A stream source: generated Dirty-ER data, half of it saved as
+  // the bootstrap CSVs a production deployment would start from. ----
+  DirtySpec source_spec;
+  source_spec.name = "serving-demo";
+  source_spec.num_entities = 2010;
+  source_spec.seed = 17;
+  GeneratedDirty data = DirtyGenerator().Generate(source_spec);
   const std::vector<EntityProfile>& profiles = data.entities.profiles();
   std::printf("Stream source: %zu profiles, %zu known duplicate pairs\n",
               profiles.size(), data.ground_truth.size());
 
-  ServingModelTraining training;
-  training.train_per_class = 50;
-  ServingModel model = TrainServingModel(
-      data.entities, data.ground_truth, FeatureSet::BlastOptimal(), training);
-
-  SessionOptions options;
-  options.num_shards = 32;
-  options.num_threads = 4;
-  options.max_block_size = 64;  // absolute purging cap, serving-style
-  MetaBlockingSession session(options, model);
-
   const size_t initial = profiles.size() / 2;
+  EntityCollection bootstrap("bootstrap");
+  for (size_t i = 0; i < initial; ++i) bootstrap.Add(profiles[i]);
+  // Labelled matches known at bootstrap time: both endpoints resident.
+  GroundTruth bootstrap_gt(/*dirty=*/true);
+  for (const MatchPair& match : data.ground_truth.pairs()) {
+    if (match.left < initial && match.right < initial) {
+      bootstrap_gt.AddMatch(match.left, match.right);
+    }
+  }
+  const std::string dir = "serving_demo_data";
+  std::filesystem::create_directories(dir);
+  SaveCollectionCsv(bootstrap, dir + "/bootstrap.csv");
+  SaveGroundTruthCsv(bootstrap_gt, bootstrap, bootstrap, dir + "/gt.csv");
+
+  // ---- 1. Bootstrap through the facade: one spec, one call. ----
+  JobSpec job;
+  job.dataset.source = DatasetSource::kCsv;
+  job.dataset.e1 = dir + "/bootstrap.csv";
+  job.dataset.ground_truth = dir + "/gt.csv";
+  job.blocking.filter_ratio = 1.0;  // serving is shard-pure: no filtering
+  job.training.labels_per_class = 50;
+  job.execution.mode = ExecutionMode::kServing;
+  job.execution.shards = 32;
+  job.execution.options.num_threads = 4;
+  job.execution.serving_max_block_size = 64;  // absolute purge cap
+
+  Engine engine;
   Stopwatch watch;
-  session.AddProfiles({profiles.begin(), profiles.begin() + initial});
-  session.Refresh();
+  Result<MetaBlockingSession> opened = engine.OpenSession(job);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  MetaBlockingSession session = std::move(*opened);
   std::printf("Bootstrapped %zu profiles into %zu shards in %.1f ms\n",
-              initial, options.num_shards, watch.ElapsedMillis());
+              initial, session.options().num_shards, watch.ElapsedMillis());
 
   // ---- 2. Stream the rest in batches; refresh touches dirty shards only. -
+  const size_t num_shards = session.options().num_shards;
   const size_t streamed = profiles.size() - 10;
   const size_t batch_size = 250;
   for (size_t begin = initial; begin < streamed; begin += batch_size) {
@@ -66,7 +93,7 @@ int main() {
     std::printf(
         "  batch of %3zu: %2zu/%zu shards dirty, refreshed in %6.1f ms "
         "(retained %zu)\n",
-        end - begin, dirty, options.num_shards, watch.ElapsedMillis(),
+        end - begin, dirty, num_shards, watch.ElapsedMillis(),
         session.RetainedPairs().size());
     if (refreshed != dirty) std::printf("  (unexpected refresh count)\n");
   }
@@ -79,19 +106,18 @@ int main() {
     const size_t dirty = session.DirtyShardCount();
     session.Refresh();
     std::printf("  late arrival %-10s %2zu/%zu shards dirty, %5.1f ms\n",
-                profiles[i].external_id().c_str(), dirty, options.num_shards,
+                profiles[i].external_id().c_str(), dirty, num_shards,
                 watch.ElapsedMillis());
   }
 
   // The incremental guarantee, checked live: a cold session over the same
   // profiles retains exactly the same pairs.
-  MetaBlockingSession cold(options, model);
+  MetaBlockingSession cold(session.options(), session.model());
   cold.AddProfiles(profiles);
   cold.Refresh();
   const bool matches_cold = session.RetainedPairs() == cold.RetainedPairs();
   std::printf("Incremental == cold rebuild: %s (%zu pairs)\n",
-              matches_cold ? "yes" : "NO",
-              session.RetainedPairs().size());
+              matches_cold ? "yes" : "NO", session.RetainedPairs().size());
 
   // ---- 3. Query: find the duplicates of one resident record (passing
   // its id as `exclude` keeps it out of its own results). ----
@@ -117,6 +143,7 @@ int main() {
               snapshot_ok ? "restored session serves identically"
                           : "MISMATCH");
   std::remove(path);
+  std::filesystem::remove_all(dir);
 
   if (!matches_cold || !snapshot_ok) return 1;
   std::printf("SERVING DEMO OK\n");

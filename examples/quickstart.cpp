@@ -1,48 +1,49 @@
-// Quickstart: the full Generalized Supervised Meta-blocking pipeline in
-// ~60 lines.
+// Quickstart: the full Generalized Supervised Meta-blocking pipeline
+// through the public facade, in ~20 lines of library calls.
 //
-//   1. get two entity collections + ground truth (here: synthetic data
-//      shaped like the AbtBuy product-matching benchmark),
-//   2. Prepare*() runs Token Blocking -> Block Purging -> Block Filtering
-//      and materialises the candidate pairs,
-//   3. RunMetaBlocking() extracts weighting-scheme features, trains a
-//      probabilistic classifier on 50 labelled pairs, weights every
-//      candidate and prunes with supervised BLAST.
+//   1. describe the job as a declarative gsmb::JobSpec — dataset, blocking,
+//      features, classifier, pruning, training, execution mode,
+//   2. hand it to gsmb::Engine. The engine validates the spec, picks the
+//      backend (here `auto`: batch, unless the arena-bytes model exceeds
+//      the memory budget) and runs block -> weight -> classify -> prune,
+//   3. read the JobResult. The same spec serializes to JSON
+//      (spec.ToJson(), `gsmb_cli explain`) and replays byte-identically
+//      through `gsmb_cli run --config job.json` — and through the
+//      streaming backend, which retains the same pairs by construction.
 //
 // Build & run:  ./build/examples/quickstart
 //
 // `quickstart --export-csv DIR` instead writes the quickstart dataset as
 // DIR/e1.csv, DIR/e2.csv and DIR/gt.csv — the fixture the CI smoke tests
-// feed to `gsmb_cli` (including `--streaming`).
+// feed to `gsmb_cli` (including `run --config`).
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
-#include "core/pipeline.h"
 #include "datasets/clean_clean_generator.h"
 #include "datasets/io.h"
 #include "datasets/specs.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
 
 int main(int argc, char** argv) {
   using namespace gsmb;
-
-  // ---- 1. Data: two clean collections with known matches. ----
-  CleanCleanSpec spec = CleanCleanSpecByName("AbtBuy", /*scale=*/0.25);
-  GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
 
   if (argc > 1 && (argc != 3 || std::strcmp(argv[1], "--export-csv") != 0)) {
     std::fprintf(stderr, "usage: quickstart [--export-csv DIR]\n");
     return 2;
   }
   if (argc == 3) {
+    // Materialise the generated dataset as CSVs for the CLI smoke tests.
+    CleanCleanSpec spec = CleanCleanSpecByName("AbtBuy", /*scale=*/0.25);
+    GeneratedCleanClean data = CleanCleanGenerator().Generate(spec);
     const std::string dir = argv[2];
     std::filesystem::create_directories(dir);
     SaveCollectionCsv(data.e1, dir + "/e1.csv");
     SaveCollectionCsv(data.e2, dir + "/e2.csv");
-    SaveGroundTruthCsv(data.ground_truth, data.e1, data.e2,
-                       dir + "/gt.csv");
+    SaveGroundTruthCsv(data.ground_truth, data.e1, data.e2, dir + "/gt.csv");
     std::printf("Exported quickstart dataset (%zu + %zu profiles, %zu "
                 "matches) to %s\n",
                 data.e1.size(), data.e2.size(), data.ground_truth.size(),
@@ -50,51 +51,57 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("Input: |E1| = %zu, |E2| = %zu, known matches |D| = %zu\n",
-              data.e1.size(), data.e2.size(), data.ground_truth.size());
+  // ---- 1. The job, declaratively. ----
+  JobSpec job;
+  job.dataset.source = DatasetSource::kGeneratedCleanClean;
+  job.dataset.name = "AbtBuy";  // synthetic stand-in for the paper's pair
+  job.dataset.scale = 0.25;
+  job.features = FeatureSet::BlastOptimal();  // {CF-IBF, RACCB, RS, NRS}
+  job.classifier = ClassifierKind::kLogisticRegression;
+  job.pruning.kind = PruningKind::kBlast;  // weight-based, recall-friendly
+  job.training.labels_per_class = 25;      // 50 labelled pairs in total
+  job.execution.mode = ExecutionMode::kAuto;
+  job.execution.memory_budget_mb = 512;  // auto: stream if this won't fit
 
-  // A peek at one profile — schema-agnostic blocking never needs a schema.
-  const EntityProfile& sample = data.e1[0];
-  std::printf("Sample profile '%s':\n", sample.external_id().c_str());
-  for (const Attribute& a : sample.attributes()) {
-    std::printf("  %-12s %s\n", a.name.c_str(), a.value.c_str());
+  std::printf("The job as a portable spec (gsmb_cli run --config ...):\n%s\n",
+              job.ToJson().c_str());
+
+  // ---- 2. One call, any backend. ----
+  Engine engine;
+  Result<JobResult> outcome = engine.Run(job);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return 1;
   }
+  const JobResult& result = *outcome;
 
-  // ---- 2. Blocking. ----
-  PreparedDataset prep = PrepareCleanClean(
-      spec.name, data.e1, data.e2, std::move(data.ground_truth));
+  // ---- 3. Read the results. ----
   std::printf(
-      "\nBlocking: %zu blocks, %zu candidate pairs, recall %.3f, "
-      "precision %.5f\n",
-      prep.blocks.size(), prep.pairs.size(), prep.blocking_quality.recall,
-      prep.blocking_quality.precision);
-
-  // ---- 3. Generalized Supervised Meta-blocking. ----
-  MetaBlockingConfig config;
-  config.features = FeatureSet::BlastOptimal();  // {CF-IBF, RACCB, RS, NRS}
-  config.classifier = ClassifierKind::kLogisticRegression;
-  config.pruning = PruningKind::kBlast;  // weight-based, recall-friendly
-  config.train_per_class = 25;           // 50 labelled pairs in total
-
-  MetaBlockingResult result = RunMetaBlocking(prep, config);
+      "\nBlocking (%s backend): %zu blocks, %llu candidate pairs, "
+      "recall %.3f, precision %.5f\n",
+      result.backend.c_str(), result.num_blocks,
+      static_cast<unsigned long long>(result.num_candidates),
+      result.blocking_quality.recall, result.blocking_quality.precision);
   std::printf(
-      "\nBLAST retained %zu of %zu pairs:\n"
+      "\nBLAST retained %zu of %llu pairs:\n"
       "  recall    %.3f  (blocking had %.3f)\n"
       "  precision %.3f  (blocking had %.5f — %.0fx better)\n"
       "  F1        %.3f\n"
       "  run-time  %.1f ms (features %.1f | train %.1f | classify %.1f | "
       "prune %.1f)\n",
-      result.metrics.retained, prep.pairs.size(), result.metrics.recall,
-      prep.blocking_quality.recall, result.metrics.precision,
-      prep.blocking_quality.precision,
-      result.metrics.precision / prep.blocking_quality.precision,
+      result.metrics.retained,
+      static_cast<unsigned long long>(result.num_candidates),
+      result.metrics.recall, result.blocking_quality.recall,
+      result.metrics.precision, result.blocking_quality.precision,
+      result.metrics.precision / result.blocking_quality.precision,
       result.metrics.f1, result.total_seconds * 1e3,
       result.feature_seconds * 1e3, result.train_seconds * 1e3,
       result.classify_seconds * 1e3, result.prune_seconds * 1e3);
 
   std::printf(
-      "\nNext steps: feed the retained pairs to your matching function; see\n"
-      "examples/customer_dedup.cpp (Dirty ER) and "
-      "examples/product_linkage.cpp (CSV data).\n");
+      "\nNext steps: `gsmb_cli explain` writes this spec as job.json; "
+      "switch\nexecution.mode to streaming or serving and the retained "
+      "pairs stay identical.\nSee examples/incremental_serving.cpp for the "
+      "live-session side of the facade.\n");
   return 0;
 }

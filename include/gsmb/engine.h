@@ -1,0 +1,157 @@
+// gsmb::Engine — the one entry point over every execution backend.
+//
+// Before the facade the library exposed three divergent front doors:
+// RunMetaBlocking (batch, core/), StreamingExecutor::Run (out-of-core,
+// stream/) and MetaBlockingSession (incremental serving, serve/), each with
+// its own config structs and error conventions. The Engine replaces that
+// with one call:
+//
+//   gsmb::Engine engine;
+//   gsmb::JobSpec spec = ...;                    // or JobSpec::FromFile()
+//   gsmb::Result<gsmb::JobResult> result = engine.Run(spec);
+//
+// Backends implement the Executor interface and register by name; the spec
+// selects one through execution.mode. `auto` resolves to streaming when the
+// arena-bytes model (the same model the streaming executor sizes its shards
+// with) says the in-memory candidate arrays would exceed
+// execution.memory_budget_mb, and to batch otherwise.
+//
+// Equivalence contract: for any spec every backend that Supports() it
+// retains the SAME pairs. Batch and streaming are bit-identical by
+// construction (they share the pruning aggregates and the training-sample
+// replay). A serving cold build retains the same pairs when the spec is
+// shard-pure-compatible — Dirty ER, token blocking, filter_ratio 1, a
+// linear classifier — and execution.shards is 1; with more shards the
+// session applies its documented per-shard union semantics instead.
+// tests/api_engine_test.cc locks the three-way equivalence in for all 8
+// pruning kinds.
+
+#ifndef GSMB_API_ENGINE_H_
+#define GSMB_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/block_stats.h"
+#include "core/pipeline.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/status.h"
+#include "serve/session.h"
+
+namespace gsmb {
+
+/// One retained comparison, by the profiles' external ids.
+struct RetainedPair {
+  std::string left;
+  std::string right;
+
+  bool operator==(const RetainedPair& other) const = default;
+};
+
+/// What a backend reports after running a job.
+struct JobResult {
+  /// Name of the executor that ran ("batch", "streaming", "serving").
+  std::string backend;
+
+  EffectivenessMetrics metrics;
+  /// Candidate-set quality after blocking. The serving backend leaves this
+  /// empty: a session never materialises the global candidate set.
+  BlockingQuality blocking_quality;
+  size_t num_blocks = 0;
+  uint64_t num_candidates = 0;
+
+  size_t training_size = 0;
+  /// Classifier coefficients in raw feature space, intercept last (linear
+  /// classifiers only).
+  std::vector<double> model_coefficients;
+
+  /// Run-time breakdown, seconds. `total_seconds` covers features + train +
+  /// classify + prune (the paper's RT); `blocking_seconds` is reported
+  /// separately, as the paper treats blocking as fixed preprocessing.
+  double blocking_seconds = 0.0;
+  /// Streaming only: candidate-pair regeneration (a cost batch pays during
+  /// preparation instead); included in total_seconds for fair comparisons.
+  double generate_seconds = 0.0;
+  double feature_seconds = 0.0;
+  double train_seconds = 0.0;
+  double classify_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Execution shape: candidate-space slices (streaming) or key shards
+  /// (serving); 1 for batch. `sweeps` = full passes over the candidate
+  /// space (streaming only).
+  size_t shards_used = 1;
+  size_t sweeps = 0;
+
+  /// Retained pairs by external id, in ascending (left, right) internal-id
+  /// order. Populated only when spec.output.keep_retained is set.
+  std::vector<RetainedPair> retained;
+  /// Rows written to spec.output.retained_csv (0 when no path was given).
+  size_t retained_csv_rows = 0;
+};
+
+/// A registered execution backend. Implementations load the spec's dataset,
+/// run the full pipeline and report a JobResult; they never call
+/// std::exit() and never let an exception escape (the Engine converts any
+/// that do into StatusCode::kInternal).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Registry name; execution.mode values resolve to these.
+  virtual std::string name() const = 0;
+
+  /// OK when this backend can execute the (already Validate()d) spec;
+  /// otherwise a diagnostic naming the offending setting and the fix.
+  virtual Status Supports(const JobSpec& spec) const = 0;
+
+  virtual Result<JobResult> Execute(const JobSpec& spec) const = 0;
+};
+
+class Engine {
+ public:
+  /// Constructs with the three standard backends registered.
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an additional backend. Fails on a duplicate name — a new
+  /// workload becomes a registration, never a fourth bespoke entry point.
+  Status Register(std::unique_ptr<Executor> executor);
+
+  /// Registered backend names, registration order.
+  std::vector<std::string> BackendNames() const;
+  /// nullptr when unknown.
+  const Executor* FindBackend(const std::string& name) const;
+
+  /// Validates the spec, resolves execution.mode (including `auto`) and
+  /// dispatches. All failures — validation, unsupported spec, missing
+  /// files, internal errors — come back as the Result's Status.
+  Result<JobResult> Run(const JobSpec& spec) const;
+
+  /// Runs on an explicitly named backend, bypassing mode resolution (the
+  /// spec's execution.mode is ignored). For registered custom backends and
+  /// cross-backend comparison harnesses.
+  Result<JobResult> RunOn(const std::string& backend,
+                          const JobSpec& spec) const;
+
+  /// Convenience: JobSpec::FromFile + Validate + Run.
+  Result<JobResult> RunFile(const std::string& path) const;
+
+  /// Builds a LIVE serving session from the spec (train model, ingest the
+  /// dataset, refresh) for long-lived incremental use — the serve REPL and
+  /// the incremental example sit on this. The spec must satisfy the
+  /// serving backend's Supports().
+  Result<MetaBlockingSession> OpenSession(const JobSpec& spec) const;
+
+ private:
+  std::vector<std::unique_ptr<Executor>> executors_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_API_ENGINE_H_

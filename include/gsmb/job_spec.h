@@ -1,0 +1,198 @@
+// gsmb::JobSpec — the declarative description of one meta-blocking job.
+//
+// The paper frames (Generalized) Supervised Meta-blocking as ONE pipeline:
+// block the input, weight every candidate pair with a feature vector,
+// classify, prune. A JobSpec pins that pipeline down as data: what to read,
+// how to block it, which features/classifier/pruning to use, how to train,
+// and how to execute (in memory, out of core, or through the serving
+// layer). The same spec drives every backend of gsmb::Engine, serializes
+// to/from versioned JSON (`gsmb_cli explain` emits it; `gsmb_cli run
+// --config job.json` replays it), and validates with diagnostics instead of
+// exceptions or exits.
+//
+// Spec evolution contract: `version` is required in every serialized spec.
+// Unknown versions and unknown keys are rejected with a diagnostic — a spec
+// never silently means something else than it says.
+
+#ifndef GSMB_API_JOB_SPEC_H_
+#define GSMB_API_JOB_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/feature_set.h"
+#include "core/pruning.h"
+#include "gsmb/execution.h"
+#include "gsmb/status.h"
+#include "ml/classifier.h"
+
+namespace gsmb {
+
+/// Version written by ToJson() and accepted by FromJson().
+inline constexpr uint64_t kJobSpecVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Sections
+// ---------------------------------------------------------------------------
+
+enum class DatasetSource {
+  kCsv,                 ///< id,attribute,value CSV files + ground-truth CSV
+  kGeneratedCleanClean, ///< synthetic Table-1 stand-in by spec name
+  kGeneratedDirty,      ///< synthetic D10K..D300K stand-in by spec name
+};
+
+struct DatasetSpec {
+  DatasetSource source = DatasetSource::kCsv;
+  /// CSV source. Omitting `e2` selects Dirty ER (deduplication of `e1`).
+  std::string e1;
+  std::string e2;
+  std::string ground_truth;
+  /// Generated source: spec name ("AbtBuy", "D10K", ...) and entity-count
+  /// scale multiplier.
+  std::string name;
+  double scale = 1.0;
+
+  /// True when the spec describes a single-collection (Dirty ER) job.
+  bool dirty() const {
+    return source == DatasetSource::kGeneratedDirty ||
+           (source == DatasetSource::kCsv && e2.empty());
+  }
+};
+
+enum class BlockingScheme { kToken, kQGram, kSuffix };
+
+struct BlockingSpec {
+  BlockingScheme scheme = BlockingScheme::kToken;
+  /// Token scheme: minimum token length used as a key.
+  size_t min_token_length = 1;
+  /// Q-gram scheme: gram length.
+  size_t qgram = 3;
+  /// Suffix scheme: minimum suffix length and per-source block cap.
+  size_t suffix_min_length = 4;
+  size_t suffix_max_block_size = 64;
+  /// Block Purging: drop blocks larger than this fraction of all profiles.
+  /// Values >= 1 disable purging (only zero-comparison blocks drop).
+  double purge_size_fraction = 0.5;
+  /// Block Filtering: fraction of its smallest blocks each entity keeps.
+  /// 1 disables filtering. The serving backend requires 1 (filtering is a
+  /// cross-shard operation a shard-pure session cannot apply).
+  double filter_ratio = 0.8;
+};
+
+struct TrainingSpec {
+  /// Balanced training set: labelled pairs per class.
+  size_t labels_per_class = 25;
+  /// Seed of the training-pair sample (one paper repetition = one seed).
+  uint64_t seed = 0;
+};
+
+struct PruningSpec {
+  PruningKind kind = PruningKind::kBlast;
+  double blast_ratio = 0.35;
+};
+
+enum class ExecutionMode {
+  kBatch,     ///< in-memory pipeline (core/)
+  kStreaming, ///< bounded-memory out-of-core executor (stream/)
+  kServing,   ///< cold-built serving session (serve/)
+  kAuto,      ///< batch, unless the arena-bytes model exceeds the budget
+};
+
+struct ExecutionSpec {
+  ExecutionMode mode = ExecutionMode::kBatch;
+  /// Worker threads for every stage; 0 = all hardware threads. Results are
+  /// bit-identical for any value.
+  ExecutionOptions options;
+  /// Streaming: contiguous chunk-aligned candidate-space slices.
+  /// Serving: hash-sharded token key shards.
+  size_t shards = 16;
+  /// Streaming: raise the shard count until one shard's arena fits.
+  /// Auto mode: switch to streaming when the in-memory candidate arrays
+  /// (pairs + features + probabilities + labels) would not fit.
+  /// 0 = no budget.
+  size_t memory_budget_mb = 0;
+  /// Serving: absolute Block Purging cap per shard. 0 derives it from
+  /// blocking.purge_size_fraction and the profile count, which makes a
+  /// single-shard cold build purge exactly like the batch pipeline.
+  size_t serving_max_block_size = 0;
+};
+
+struct OutputSpec {
+  /// When non-empty, the retained pairs are written here as a
+  /// left_id,right_id CSV (byte-identical across backends that retain the
+  /// same pairs).
+  std::string retained_csv;
+  /// Keep the retained external-id pairs in JobResult (O(retained) memory).
+  bool keep_retained = false;
+};
+
+// ---------------------------------------------------------------------------
+// The spec
+// ---------------------------------------------------------------------------
+
+struct JobSpec {
+  uint64_t version = kJobSpecVersion;
+  DatasetSpec dataset;
+  BlockingSpec blocking;
+  FeatureSet features = FeatureSet::BlastOptimal();
+  ClassifierKind classifier = ClassifierKind::kLogisticRegression;
+  PruningSpec pruning;
+  TrainingSpec training;
+  ExecutionSpec execution;
+  OutputSpec output;
+
+  /// Canonical JSON: every field explicit, members in schema order, stable
+  /// across runs. Re-parses to an equal spec.
+  std::string ToJson(int indent = 2) const;
+
+  /// Parses a JSON spec over `base` (default: a default-constructed spec).
+  /// Partial specs are allowed — absent fields keep base's values, which
+  /// is what lets a subcommand seed mode-specific defaults and a spec file
+  /// override only what it names. Malformed JSON, unknown versions,
+  /// unknown keys and type mismatches are rejected with a "where and why"
+  /// diagnostic. Value-range and completeness problems are reported by
+  /// Validate(), so a spec file can legitimately omit e.g. dataset paths
+  /// that arrive as CLI flag overrides.
+  static Result<JobSpec> FromJson(const std::string& text,
+                                  const JobSpec& base);
+  static Result<JobSpec> FromJson(const std::string& text);
+
+  /// FromJson over a file's contents.
+  static Result<JobSpec> FromFile(const std::string& path,
+                                  const JobSpec& base);
+  static Result<JobSpec> FromFile(const std::string& path);
+
+  /// Checks value ranges and dataset completeness. OK means every backend
+  /// can at least *interpret* the spec; backend-specific restrictions
+  /// (e.g. serving needs Dirty ER) are reported by Executor::Supports().
+  Status Validate() const;
+
+  bool operator==(const JobSpec& other) const;
+};
+
+// ---------------------------------------------------------------------------
+// Enum <-> name helpers (shared by the JSON layer and the CLI)
+// ---------------------------------------------------------------------------
+
+const char* DatasetSourceName(DatasetSource source);
+const char* BlockingSchemeName(BlockingScheme scheme);
+const char* ExecutionModeName(ExecutionMode mode);
+/// Short CLI-style classifier name: logreg | svc | nb.
+const char* ClassifierShortName(ClassifierKind kind);
+/// Lower-case pruning-kind name: bcl | wep | ... | rcnp.
+std::string PruningShortName(PruningKind kind);
+/// Named feature set ("blast", "rcnp", "2014", "all") when the mask matches
+/// one, otherwise a comma-separated member list ("cf-ibf,raccb,js").
+std::string FeatureSetSpecName(const FeatureSet& features);
+
+Result<DatasetSource> ParseDatasetSource(const std::string& name);
+Result<BlockingScheme> ParseBlockingScheme(const std::string& name);
+Result<ExecutionMode> ParseExecutionMode(const std::string& name);
+Result<ClassifierKind> ParseClassifierName(const std::string& name);
+Result<PruningKind> ParsePruningName(const std::string& name);
+/// Accepts the named sets and comma-separated member lists, in any case.
+Result<FeatureSet> ParseFeatureSetName(const std::string& name);
+
+}  // namespace gsmb
+
+#endif  // GSMB_API_JOB_SPEC_H_

@@ -1,0 +1,107 @@
+// The uniform error model of the public gsmb API.
+//
+// Before the facade, the codebase mixed three error conventions: library
+// layers threw std::runtime_error/std::invalid_argument, the CLI called
+// std::exit(2) mid-parse, and a few paths reported failure through result
+// fields. Every public entry point in include/gsmb/ instead returns a
+// gsmb::Status (or a Result<T> carrying one), so callers — CLIs, services,
+// tests, bindings — handle every failure the same way and can always print
+// a diagnostic that says *what* was wrong and *where* it came from.
+//
+// Internals may still throw; the facade boundary (gsmb::Engine and the
+// JobSpec parser) converts exceptions into Status values and never lets one
+// escape. Nothing in include/gsmb/ ever terminates the process.
+
+#ifndef GSMB_API_STATUS_H_
+#define GSMB_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gsmb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< malformed spec / flag / parameter value
+  kNotFound,           ///< missing file, unknown backend or enum name
+  kFailedPrecondition, ///< valid spec that this backend cannot execute
+  kUnimplemented,      ///< feature admitted by the spec but not built yet
+  kInternal,           ///< an invariant broke; includes converted exceptions
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default: OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  static Status NotFound(std::string message) {
+    return {StatusCode::kNotFound, std::move(message)};
+  }
+  static Status FailedPrecondition(std::string message) {
+    return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  static Status Unimplemented(std::string message) {
+    return {StatusCode::kUnimplemented, std::move(message)};
+  }
+  static Status Internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "invalid-argument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence — the return type of every
+/// fallible facade call that produces something.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {
+    // A Result constructed from OK would have neither value nor error;
+    // treat it as the internal bug it is instead of crashing on value().
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from an OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// OK when a value is present.
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_API_STATUS_H_

@@ -1,0 +1,114 @@
+// The batch backend: the in-memory pipeline of core/ behind the Executor
+// interface. Supports every spec — it is the reference semantics the other
+// backends are equivalent to.
+
+#include <utility>
+
+#include "api/backends.h"
+#include "util/stopwatch.h"
+
+namespace gsmb::api {
+
+namespace {
+
+class BatchBackend : public Executor {
+ public:
+  std::string name() const override { return "batch"; }
+
+  Status Supports(const JobSpec&) const override { return Status::Ok(); }
+
+  Result<JobResult> Execute(const JobSpec& spec) const override {
+    Result<JobInputs> inputs = LoadJobInputs(spec);
+    if (!inputs.ok()) return inputs.status();
+
+    Stopwatch watch;
+    BlockCollection blocks = BuildPreprocessedBlocks(spec, *inputs);
+    PreparedDataset prep =
+        PrepareFromBlocks("job", std::move(blocks), inputs->ground_truth,
+                          ResolvedExecution(spec).num_threads);
+    return RunBatchOn(spec, *inputs, prep, watch.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+PreparedDataset BatchPrepFromStreaming(StreamingDataset counted,
+                                       size_t num_threads) {
+  // The counting preparation already built the blocks and the entity
+  // index; only the O(|C|) arrays are missing.
+  PreparedDataset prep;
+  prep.name = counted.name;
+  prep.clean_clean = counted.clean_clean;
+  prep.ground_truth = std::move(counted.ground_truth);
+  prep.blocks = std::move(counted.blocks);
+  prep.index = std::move(counted.index);
+  prep.stats = counted.stats;
+  prep.pairs = GenerateCandidatePairs(*prep.index, num_threads);
+  prep.blocking_quality =
+      EvaluateBlockingQuality(prep.pairs, prep.ground_truth);
+  prep.is_positive.resize(prep.pairs.size());
+  for (size_t i = 0; i < prep.pairs.size(); ++i) {
+    prep.is_positive[i] =
+        prep.ground_truth.IsMatch(prep.pairs[i].left, prep.pairs[i].right)
+            ? 1
+            : 0;
+  }
+  return prep;
+}
+
+Result<JobResult> RunBatchOn(const JobSpec& spec, const JobInputs& inputs,
+                             const PreparedDataset& prep,
+                             double blocking_seconds) {
+  MetaBlockingConfig config = ConfigFromSpec(spec);
+  const bool want_csv = !spec.output.retained_csv.empty();
+  config.keep_retained = want_csv || spec.output.keep_retained;
+
+  MetaBlockingResult run = RunMetaBlocking(prep, config);
+
+  JobResult result;
+  result.backend = "batch";
+  result.metrics = run.metrics;
+  result.blocking_quality = prep.blocking_quality;
+  result.num_blocks = prep.blocks.size();
+  result.num_candidates = prep.pairs.size();
+  result.training_size = run.training_size;
+  result.model_coefficients = run.model_coefficients;
+  result.blocking_seconds = blocking_seconds;
+  result.feature_seconds = run.feature_seconds;
+  result.train_seconds = run.train_seconds;
+  result.classify_seconds = run.classify_seconds;
+  result.prune_seconds = run.prune_seconds;
+  result.total_seconds = run.total_seconds;
+  result.shards_used = 1;
+
+  // Retained indices are ascending, and the candidate order is ascending
+  // (left, right) — the same order the streaming sink and a serving cold
+  // build emit, which is what makes the CSVs byte-comparable.
+  if (want_csv) {
+    Result<std::ofstream> csv = OpenRetainedCsv(spec.output.retained_csv);
+    if (!csv.ok()) return csv.status();
+    for (uint32_t index : run.retained_indices) {
+      const CandidatePair& pair = prep.pairs[index];
+      AppendRetainedCsvRow(*csv, inputs.ExternalLeftId(pair.left),
+                           inputs.ExternalRightId(pair.right));
+    }
+    Status finished = FinishRetainedCsv(*csv, spec.output.retained_csv);
+    if (!finished.ok()) return finished;
+    result.retained_csv_rows = run.retained_indices.size();
+  }
+  if (spec.output.keep_retained) {
+    result.retained.reserve(run.retained_indices.size());
+    for (uint32_t index : run.retained_indices) {
+      const CandidatePair& pair = prep.pairs[index];
+      result.retained.push_back({inputs.ExternalLeftId(pair.left),
+                                 inputs.ExternalRightId(pair.right)});
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<Executor> MakeBatchBackend() {
+  return std::make_unique<BatchBackend>();
+}
+
+}  // namespace gsmb::api

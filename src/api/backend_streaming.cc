@@ -1,0 +1,102 @@
+// The streaming backend: stream/'s bounded-memory executor behind the
+// Executor interface. Retained pairs are bit-identical to the batch
+// backend's for any shard/thread count (stream/streaming_executor.h
+// documents why); retained CSV rows stream straight to disk so the mode
+// never buffers O(retained) memory.
+
+#include <utility>
+
+#include "api/backends.h"
+#include "stream/streaming_executor.h"
+#include "util/stopwatch.h"
+
+namespace gsmb::api {
+
+namespace {
+
+class StreamingBackend : public Executor {
+ public:
+  std::string name() const override { return "streaming"; }
+
+  Status Supports(const JobSpec&) const override { return Status::Ok(); }
+
+  Result<JobResult> Execute(const JobSpec& spec) const override {
+    Result<JobInputs> inputs = LoadJobInputs(spec);
+    if (!inputs.ok()) return inputs.status();
+
+    Stopwatch watch;
+    BlockCollection blocks = BuildPreprocessedBlocks(spec, *inputs);
+    StreamingDataset prep = PrepareStreamingFromBlocks(
+        "job", std::move(blocks), inputs->ground_truth,
+        ResolvedExecution(spec).num_threads);
+    return RunStreamingOn(spec, *inputs, prep, watch.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+Result<JobResult> RunStreamingOn(const JobSpec& spec, const JobInputs& inputs,
+                                 const StreamingDataset& prep,
+                                 double blocking_seconds) {
+  StreamingOptions options;
+  options.num_shards = spec.execution.shards;
+  options.memory_budget_mb = spec.execution.memory_budget_mb;
+  StreamingExecutor executor(prep, options);
+
+  JobResult result;
+  result.backend = "streaming";
+
+  // Retained pairs arrive in ascending global-index order — ascending
+  // (left, right) — so CSV rows and kept pairs match the batch backend's
+  // byte for byte without ever materialising the retained set.
+  std::ofstream csv_file;
+  bool want_csv = !spec.output.retained_csv.empty();
+  if (want_csv) {
+    Result<std::ofstream> csv = OpenRetainedCsv(spec.output.retained_csv);
+    if (!csv.ok()) return csv.status();
+    csv_file = std::move(*csv);
+  }
+  StreamingExecutor::RetainedSink sink;
+  if (want_csv || spec.output.keep_retained) {
+    sink = [&](uint32_t, const CandidatePair& pair, double) {
+      const std::string& left = inputs.ExternalLeftId(pair.left);
+      const std::string& right = inputs.ExternalRightId(pair.right);
+      if (want_csv) {
+        AppendRetainedCsvRow(csv_file, left, right);
+        ++result.retained_csv_rows;
+      }
+      if (spec.output.keep_retained) {
+        result.retained.push_back({left, right});
+      }
+    };
+  }
+
+  StreamingResult run = executor.Run(ConfigFromSpec(spec), sink);
+  if (want_csv) {
+    Status finished = FinishRetainedCsv(csv_file, spec.output.retained_csv);
+    if (!finished.ok()) return finished;
+  }
+
+  result.metrics = run.metrics;
+  result.blocking_quality = prep.blocking_quality;
+  result.num_blocks = prep.blocks.size();
+  result.num_candidates = prep.num_candidates();
+  result.training_size = run.training_size;
+  result.model_coefficients = run.model_coefficients;
+  result.blocking_seconds = blocking_seconds;
+  result.generate_seconds = run.generate_seconds;
+  result.feature_seconds = run.feature_seconds;
+  result.train_seconds = run.train_seconds;
+  result.classify_seconds = run.classify_seconds;
+  result.prune_seconds = run.prune_seconds;
+  result.total_seconds = run.total_seconds;
+  result.shards_used = run.num_shards_used;
+  result.sweeps = run.sweeps;
+  return result;
+}
+
+std::unique_ptr<Executor> MakeStreamingBackend() {
+  return std::make_unique<StreamingBackend>();
+}
+
+}  // namespace gsmb::api

@@ -1,0 +1,105 @@
+// Internal plumbing shared by the Engine's standard backends.
+//
+// Each backend's Execute() is: load the spec's inputs -> build the
+// preprocessed block collection -> hand both to its pipeline. The load and
+// block-build steps are identical across backends (that is what makes
+// cross-backend equivalence testable at the API boundary), so they live
+// here; the `auto` resolver also calls them directly to count candidates
+// once and then feed the SAME blocks to whichever backend it picks.
+
+#ifndef GSMB_API_BACKENDS_H_
+#define GSMB_API_BACKENDS_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "blocking/block_collection.h"
+#include "core/pipeline.h"
+#include "er/entity_collection.h"
+#include "er/ground_truth.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/status.h"
+#include "stream/streaming_dataset.h"
+
+namespace gsmb::api {
+
+/// The loaded dataset of a job: one or two collections plus ground truth.
+struct JobInputs {
+  EntityCollection e1;
+  EntityCollection e2;  // empty for Dirty ER
+  bool dirty = false;
+  GroundTruth ground_truth{false};
+
+  const std::string& ExternalLeftId(EntityId id) const {
+    return e1[id].external_id();
+  }
+  const std::string& ExternalRightId(EntityId id) const {
+    return dirty ? e1[id].external_id() : e2[id].external_id();
+  }
+};
+
+/// Loads CSV files or generates the named synthetic dataset. Missing paths
+/// and empty parses are NotFound/InvalidArgument with the offending path.
+Result<JobInputs> LoadJobInputs(const JobSpec& spec);
+
+/// Builds the spec's blocking scheme over the inputs and applies Block
+/// Purging + Block Filtering with the spec's parameters — the exact
+/// preprocessing every backend's implied candidate set derives from.
+BlockCollection BuildPreprocessedBlocks(const JobSpec& spec,
+                                        const JobInputs& inputs);
+
+/// spec.execution.options with threads == 0 resolved to the hardware count.
+ExecutionOptions ResolvedExecution(const JobSpec& spec);
+BlockingOptions BlockingOptionsFromSpec(const JobSpec& spec);
+MetaBlockingConfig ConfigFromSpec(const JobSpec& spec);
+
+/// Arena-bytes model shared with StreamingExecutor::PlanShards: per
+/// candidate, the pair + feature row + probability + aggregation slack.
+uint64_t EstimateCandidateBytes(uint64_t num_candidates, size_t feature_dims);
+
+// -- Retained-pair CSV ------------------------------------------------------
+// One writer for every backend, so backends that retain the same pairs in
+// the same order produce byte-identical files.
+
+Result<std::ofstream> OpenRetainedCsv(const std::string& path);
+void AppendRetainedCsvRow(std::ofstream& out, const std::string& left_id,
+                          const std::string& right_id);
+Status FinishRetainedCsv(std::ofstream& out, const std::string& path);
+
+// -- Backend pipelines ------------------------------------------------------
+// The Execute() bodies, split from dataset loading so the `auto` resolver
+// can reuse an already-built preparation.
+
+Result<JobResult> RunBatchOn(const JobSpec& spec, const JobInputs& inputs,
+                             const PreparedDataset& prep,
+                             double blocking_seconds);
+Result<JobResult> RunStreamingOn(const JobSpec& spec, const JobInputs& inputs,
+                                 const StreamingDataset& prep,
+                                 double blocking_seconds);
+
+/// Batch preparation from an already counting-prepared streaming dataset
+/// (consumes it): the auto resolver counts candidates with the cheap
+/// streaming preparation, then materialises only if batch wins.
+PreparedDataset BatchPrepFromStreaming(StreamingDataset prep,
+                                       size_t num_threads);
+
+std::unique_ptr<Executor> MakeBatchBackend();
+std::unique_ptr<Executor> MakeStreamingBackend();
+std::unique_ptr<Executor> MakeServingBackend();
+
+/// The serving backend's Supports() logic plus session construction,
+/// shared with Engine::OpenSession. `cold_build_universe` pins the CNP
+/// entity universe to the profile count (one-shot Run; batch parity);
+/// OpenSession leaves it unset for PR2's incremental present-entity
+/// semantics. `training_size` (optional) receives the balanced training
+/// sample's actual size.
+Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
+                                                const JobInputs& inputs,
+                                                bool cold_build_universe,
+                                                size_t* training_size = nullptr);
+
+}  // namespace gsmb::api
+
+#endif  // GSMB_API_BACKENDS_H_

@@ -1,0 +1,319 @@
+#include "gsmb/engine.h"
+
+#include <exception>
+#include <filesystem>
+#include <utility>
+
+#include "api/backends.h"
+#include "blocking/qgram_blocking.h"
+#include "blocking/suffix_blocking.h"
+#include "blocking/token_blocking.h"
+#include "datasets/clean_clean_generator.h"
+#include "datasets/dirty_generator.h"
+#include "datasets/io.h"
+#include "datasets/specs.h"
+#include "stream/streaming_executor.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace gsmb {
+
+namespace api {
+
+namespace {
+
+Result<EntityCollection> LoadProfilesChecked(const std::string& path,
+                                             const std::string& role) {
+  if (!std::filesystem::exists(path)) {
+    return Status::NotFound(role + " dataset path does not exist: " + path);
+  }
+  EntityCollection collection = LoadCollectionCsv(path, role);
+  if (collection.empty()) {
+    return Status::InvalidArgument(role + " dataset " + path +
+                                   " parses to zero profiles");
+  }
+  return collection;
+}
+
+Result<JobInputs> LoadCsvInputs(const JobSpec& spec) {
+  JobInputs inputs;
+  inputs.dirty = spec.dataset.e2.empty();
+
+  Result<EntityCollection> e1 =
+      LoadProfilesChecked(spec.dataset.e1, "dataset.e1");
+  if (!e1.ok()) return e1.status();
+  inputs.e1 = std::move(*e1);
+
+  if (!inputs.dirty) {
+    Result<EntityCollection> e2 =
+        LoadProfilesChecked(spec.dataset.e2, "dataset.e2");
+    if (!e2.ok()) return e2.status();
+    inputs.e2 = std::move(*e2);
+  }
+
+  if (!std::filesystem::exists(spec.dataset.ground_truth)) {
+    return Status::NotFound("dataset.ground_truth path does not exist: " +
+                            spec.dataset.ground_truth);
+  }
+  inputs.ground_truth =
+      LoadGroundTruthCsv(spec.dataset.ground_truth, inputs.e1,
+                         inputs.dirty ? inputs.e1 : inputs.e2, inputs.dirty);
+  return inputs;
+}
+
+Result<JobInputs> GenerateInputs(const JobSpec& spec) {
+  JobInputs inputs;
+  if (spec.dataset.source == DatasetSource::kGeneratedCleanClean) {
+    inputs.dirty = false;
+    CleanCleanSpec generator_spec;
+    try {
+      generator_spec =
+          CleanCleanSpecByName(spec.dataset.name, spec.dataset.scale);
+    } catch (const std::exception& e) {
+      return Status::NotFound(std::string("dataset.name: ") + e.what());
+    }
+    GeneratedCleanClean data = CleanCleanGenerator().Generate(generator_spec);
+    inputs.e1 = std::move(data.e1);
+    inputs.e2 = std::move(data.e2);
+    inputs.ground_truth = std::move(data.ground_truth);
+    return inputs;
+  }
+
+  inputs.dirty = true;
+  for (const DirtySpec& candidate : PaperDirtySpecs(spec.dataset.scale)) {
+    if (candidate.name == spec.dataset.name) {
+      GeneratedDirty data = DirtyGenerator().Generate(candidate);
+      inputs.e1 = std::move(data.entities);
+      inputs.ground_truth = std::move(data.ground_truth);
+      return inputs;
+    }
+  }
+  return Status::NotFound("dataset.name: unknown dirty dataset spec '" +
+                          spec.dataset.name +
+                          "' (expected one of D10K..D300K)");
+}
+
+}  // namespace
+
+Result<JobInputs> LoadJobInputs(const JobSpec& spec) {
+  if (spec.dataset.source == DatasetSource::kCsv) return LoadCsvInputs(spec);
+  return GenerateInputs(spec);
+}
+
+BlockCollection BuildPreprocessedBlocks(const JobSpec& spec,
+                                        const JobInputs& inputs) {
+  const size_t threads = ResolvedExecution(spec).num_threads;
+  BlockCollection raw;
+  switch (spec.blocking.scheme) {
+    case BlockingScheme::kToken: {
+      TokenBlocking blocking(spec.blocking.min_token_length);
+      raw = inputs.dirty ? blocking.Build(inputs.e1, threads)
+                         : blocking.Build(inputs.e1, inputs.e2, threads);
+      break;
+    }
+    case BlockingScheme::kQGram: {
+      QGramBlocking blocking(spec.blocking.qgram);
+      raw = inputs.dirty ? blocking.Build(inputs.e1, threads)
+                         : blocking.Build(inputs.e1, inputs.e2, threads);
+      break;
+    }
+    case BlockingScheme::kSuffix: {
+      SuffixBlocking blocking(spec.blocking.suffix_min_length,
+                              spec.blocking.suffix_max_block_size);
+      raw = inputs.dirty ? blocking.Build(inputs.e1, threads)
+                         : blocking.Build(inputs.e1, inputs.e2, threads);
+      break;
+    }
+  }
+  return PreprocessBlocks(std::move(raw), BlockingOptionsFromSpec(spec));
+}
+
+ExecutionOptions ResolvedExecution(const JobSpec& spec) {
+  ExecutionOptions options = spec.execution.options;
+  if (options.num_threads == 0) options.num_threads = HardwareThreads();
+  return options;
+}
+
+BlockingOptions BlockingOptionsFromSpec(const JobSpec& spec) {
+  BlockingOptions options;
+  options.min_token_length = spec.blocking.min_token_length;
+  options.purge_size_fraction = spec.blocking.purge_size_fraction;
+  options.filter_ratio = spec.blocking.filter_ratio;
+  options.execution = ResolvedExecution(spec);
+  return options;
+}
+
+MetaBlockingConfig ConfigFromSpec(const JobSpec& spec) {
+  MetaBlockingConfig config;
+  config.features = spec.features;
+  config.classifier = spec.classifier;
+  config.pruning = spec.pruning.kind;
+  config.train_per_class = spec.training.labels_per_class;
+  config.seed = spec.training.seed;
+  config.blast_ratio = spec.pruning.blast_ratio;
+  config.execution = ResolvedExecution(spec);
+  return config;
+}
+
+uint64_t EstimateCandidateBytes(uint64_t num_candidates,
+                                size_t feature_dims) {
+  // The same model StreamingExecutor::PlanShards sizes its shards with.
+  return num_candidates * StreamingArenaBytesPerPair(feature_dims);
+}
+
+Result<std::ofstream> OpenRetainedCsv(const std::string& path) {
+  // Binary mode everywhere, so every backend's CSV is byte-identical on
+  // every platform.
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound("cannot write output.retained_csv: " + path);
+  }
+  out << "left_id,right_id\n";
+  return out;
+}
+
+void AppendRetainedCsvRow(std::ofstream& out, const std::string& left_id,
+                          const std::string& right_id) {
+  out << EscapeCsvField(left_id) << ',' << EscapeCsvField(right_id) << '\n';
+}
+
+Status FinishRetainedCsv(std::ofstream& out, const std::string& path) {
+  out.close();
+  if (!out) {
+    return Status::Internal("error writing output.retained_csv: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace api
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine() {
+  executors_.push_back(api::MakeBatchBackend());
+  executors_.push_back(api::MakeStreamingBackend());
+  executors_.push_back(api::MakeServingBackend());
+}
+
+Engine::~Engine() = default;
+
+Status Engine::Register(std::unique_ptr<Executor> executor) {
+  if (executor == nullptr) {
+    return Status::InvalidArgument("Register: executor is null");
+  }
+  if (FindBackend(executor->name()) != nullptr) {
+    return Status::InvalidArgument("Register: a backend named '" +
+                                   executor->name() +
+                                   "' is already registered");
+  }
+  executors_.push_back(std::move(executor));
+  return Status::Ok();
+}
+
+std::vector<std::string> Engine::BackendNames() const {
+  std::vector<std::string> names;
+  names.reserve(executors_.size());
+  for (const auto& executor : executors_) names.push_back(executor->name());
+  return names;
+}
+
+const Executor* Engine::FindBackend(const std::string& name) const {
+  for (const auto& executor : executors_) {
+    if (executor->name() == name) return executor.get();
+  }
+  return nullptr;
+}
+
+Result<JobResult> Engine::RunOn(const std::string& backend,
+                                const JobSpec& spec) const {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  const Executor* executor = FindBackend(backend);
+  if (executor == nullptr) {
+    std::string known;
+    for (const std::string& name : BackendNames()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("no backend named '" + backend +
+                            "' is registered (have: " + known + ")");
+  }
+  Status supported = executor->Supports(spec);
+  if (!supported.ok()) return supported;
+  try {
+    return executor->Execute(spec);
+  } catch (const std::exception& e) {
+    return Status::Internal("backend '" + backend + "' failed: " + e.what());
+  }
+}
+
+Result<JobResult> Engine::Run(const JobSpec& spec) const {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  if (spec.execution.mode != ExecutionMode::kAuto) {
+    return RunOn(ExecutionModeName(spec.execution.mode), spec);
+  }
+
+  // ---- `auto`: count candidates once, then pick batch or streaming. ----
+  // The counting preparation (stream/) derives the candidate cardinality
+  // without materialising any O(|C|) array, so resolving the mode costs
+  // blocking + one counting sweep. The blocks feed whichever backend wins —
+  // nothing is prepared twice.
+  try {
+    Result<api::JobInputs> inputs = api::LoadJobInputs(spec);
+    if (!inputs.ok()) return inputs.status();
+
+    Stopwatch watch;
+    BlockCollection blocks = api::BuildPreprocessedBlocks(spec, *inputs);
+    const size_t threads = api::ResolvedExecution(spec).num_threads;
+    StreamingDataset counted = PrepareStreamingFromBlocks(
+        "job", std::move(blocks), inputs->ground_truth, threads);
+    const double blocking_seconds = watch.ElapsedSeconds();
+
+    const uint64_t budget_bytes =
+        static_cast<uint64_t>(spec.execution.memory_budget_mb) << 20;
+    const uint64_t estimated = api::EstimateCandidateBytes(
+        counted.num_candidates(), spec.features.Dimensions());
+    const bool stream = budget_bytes > 0 && estimated > budget_bytes;
+
+    if (stream) {
+      return api::RunStreamingOn(spec, *inputs, counted, blocking_seconds);
+    }
+    PreparedDataset prep =
+        api::BatchPrepFromStreaming(std::move(counted), threads);
+    return api::RunBatchOn(spec, *inputs, prep, blocking_seconds);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("auto-mode run failed: ") + e.what());
+  }
+}
+
+Result<JobResult> Engine::RunFile(const std::string& path) const {
+  Result<JobSpec> spec = JobSpec::FromFile(path);
+  if (!spec.ok()) return spec.status();
+  return Run(*spec);
+}
+
+Result<MetaBlockingSession> Engine::OpenSession(const JobSpec& spec) const {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  const Executor* serving = FindBackend("serving");
+  if (serving == nullptr) {
+    return Status::NotFound("no serving backend is registered");
+  }
+  Status supported = serving->Supports(spec);
+  if (!supported.ok()) return supported;
+  try {
+    Result<api::JobInputs> inputs = api::LoadJobInputs(spec);
+    if (!inputs.ok()) return inputs.status();
+    return api::BuildServingSession(spec, *inputs,
+                                    /*cold_build_universe=*/false);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("OpenSession failed: ") + e.what());
+  }
+}
+
+}  // namespace gsmb

@@ -1,0 +1,632 @@
+#include "gsmb/job_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "api/json.h"
+
+namespace gsmb {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Section reader: typed member access with path-qualified diagnostics and
+// unknown-key rejection. Every Get* marks the key as consumed; Finish()
+// fails on any member the schema did not ask about — a typo in a spec file
+// must be an error, never a silently ignored setting.
+// ---------------------------------------------------------------------------
+
+class Section {
+ public:
+  Section(const json::Object& object, std::string path)
+      : object_(object), path_(std::move(path)) {}
+
+  Status GetString(const char* key, std::string* out) {
+    const json::Value* v = Consume(key);
+    if (v == nullptr) return Status::Ok();
+    if (!v->is_string()) return TypeError(key, "a string", *v);
+    *out = v->AsString();
+    return Status::Ok();
+  }
+
+  Status GetBool(const char* key, bool* out) {
+    const json::Value* v = Consume(key);
+    if (v == nullptr) return Status::Ok();
+    if (!v->is_bool()) return TypeError(key, "a boolean", *v);
+    *out = v->AsBool();
+    return Status::Ok();
+  }
+
+  Status GetDouble(const char* key, double* out) {
+    const json::Value* v = Consume(key);
+    if (v == nullptr) return Status::Ok();
+    if (!v->is_number()) return TypeError(key, "a number", *v);
+    *out = v->AsDouble();
+    return Status::Ok();
+  }
+
+  Status GetU64(const char* key, uint64_t* out) {
+    const json::Value* v = Consume(key);
+    if (v == nullptr) return Status::Ok();
+    if (!v->is_u64()) {
+      return TypeError(key, "a non-negative integer", *v);
+    }
+    *out = v->AsU64();
+    return Status::Ok();
+  }
+
+  Status GetSize(const char* key, size_t* out) {
+    uint64_t value = *out;
+    Status status = GetU64(key, &value);
+    if (!status.ok()) return status;
+    *out = static_cast<size_t>(value);
+    return Status::Ok();
+  }
+
+  /// Enum member parsed through one of the Parse* helpers.
+  template <typename T, typename ParseFn>
+  Status GetEnum(const char* key, ParseFn parse, T* out) {
+    const json::Value* v = Consume(key);
+    if (v == nullptr) return Status::Ok();
+    if (!v->is_string()) return TypeError(key, "a string", *v);
+    const std::string& name = v->AsString();
+    Result<T> parsed = parse(name);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(path_ + "." + key + ": " +
+                                     parsed.status().message());
+    }
+    *out = *parsed;
+    return Status::Ok();
+  }
+
+  /// Nested object section; `fn` receives the child Section.
+  template <typename Fn>
+  Status GetSection(const char* key, Fn fn) {
+    const json::Value* v = Consume(key);
+    if (v == nullptr) return Status::Ok();
+    if (!v->is_object()) return TypeError(key, "an object", *v);
+    Section child(v->AsObject(), path_ + "." + key);
+    Status status = fn(child);
+    if (!status.ok()) return status;
+    return child.Finish();
+  }
+
+  /// Rejects members no Get* consumed.
+  Status Finish() const {
+    for (const auto& [key, value] : object_.members()) {
+      if (std::find(consumed_.begin(), consumed_.end(), key) ==
+          consumed_.end()) {
+        return Status::InvalidArgument(
+            "unknown key '" + key + "' in " + path_ +
+            " (the spec rejects unrecognized settings rather than ignore "
+            "them)");
+      }
+    }
+    return Status::Ok();
+  }
+
+  const json::Value* Raw(const char* key) { return Consume(key); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  const json::Value* Consume(const char* key) {
+    consumed_.emplace_back(key);
+    return object_.Find(key);
+  }
+
+  Status TypeError(const char* key, const char* expected,
+                   const json::Value& v) const {
+    return Status::InvalidArgument(
+        path_ + "." + key + ": expected " + expected + ", got " +
+        json::Value::KindName(v.kind()));
+  }
+
+  const json::Object& object_;
+  std::string path_;
+  std::vector<std::string> consumed_;
+};
+
+#define GSMB_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::gsmb::Status _status = (expr);          \
+    if (!_status.ok()) return _status;        \
+  } while (false)
+
+const std::vector<std::pair<std::string, FeatureSet>>& NamedFeatureSets() {
+  static const std::vector<std::pair<std::string, FeatureSet>> kSets = {
+      {"blast", FeatureSet::BlastOptimal()},
+      {"rcnp", FeatureSet::RcnpOptimal()},
+      {"2014", FeatureSet::Paper2014()},
+      {"all", FeatureSet::All()},
+  };
+  return kSets;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Enum <-> name helpers
+// ---------------------------------------------------------------------------
+
+const char* DatasetSourceName(DatasetSource source) {
+  switch (source) {
+    case DatasetSource::kCsv:
+      return "csv";
+    case DatasetSource::kGeneratedCleanClean:
+      return "generated-clean-clean";
+    case DatasetSource::kGeneratedDirty:
+      return "generated-dirty";
+  }
+  return "unknown";
+}
+
+const char* BlockingSchemeName(BlockingScheme scheme) {
+  switch (scheme) {
+    case BlockingScheme::kToken:
+      return "token";
+    case BlockingScheme::kQGram:
+      return "qgram";
+    case BlockingScheme::kSuffix:
+      return "suffix";
+  }
+  return "unknown";
+}
+
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kBatch:
+      return "batch";
+    case ExecutionMode::kStreaming:
+      return "streaming";
+    case ExecutionMode::kServing:
+      return "serving";
+    case ExecutionMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+const char* ClassifierShortName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kLogisticRegression:
+      return "logreg";
+    case ClassifierKind::kLinearSvc:
+      return "svc";
+    case ClassifierKind::kGaussianNaiveBayes:
+      return "nb";
+  }
+  return "unknown";
+}
+
+std::string PruningShortName(PruningKind kind) {
+  return Lower(PruningKindName(kind));
+}
+
+std::string FeatureSetSpecName(const FeatureSet& features) {
+  for (const auto& [name, set] : NamedFeatureSets()) {
+    if (set == features) return name;
+  }
+  std::string out;
+  for (Feature f : features.Members()) {
+    if (!out.empty()) out += ",";
+    out += Lower(FeatureName(f));
+  }
+  return out;
+}
+
+Result<DatasetSource> ParseDatasetSource(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "csv") return DatasetSource::kCsv;
+  if (n == "generated-clean-clean") return DatasetSource::kGeneratedCleanClean;
+  if (n == "generated-dirty") return DatasetSource::kGeneratedDirty;
+  return Status::NotFound(
+      "unknown dataset source '" + name +
+      "' (expected csv, generated-clean-clean or generated-dirty)");
+}
+
+Result<BlockingScheme> ParseBlockingScheme(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "token") return BlockingScheme::kToken;
+  if (n == "qgram") return BlockingScheme::kQGram;
+  if (n == "suffix") return BlockingScheme::kSuffix;
+  return Status::NotFound("unknown blocking scheme '" + name +
+                          "' (expected token, qgram or suffix)");
+}
+
+Result<ExecutionMode> ParseExecutionMode(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "batch") return ExecutionMode::kBatch;
+  if (n == "streaming") return ExecutionMode::kStreaming;
+  if (n == "serving") return ExecutionMode::kServing;
+  if (n == "auto") return ExecutionMode::kAuto;
+  return Status::NotFound("unknown execution mode '" + name +
+                          "' (expected batch, streaming, serving or auto)");
+}
+
+Result<ClassifierKind> ParseClassifierName(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "logreg") return ClassifierKind::kLogisticRegression;
+  if (n == "svc") return ClassifierKind::kLinearSvc;
+  if (n == "nb") return ClassifierKind::kGaussianNaiveBayes;
+  return Status::NotFound("unknown classifier '" + name +
+                          "' (expected logreg, svc or nb)");
+}
+
+Result<PruningKind> ParsePruningName(const std::string& name) {
+  const std::string n = Lower(name);
+  for (PruningKind kind : AllPruningKinds()) {
+    if (n == PruningShortName(kind)) return kind;
+  }
+  return Status::NotFound(
+      "unknown pruning kind '" + name +
+      "' (expected bcl, wep, wnp, rwnp, blast, cep, cnp or rcnp)");
+}
+
+Result<FeatureSet> ParseFeatureSetName(const std::string& name) {
+  const std::string n = Lower(name);
+  for (const auto& [set_name, set] : NamedFeatureSets()) {
+    if (n == set_name) return set;
+  }
+  // Comma-separated member list, e.g. "cf-ibf,raccb,js".
+  FeatureSet set;
+  std::stringstream stream(n);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    // Trim surrounding spaces.
+    const size_t begin = item.find_first_not_of(" \t");
+    const size_t end = item.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    item = item.substr(begin, end - begin + 1);
+    bool found = false;
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      const auto feature = static_cast<Feature>(f);
+      if (item == Lower(FeatureName(feature))) {
+        set.Add(feature);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound(
+          "unknown feature '" + item +
+          "' (expected cf-ibf, raccb, js, lcp, ejs, wjs, rs or nrs; or a "
+          "named set: blast, rcnp, 2014, all)");
+    }
+  }
+  if (set.empty()) {
+    return Status::InvalidArgument("feature set '" + name + "' is empty");
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string JobSpec::ToJson(int indent) const {
+  json::Object root;
+  root["version"] = json::Value(version);
+
+  json::Object dataset_obj;
+  dataset_obj["source"] = json::Value(DatasetSourceName(dataset.source));
+  if (dataset.source == DatasetSource::kCsv) {
+    dataset_obj["e1"] = json::Value(dataset.e1);
+    if (!dataset.e2.empty()) dataset_obj["e2"] = json::Value(dataset.e2);
+    dataset_obj["ground_truth"] = json::Value(dataset.ground_truth);
+  } else {
+    dataset_obj["name"] = json::Value(dataset.name);
+    dataset_obj["scale"] = json::Value(dataset.scale);
+  }
+  root["dataset"] = json::Value(std::move(dataset_obj));
+
+  // Every member is serialized regardless of the active scheme/kind, so a
+  // round-trip is lossless and `explain` shows the complete state.
+  json::Object blocking_obj;
+  blocking_obj["scheme"] = json::Value(BlockingSchemeName(blocking.scheme));
+  blocking_obj["min_token_length"] = json::Value(blocking.min_token_length);
+  blocking_obj["qgram"] = json::Value(blocking.qgram);
+  blocking_obj["suffix_min_length"] = json::Value(blocking.suffix_min_length);
+  blocking_obj["suffix_max_block_size"] =
+      json::Value(blocking.suffix_max_block_size);
+  blocking_obj["purge_size_fraction"] =
+      json::Value(blocking.purge_size_fraction);
+  blocking_obj["filter_ratio"] = json::Value(blocking.filter_ratio);
+  root["blocking"] = json::Value(std::move(blocking_obj));
+
+  root["features"] = json::Value(FeatureSetSpecName(features));
+  root["classifier"] = json::Value(ClassifierShortName(classifier));
+
+  json::Object pruning_obj;
+  pruning_obj["kind"] = json::Value(PruningShortName(pruning.kind));
+  pruning_obj["blast_ratio"] = json::Value(pruning.blast_ratio);
+  root["pruning"] = json::Value(std::move(pruning_obj));
+
+  json::Object training_obj;
+  training_obj["labels_per_class"] = json::Value(training.labels_per_class);
+  training_obj["seed"] = json::Value(training.seed);
+  root["training"] = json::Value(std::move(training_obj));
+
+  json::Object execution_obj;
+  execution_obj["mode"] = json::Value(ExecutionModeName(execution.mode));
+  execution_obj["threads"] = json::Value(execution.options.num_threads);
+  execution_obj["shards"] = json::Value(execution.shards);
+  execution_obj["memory_budget_mb"] = json::Value(execution.memory_budget_mb);
+  execution_obj["serving_max_block_size"] =
+      json::Value(execution.serving_max_block_size);
+  root["execution"] = json::Value(std::move(execution_obj));
+
+  if (!output.retained_csv.empty() || output.keep_retained) {
+    json::Object output_obj;
+    if (!output.retained_csv.empty()) {
+      output_obj["retained_csv"] = json::Value(output.retained_csv);
+    }
+    if (output.keep_retained) {
+      output_obj["keep_retained"] = json::Value(true);
+    }
+    root["output"] = json::Value(std::move(output_obj));
+  }
+
+  return json::Dump(json::Value(std::move(root)), indent);
+}
+
+Result<JobSpec> JobSpec::FromJson(const std::string& text,
+                                  const JobSpec& base) {
+  Result<json::Value> parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument(
+        "a job spec must be a JSON object, got " +
+        std::string(json::Value::KindName(parsed->kind())));
+  }
+
+  JobSpec spec = base;
+  Section root(parsed->AsObject(), "spec");
+
+  // Version first: an unknown version must fail before any member of it is
+  // interpreted under this version's schema.
+  {
+    const json::Value* v = root.Raw("version");
+    if (v == nullptr) {
+      return Status::InvalidArgument(
+          "spec.version is required (current version: " +
+          std::to_string(kJobSpecVersion) + ")");
+    }
+    if (!v->is_u64()) {
+      return Status::InvalidArgument(
+          "spec.version: expected a non-negative integer, got " +
+          std::string(json::Value::KindName(v->kind())));
+    }
+    spec.version = v->AsU64();
+    if (spec.version != kJobSpecVersion) {
+      return Status::InvalidArgument(
+          "unsupported spec version " + std::to_string(spec.version) +
+          " (this build reads version " + std::to_string(kJobSpecVersion) +
+          ")");
+    }
+  }
+
+  GSMB_RETURN_IF_ERROR(root.GetSection("dataset", [&](Section& s) {
+    GSMB_RETURN_IF_ERROR(
+        s.GetEnum("source", ParseDatasetSource, &spec.dataset.source));
+    GSMB_RETURN_IF_ERROR(s.GetString("e1", &spec.dataset.e1));
+    GSMB_RETURN_IF_ERROR(s.GetString("e2", &spec.dataset.e2));
+    GSMB_RETURN_IF_ERROR(
+        s.GetString("ground_truth", &spec.dataset.ground_truth));
+    GSMB_RETURN_IF_ERROR(s.GetString("name", &spec.dataset.name));
+    GSMB_RETURN_IF_ERROR(s.GetDouble("scale", &spec.dataset.scale));
+    return Status::Ok();
+  }));
+
+  GSMB_RETURN_IF_ERROR(root.GetSection("blocking", [&](Section& s) {
+    GSMB_RETURN_IF_ERROR(
+        s.GetEnum("scheme", ParseBlockingScheme, &spec.blocking.scheme));
+    GSMB_RETURN_IF_ERROR(
+        s.GetSize("min_token_length", &spec.blocking.min_token_length));
+    GSMB_RETURN_IF_ERROR(s.GetSize("qgram", &spec.blocking.qgram));
+    GSMB_RETURN_IF_ERROR(
+        s.GetSize("suffix_min_length", &spec.blocking.suffix_min_length));
+    GSMB_RETURN_IF_ERROR(s.GetSize("suffix_max_block_size",
+                                   &spec.blocking.suffix_max_block_size));
+    GSMB_RETURN_IF_ERROR(s.GetDouble("purge_size_fraction",
+                                     &spec.blocking.purge_size_fraction));
+    GSMB_RETURN_IF_ERROR(
+        s.GetDouble("filter_ratio", &spec.blocking.filter_ratio));
+    return Status::Ok();
+  }));
+
+  GSMB_RETURN_IF_ERROR(
+      root.GetEnum("features", ParseFeatureSetName, &spec.features));
+  GSMB_RETURN_IF_ERROR(
+      root.GetEnum("classifier", ParseClassifierName, &spec.classifier));
+
+  GSMB_RETURN_IF_ERROR(root.GetSection("pruning", [&](Section& s) {
+    GSMB_RETURN_IF_ERROR(
+        s.GetEnum("kind", ParsePruningName, &spec.pruning.kind));
+    GSMB_RETURN_IF_ERROR(
+        s.GetDouble("blast_ratio", &spec.pruning.blast_ratio));
+    return Status::Ok();
+  }));
+
+  GSMB_RETURN_IF_ERROR(root.GetSection("training", [&](Section& s) {
+    GSMB_RETURN_IF_ERROR(
+        s.GetSize("labels_per_class", &spec.training.labels_per_class));
+    GSMB_RETURN_IF_ERROR(s.GetU64("seed", &spec.training.seed));
+    return Status::Ok();
+  }));
+
+  GSMB_RETURN_IF_ERROR(root.GetSection("execution", [&](Section& s) {
+    GSMB_RETURN_IF_ERROR(
+        s.GetEnum("mode", ParseExecutionMode, &spec.execution.mode));
+    GSMB_RETURN_IF_ERROR(
+        s.GetSize("threads", &spec.execution.options.num_threads));
+    GSMB_RETURN_IF_ERROR(s.GetSize("shards", &spec.execution.shards));
+    GSMB_RETURN_IF_ERROR(
+        s.GetSize("memory_budget_mb", &spec.execution.memory_budget_mb));
+    GSMB_RETURN_IF_ERROR(s.GetSize("serving_max_block_size",
+                                   &spec.execution.serving_max_block_size));
+    return Status::Ok();
+  }));
+
+  GSMB_RETURN_IF_ERROR(root.GetSection("output", [&](Section& s) {
+    GSMB_RETURN_IF_ERROR(
+        s.GetString("retained_csv", &spec.output.retained_csv));
+    GSMB_RETURN_IF_ERROR(s.GetBool("keep_retained", &spec.output.keep_retained));
+    return Status::Ok();
+  }));
+
+  GSMB_RETURN_IF_ERROR(root.Finish());
+  return spec;
+}
+
+Result<JobSpec> JobSpec::FromJson(const std::string& text) {
+  return FromJson(text, JobSpec());
+}
+
+Result<JobSpec> JobSpec::FromFile(const std::string& path) {
+  return FromFile(path, JobSpec());
+}
+
+Result<JobSpec> JobSpec::FromFile(const std::string& path,
+                                  const JobSpec& base) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open spec file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<JobSpec> spec = FromJson(buffer.str(), base);
+  if (!spec.ok()) {
+    return Status(spec.status().code(),
+                  path + ": " + spec.status().message());
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+Status JobSpec::Validate() const {
+  if (version != kJobSpecVersion) {
+    return Status::InvalidArgument(
+        "unsupported spec version " + std::to_string(version));
+  }
+  switch (dataset.source) {
+    case DatasetSource::kCsv:
+      if (dataset.e1.empty()) {
+        return Status::InvalidArgument(
+            "dataset.e1 is required for a csv dataset");
+      }
+      if (dataset.ground_truth.empty()) {
+        return Status::InvalidArgument(
+            "dataset.ground_truth is required for a csv dataset");
+      }
+      if (!dataset.name.empty()) {
+        return Status::InvalidArgument(
+            "dataset.name only applies to generated datasets");
+      }
+      break;
+    case DatasetSource::kGeneratedCleanClean:
+    case DatasetSource::kGeneratedDirty:
+      if (dataset.name.empty()) {
+        return Status::InvalidArgument(
+            "dataset.name is required for a generated dataset");
+      }
+      if (!dataset.e1.empty() || !dataset.e2.empty() ||
+          !dataset.ground_truth.empty()) {
+        return Status::InvalidArgument(
+            "dataset.e1/e2/ground_truth only apply to csv datasets");
+      }
+      if (!(dataset.scale > 0.0)) {
+        return Status::InvalidArgument("dataset.scale must be > 0");
+      }
+      break;
+  }
+
+  if (blocking.min_token_length < 1) {
+    return Status::InvalidArgument("blocking.min_token_length must be >= 1");
+  }
+  if (blocking.scheme == BlockingScheme::kQGram && blocking.qgram < 1) {
+    return Status::InvalidArgument("blocking.qgram must be >= 1");
+  }
+  if (blocking.scheme == BlockingScheme::kSuffix) {
+    if (blocking.suffix_min_length < 1) {
+      return Status::InvalidArgument(
+          "blocking.suffix_min_length must be >= 1");
+    }
+    if (blocking.suffix_max_block_size < 2) {
+      return Status::InvalidArgument(
+          "blocking.suffix_max_block_size must be >= 2 (a block needs two "
+          "members to imply a comparison)");
+    }
+  }
+  if (!(blocking.purge_size_fraction > 0.0)) {
+    return Status::InvalidArgument(
+        "blocking.purge_size_fraction must be > 0 (use >= 1 to disable "
+        "purging)");
+  }
+  if (!(blocking.filter_ratio > 0.0) || blocking.filter_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "blocking.filter_ratio must be in (0, 1] (1 disables filtering)");
+  }
+
+  if (features.empty()) {
+    return Status::InvalidArgument("features must name at least one scheme");
+  }
+  if (training.labels_per_class < 1) {
+    return Status::InvalidArgument("training.labels_per_class must be >= 1");
+  }
+  if (!(pruning.blast_ratio > 0.0)) {
+    return Status::InvalidArgument("pruning.blast_ratio must be > 0");
+  }
+
+  if (execution.shards < 1) {
+    return Status::InvalidArgument(
+        "execution.shards must be >= 1 (more shards = lower peak memory "
+        "when streaming, finer dirty granularity when serving)");
+  }
+  return Status::Ok();
+}
+
+bool JobSpec::operator==(const JobSpec& other) const {
+  return version == other.version &&
+         dataset.source == other.dataset.source &&
+         dataset.e1 == other.dataset.e1 && dataset.e2 == other.dataset.e2 &&
+         dataset.ground_truth == other.dataset.ground_truth &&
+         dataset.name == other.dataset.name &&
+         dataset.scale == other.dataset.scale &&
+         blocking.scheme == other.blocking.scheme &&
+         blocking.min_token_length == other.blocking.min_token_length &&
+         blocking.qgram == other.blocking.qgram &&
+         blocking.suffix_min_length == other.blocking.suffix_min_length &&
+         blocking.suffix_max_block_size ==
+             other.blocking.suffix_max_block_size &&
+         blocking.purge_size_fraction == other.blocking.purge_size_fraction &&
+         blocking.filter_ratio == other.blocking.filter_ratio &&
+         features == other.features && classifier == other.classifier &&
+         pruning.kind == other.pruning.kind &&
+         pruning.blast_ratio == other.pruning.blast_ratio &&
+         training.labels_per_class == other.training.labels_per_class &&
+         training.seed == other.training.seed &&
+         execution.mode == other.execution.mode &&
+         execution.options.num_threads == other.execution.options.num_threads &&
+         execution.shards == other.execution.shards &&
+         execution.memory_budget_mb == other.execution.memory_budget_mb &&
+         execution.serving_max_block_size ==
+             other.execution.serving_max_block_size &&
+         output.retained_csv == other.output.retained_csv &&
+         output.keep_retained == other.output.keep_retained;
+}
+
+}  // namespace gsmb

@@ -1,0 +1,494 @@
+#include "api/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace gsmb::json {
+
+const Value* Object::Find(const std::string& key) const {
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Value* Object::Find(const std::string& key) {
+  for (Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Value& Object::operator[](const std::string& key) {
+  if (Value* existing = Find(key)) return *existing;
+  members_.emplace_back(key, Value());
+  return members_.back().second;
+}
+
+const char* Value::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr size_t kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Run() {
+    SkipWhitespace();
+    Value value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing content after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    size_t line = 1, column = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return Status::InvalidArgument("JSON parse error at line " +
+                                   std::to_string(line) + ", column " +
+                                   std::to_string(column) + ": " + message);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ParseValue(Value* out, size_t depth) {
+    if (depth > kMaxDepth) return Error("nesting deeper than 64 levels");
+    if (AtEnd()) return Error("unexpected end of input, expected a value");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status status = ParseString(&s);
+        if (!status.ok()) return status;
+        *out = Value(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", Value(true), out);
+      case 'f':
+        return ParseLiteral("false", Value(false), out);
+      case 'n':
+        return ParseLiteral("null", Value(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* literal, Value value, Value* out) {
+    const size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Error(std::string("invalid token, expected '") + literal + "'");
+    }
+    pos_ += len;
+    *out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    bool integral = pos_ > start && (text_[start] != '-' || pos_ > start + 1);
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string_view lexeme(text_.data() + start, pos_ - start);
+    double d = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), d);
+    if (ec != std::errc() || ptr != lexeme.data() + lexeme.size()) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    // Preserve the exact value of non-negative integer lexemes (seeds).
+    if (integral && text_[start] != '-') {
+      uint64_t u = 0;
+      auto [uptr, uec] =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), u);
+      if (uec == std::errc() && uptr == lexeme.data() + lexeme.size()) {
+        *out = Value(u);
+        return Status::Ok();
+      }
+    }
+    *out = Value(d);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape sequence");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          Status status = ParseUnicodeEscape(out);
+          if (!status.ok()) return status;
+          break;
+        }
+        default:
+          pos_ -= 2;
+          return Error("invalid escape sequence");
+      }
+    }
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    if (!ReadHex4(&code)) return Error("invalid \\u escape");
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: require the paired low surrogate.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return Error("unpaired UTF-16 surrogate in \\u escape");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      if (!ReadHex4(&low) || low < 0xDC00 || low > 0xDFFF) {
+        return Error("unpaired UTF-16 surrogate in \\u escape");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return Error("unpaired UTF-16 surrogate in \\u escape");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return Status::Ok();
+  }
+
+  bool ReadHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  Status ParseArray(Value* out, size_t depth) {
+    ++pos_;  // '['
+    Array array;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = Value(std::move(array));
+      return Status::Ok();
+    }
+    while (true) {
+      Value element;
+      SkipWhitespace();
+      Status status = ParseValue(&element, depth + 1);
+      if (!status.ok()) return status;
+      array.push_back(std::move(element));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array, expected ',' or ']'");
+      char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        return Error("expected ',' or ']' in array");
+      }
+    }
+    *out = Value(std::move(array));
+    return Status::Ok();
+  }
+
+  Status ParseObject(Value* out, size_t depth) {
+    ++pos_;  // '{'
+    Object object;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = Value(std::move(object));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Error("expected a quoted object key");
+      }
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      if (object.Contains(key)) {
+        return Error("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_++] != ':') {
+        if (!AtEnd()) --pos_;
+        return Error("expected ':' after object key '" + key + "'");
+      }
+      SkipWhitespace();
+      Value value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      object[key] = std::move(value);
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object, expected ',' or '}'");
+      char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        return Error("expected ',' or '}' in object");
+      }
+    }
+    *out = Value(std::move(object));
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(const Value& value, std::string* out) {
+  if (value.is_u64()) {
+    out->append(std::to_string(value.AsU64()));
+    return;
+  }
+  const double d = value.AsDouble();
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional degradation.
+    out->append("null");
+    return;
+  }
+  char buffer[32];
+  // Shortest representation that round-trips a double.
+  auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, d);
+  out->append(buffer, static_cast<size_t>(ptr - buffer));
+}
+
+void DumpTo(const Value& value, int indent, int depth, std::string* out) {
+  const std::string newline_pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) *
+                                          static_cast<size_t>(depth + 1),
+                                      ' ')
+                 : "";
+  const std::string closing_pad =
+      indent > 0
+          ? "\n" + std::string(
+                       static_cast<size_t>(indent) * static_cast<size_t>(depth),
+                       ' ')
+          : "";
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out->append("null");
+      break;
+    case Value::Kind::kBool:
+      out->append(value.AsBool() ? "true" : "false");
+      break;
+    case Value::Kind::kNumber:
+      AppendNumber(value, out);
+      break;
+    case Value::Kind::kString:
+      AppendEscaped(value.AsString(), out);
+      break;
+    case Value::Kind::kArray: {
+      const Array& array = value.AsArray();
+      if (array.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(newline_pad);
+        DumpTo(array[i], indent, depth + 1, out);
+      }
+      out->append(closing_pad);
+      out->push_back(']');
+      break;
+    }
+    case Value::Kind::kObject: {
+      const Object& object = value.AsObject();
+      if (object.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const Object::Member& m : object.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->append(newline_pad);
+        AppendEscaped(m.first, out);
+        out->append(indent > 0 ? ": " : ":");
+        DumpTo(m.second, indent, depth + 1, out);
+      }
+      out->append(closing_pad);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) { return Parser(text).Run(); }
+
+std::string Dump(const Value& value, int indent) {
+  std::string out;
+  DumpTo(value, indent, 0, &out);
+  return out;
+}
+
+}  // namespace gsmb::json

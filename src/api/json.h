@@ -1,0 +1,125 @@
+// Minimal JSON value model, parser and serializer for the JobSpec layer.
+//
+// The container ships no third-party JSON dependency, and the JobSpec needs
+// only a small, predictable subset: null/bool/number/string, arrays,
+// objects. Two properties matter more than generality here and shape the
+// implementation:
+//
+//   * Objects preserve INSERTION order. `gsmb_cli explain` output and
+//     serialized specs must be stable and diff-friendly, so members
+//     serialize in the order they were added/parsed, not hash order.
+//   * Numbers keep an exact unsigned-integer form when they have one.
+//     JobSpec carries 64-bit seeds; round-tripping them through a double
+//     would silently corrupt values above 2^53.
+//
+// Parse() returns Result with line:column diagnostics instead of throwing —
+// the spec parser turns these directly into user-facing messages.
+
+#ifndef GSMB_API_JSON_H_
+#define GSMB_API_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "gsmb/status.h"
+
+namespace gsmb::json {
+
+class Value;
+
+/// Insertion-ordered string -> Value map. Linear lookup: spec objects have
+/// at most a dozen members.
+class Object {
+ public:
+  using Member = std::pair<std::string, Value>;
+
+  const Value* Find(const std::string& key) const;
+  Value* Find(const std::string& key);
+  bool Contains(const std::string& key) const { return Find(key) != nullptr; }
+
+  /// Returns the member, inserting a null one at the end if absent.
+  Value& operator[](const std::string& key);
+
+  const std::vector<Member>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+ private:
+  std::vector<Member> members_;
+};
+
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  /// One constrained template for every integer type (int, size_t,
+  /// uint64_t, ...) — separate uint64_t/int overloads would make size_t
+  /// call sites ambiguous on platforms where size_t is a distinct type.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Value(T v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {
+    if (v >= T{0}) {
+      u64_ = static_cast<uint64_t>(v);
+      has_u64_ = true;
+    }
+  }
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// True when the lexeme was a non-negative integer that fits uint64_t —
+  /// the exact form is then available through AsU64().
+  bool is_u64() const { return kind_ == Kind::kNumber && has_u64_; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  uint64_t AsU64() const { return u64_; }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  Array& AsArray() { return array_; }
+  const Object& AsObject() const { return object_; }
+  Object& AsObject() { return object_; }
+
+  static const char* KindName(Kind kind);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  uint64_t u64_ = 0;
+  bool has_u64_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (the whole string must be consumed). Errors
+/// carry "line L, column C" positions.
+Result<Value> Parse(const std::string& text);
+
+/// Serializes with `indent` spaces per level (0 = single line). Object
+/// members appear in insertion order; the output re-parses to an equal
+/// value.
+std::string Dump(const Value& value, int indent = 2);
+
+}  // namespace gsmb::json
+
+#endif  // GSMB_API_JSON_H_

@@ -56,9 +56,10 @@ PreparedDataset PrepareCleanClean(const std::string& name,
     throw std::invalid_argument(
         "PrepareCleanClean: ground truth has Dirty-ER semantics");
   }
-  BlockCollection raw = TokenBlocking().Build(e1, e2, options.num_threads);
+  BlockCollection raw = TokenBlocking(options.min_token_length)
+      .Build(e1, e2, options.execution.num_threads);
   return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
-                           std::move(ground_truth), options.num_threads);
+                           std::move(ground_truth), options.execution.num_threads);
 }
 
 PreparedDataset PrepareDirty(const std::string& name,
@@ -69,9 +70,10 @@ PreparedDataset PrepareDirty(const std::string& name,
     throw std::invalid_argument(
         "PrepareDirty: ground truth has Clean-Clean semantics");
   }
-  BlockCollection raw = TokenBlocking().Build(e, options.num_threads);
+  BlockCollection raw = TokenBlocking(options.min_token_length)
+      .Build(e, options.execution.num_threads);
   return FinishPreparation(name, PreprocessBlocks(std::move(raw), options),
-                           std::move(ground_truth), options.num_threads);
+                           std::move(ground_truth), options.execution.num_threads);
 }
 
 PreparedDataset PrepareFromBlocks(const std::string& name,
@@ -116,7 +118,7 @@ MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
                                    const MetaBlockingConfig& config) {
   Stopwatch watch;
   FeatureExtractor extractor(*dataset.index, dataset.pairs);
-  Matrix features = extractor.Compute(config.features, config.num_threads);
+  Matrix features = extractor.Compute(config.features, config.execution.num_threads);
   double feature_seconds = watch.ElapsedSeconds();
   return RunMetaBlockingWithFeatures(dataset, config, features,
                                      feature_seconds);
@@ -158,7 +160,7 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
   // ---- Weighting: classification probability per candidate pair. ----
   watch.Restart();
   std::vector<double> probabilities =
-      model->PredictBatch(features, config.num_threads);
+      model->PredictBatch(features, config.execution.num_threads);
   result.classify_seconds = watch.ElapsedSeconds();
 
   // ---- Pruning. ----
@@ -166,7 +168,7 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
   PruningContext context =
       PruningContext::FromIndex(*dataset.index, dataset.stats);
   context.blast_ratio = config.blast_ratio;
-  context.num_threads = config.num_threads;
+  context.execution = config.execution;
   std::vector<uint32_t> retained =
       MakePruningAlgorithm(config.pruning)
           ->Prune(dataset.pairs, probabilities, context);

@@ -26,6 +26,7 @@
 #include "core/pruning.h"
 #include "er/entity_collection.h"
 #include "er/ground_truth.h"
+#include "gsmb/execution.h"
 #include "ml/classifier.h"
 #include "util/matrix.h"
 
@@ -33,15 +34,18 @@ namespace gsmb {
 
 /// Preprocessing knobs (paper defaults).
 struct BlockingOptions {
+  /// Minimum token length used as a Token Blocking key (the serving layer
+  /// shares this knob, so every backend tokenizes identically).
+  size_t min_token_length = 1;
   /// Block Purging: drop blocks with more than this fraction of all
   /// profiles (parameter-free setting: one half).
   double purge_size_fraction = 0.5;
   /// Block Filtering: fraction of its smallest blocks each entity keeps.
   double filter_ratio = 0.8;
-  /// Worker threads for candidate-pair generation (single-node analogue of
-  /// the paper's 72-core Spark deployment). Results are bit-identical to
-  /// the serial path for any value.
-  size_t num_threads = 1;
+  /// Shared execution knobs (worker threads for blocking and candidate-pair
+  /// generation). Results are bit-identical to the serial path for any
+  /// thread count.
+  ExecutionOptions execution;
 };
 
 /// A dataset after blocking: everything the experiments reuse across
@@ -102,10 +106,10 @@ struct MetaBlockingConfig {
   bool keep_probabilities = false;
   /// Keep retained pair indices in the result.
   bool keep_retained = false;
-  /// Worker threads for feature extraction, batch classification and
-  /// pruning. Every parallel path is bit-identical to the serial one, so
-  /// this only changes wall-clock time, never results.
-  size_t num_threads = 1;
+  /// Shared execution knobs (worker threads for feature extraction, batch
+  /// classification and pruning). Every parallel path is bit-identical to
+  /// the serial one, so this only changes wall-clock time, never results.
+  ExecutionOptions execution;
 };
 
 struct EffectivenessMetrics {

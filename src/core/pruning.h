@@ -34,6 +34,7 @@
 #include "blocking/block_stats.h"
 #include "blocking/candidate_pairs.h"
 #include "blocking/entity_index.h"
+#include "gsmb/execution.h"
 
 namespace gsmb {
 
@@ -71,10 +72,10 @@ struct PruningContext {
   double cnp_k = 1.0;
   /// BLAST pruning ratio r.
   double blast_ratio = 0.35;
-  /// Worker threads for the pruning sweeps. Every algorithm is
-  /// parallelised over fixed-grain chunks with deterministic merges, so
-  /// the retained set is bit-identical for any value, including 1.
-  size_t num_threads = 1;
+  /// Shared execution knobs (worker threads for the pruning sweeps). Every
+  /// algorithm is parallelised over fixed-grain chunks with deterministic
+  /// merges, so the retained set is bit-identical for any value.
+  ExecutionOptions execution;
 
   /// Builds the context from a processed block collection's statistics.
   static PruningContext FromIndex(const EntityIndex& index,

@@ -519,7 +519,7 @@ std::vector<uint32_t> PruneWithAggregator(
       MakePruningAggregator(kind, chunks.size(), context);
 
   if (aggregator->needs_accumulation()) {
-    ParallelFor(chunks.size(), context.num_threads,
+    ParallelFor(chunks.size(), context.execution.num_threads,
                 [&](size_t chunks_begin, size_t chunks_end) {
                   std::unique_ptr<AggregatorScratch> scratch =
                       aggregator->MakeScratch();
@@ -547,7 +547,7 @@ std::vector<uint32_t> PruneWithAggregator(
     return indices;
   }
 
-  return detail::ChunkedRetain(pairs.size(), context.num_threads,
+  return detail::ChunkedRetain(pairs.size(), context.execution.num_threads,
                                [&](size_t i) {
                                  return aggregator->Keep(i, pairs[i],
                                                          probabilities[i]);

@@ -110,7 +110,7 @@ std::unique_ptr<PruningAggregator> MakePruningAggregator(
 
 /// The fully in-memory driver every PruningAlgorithm::Prune delegates to:
 /// accumulate all chunks in parallel, fold once in chunk order, then decide.
-/// Bit-identical for any `context.num_threads`.
+/// Bit-identical for any `context.execution.num_threads`.
 std::vector<uint32_t> PruneWithAggregator(
     PruningKind kind, const std::vector<CandidatePair>& pairs,
     const std::vector<double>& probabilities, const PruningContext& context);

@@ -26,13 +26,14 @@ std::vector<double> ServingModel::PredictRows(const Matrix& x) const {
 ServingModel TrainServingModel(const EntityCollection& labelled,
                                const GroundTruth& ground_truth,
                                const FeatureSet& features,
-                               const ServingModelTraining& options) {
+                               const ServingModelTraining& options,
+                               size_t* training_size) {
   if (ground_truth.empty()) {
     throw std::invalid_argument(
         "TrainServingModel: ground truth has no labelled matches");
   }
-  BlockingOptions blocking;
-  blocking.num_threads = options.num_threads;
+  BlockingOptions blocking = options.blocking;
+  blocking.execution = options.execution;
   PreparedDataset prep =
       PrepareDirty("serving-bootstrap", labelled, ground_truth, blocking);
 
@@ -41,8 +42,9 @@ ServingModel TrainServingModel(const EntityCollection& labelled,
   config.classifier = options.classifier;
   config.train_per_class = options.train_per_class;
   config.seed = options.seed;
-  config.num_threads = options.num_threads;
+  config.execution = options.execution;
   MetaBlockingResult result = RunMetaBlocking(prep, config);
+  if (training_size != nullptr) *training_size = result.training_size;
   if (result.model_coefficients.size() != features.Dimensions() + 1) {
     throw std::runtime_error(
         "TrainServingModel: classifier has no raw-space linear form (use "

@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "core/feature_set.h"
+#include "core/pipeline.h"
 #include "er/entity_collection.h"
 #include "er/ground_truth.h"
+#include "gsmb/execution.h"
 #include "ml/classifier.h"
 #include "util/matrix.h"
 
@@ -50,7 +52,13 @@ struct ServingModelTraining {
   ClassifierKind classifier = ClassifierKind::kLogisticRegression;
   size_t train_per_class = 250;
   uint64_t seed = 0;
-  size_t num_threads = 1;
+  /// Preprocessing applied to the bootstrap collection before training
+  /// (paper defaults). The Engine's serving backend overrides this with the
+  /// JobSpec's blocking section so the trained model is bit-identical to
+  /// the batch backend's.
+  BlockingOptions blocking;
+  /// Shared execution knobs; also applied to `blocking`.
+  ExecutionOptions execution;
 };
 
 /// Trains a classifier with the batch pipeline (Token Blocking -> purging ->
@@ -58,10 +66,12 @@ struct ServingModelTraining {
 /// collection and returns its raw-space linear form. Throws when the chosen
 /// classifier has no linear representation (Gaussian Naive Bayes) or when
 /// the data yields too few labelled candidate pairs to train.
+/// `training_size` (optional) receives the balanced sample's actual size.
 ServingModel TrainServingModel(const EntityCollection& labelled,
                                const GroundTruth& ground_truth,
                                const FeatureSet& features,
-                               const ServingModelTraining& options = {});
+                               const ServingModelTraining& options = {},
+                               size_t* training_size = nullptr);
 
 }  // namespace gsmb
 

@@ -171,13 +171,17 @@ void MetaBlockingSession::RefreshShard(Shard* shard) const {
   PruningContext context = PruningContext::FromIndex(index, stats);
   context.validity_threshold = options_.validity_threshold;
   context.blast_ratio = options_.blast_ratio;
-  context.num_threads = 1;
-  // CNP budget relative to the entities actually present in the shard: the
+  context.execution.num_threads = 1;
+  // CNP budget relative to the entities actually present in the shard (the
   // batch formula divides by the global |E|, which changes on every ingest
-  // anywhere and would invalidate every clean shard's cache.
-  context.cnp_k = std::max(
-      1.0, static_cast<double>(stats.total_occurrences) /
-               static_cast<double>(shard->aggregates.size()));
+  // anywhere and would invalidate every clean shard's cache) — unless the
+  // options pin an explicit universe (Engine cold builds, batch parity).
+  const size_t cnp_universe = options_.cnp_entity_universe > 0
+                                  ? options_.cnp_entity_universe
+                                  : shard->aggregates.size();
+  context.cnp_k =
+      std::max(1.0, static_cast<double>(stats.total_occurrences) /
+                        static_cast<double>(cnp_universe));
 
   const std::vector<uint32_t> retained_rows =
       MakePruningAlgorithm(options_.pruning)
@@ -195,7 +199,7 @@ size_t MetaBlockingSession::Refresh() {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shards_[s].dirty) dirty.push_back(s);
   }
-  ParallelFor(dirty.size(), options_.num_threads,
+  ParallelFor(dirty.size(), options_.execution.num_threads,
               [&](size_t begin, size_t end) {
                 for (size_t d = begin; d < end; ++d) {
                   RefreshShard(&shards_[dirty[d]]);

@@ -48,6 +48,7 @@
 #include "blocking/candidate_pairs.h"
 #include "core/pruning.h"
 #include "er/entity_collection.h"
+#include "gsmb/execution.h"
 #include "serve/serving_model.h"
 
 namespace gsmb {
@@ -56,9 +57,9 @@ struct SessionOptions {
   /// Number of key shards. More shards = finer dirty granularity (cheaper
   /// incremental refreshes) at slightly higher per-refresh overhead.
   size_t num_shards = 16;
-  /// Worker threads for Refresh(); shards are data-parallel. Results are
-  /// identical for any value.
-  size_t num_threads = 1;
+  /// Shared execution knobs (worker threads for Refresh(); shards are
+  /// data-parallel). Results are identical for any thread count.
+  ExecutionOptions execution;
   /// Minimum token length used as a blocking key.
   size_t min_token_length = 1;
   /// Block Purging analogue for a long-lived session: blocks with more
@@ -69,6 +70,13 @@ struct SessionOptions {
   /// Pruning algorithm applied per shard.
   PruningKind pruning = PruningKind::kBlast;
   double blast_ratio = 0.35;
+  /// Entity universe of the CNP budget k = max(1, Σ|b| / universe). 0 uses
+  /// the entities present in each shard — the incremental default, since a
+  /// global profile count changes on every ingest and would invalidate
+  /// every clean shard's cache. The Engine's one-shot cold builds pin it to
+  /// the profile count, which makes a single-shard session prune exactly
+  /// like the batch pipeline (whose budget divides by |E|).
+  size_t cnp_entity_universe = 0;
   /// Pairs with probability below this are never retained or returned.
   double validity_threshold = 0.5;
 };
@@ -140,7 +148,7 @@ class MetaBlockingSession {
   /// Worker threads for Refresh(); purely an execution knob (results are
   /// identical for any value), so a restored snapshot may override it.
   void set_num_threads(size_t num_threads) {
-    options_.num_threads = num_threads;
+    options_.execution.num_threads = num_threads;
   }
   const ServingModel& model() const { return model_; }
   /// The resident collection; QueryMatch::id indexes it.

@@ -2,9 +2,10 @@
 //
 // Layout (native-endian, doubles bit-exact so a restored session scores and
 // prunes identically):
-//   magic "GSMBSN01"
+//   magic "GSMBSN02"
 //   options   num_shards, num_threads, min_token_length, max_block_size,
-//             pruning kind, blast_ratio, validity_threshold
+//             pruning kind, blast_ratio, validity_threshold,
+//             cnp_entity_universe
 //   model     feature mask, weights, intercept
 //   profiles  external id + attribute name/value pairs, in id order
 //   shards    per shard: dirty flag, cached block/candidate stats, retained
@@ -26,7 +27,7 @@ namespace gsmb {
 
 namespace {
 
-constexpr char kMagic[8] = {'G', 'S', 'M', 'B', 'S', 'N', '0', '1'};
+constexpr char kMagic[8] = {'G', 'S', 'M', 'B', 'S', 'N', '0', '2'};
 
 void PutBytes(std::ostream& out, const void* data, size_t size) {
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
@@ -114,12 +115,13 @@ void MetaBlockingSession::Save(const std::string& path) const {
 
   PutBytes(out, kMagic, sizeof kMagic);
   PutU64(out, options_.num_shards);
-  PutU64(out, options_.num_threads);
+  PutU64(out, options_.execution.num_threads);
   PutU64(out, options_.min_token_length);
   PutU64(out, options_.max_block_size);
   PutU8(out, static_cast<uint8_t>(options_.pruning));
   PutF64(out, options_.blast_ratio);
   PutF64(out, options_.validity_threshold);
+  PutU64(out, options_.cnp_entity_universe);
 
   PutU8(out, model_.features.mask());
   PutU64(out, model_.weights.size());
@@ -181,7 +183,7 @@ MetaBlockingSession MetaBlockingSession::Load(const std::string& path) {
 
   SessionOptions options;
   options.num_shards = reader.U64();
-  options.num_threads = reader.U64();
+  options.execution.num_threads = reader.U64();
   options.min_token_length = reader.U64();
   options.max_block_size = reader.U64();
   const uint8_t pruning = reader.U8();
@@ -191,6 +193,7 @@ MetaBlockingSession MetaBlockingSession::Load(const std::string& path) {
   options.pruning = static_cast<PruningKind>(pruning);
   options.blast_ratio = reader.F64();
   options.validity_threshold = reader.F64();
+  options.cnp_entity_universe = reader.U64();
 
   ServingModel model;
   model.features = FeatureSet::FromMask(reader.U8());

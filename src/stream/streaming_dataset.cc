@@ -108,10 +108,11 @@ StreamingDataset PrepareStreamingCleanClean(const std::string& name,
     throw std::invalid_argument(
         "PrepareStreamingCleanClean: ground truth has Dirty-ER semantics");
   }
-  BlockCollection raw = TokenBlocking().Build(e1, e2, options.num_threads);
+  BlockCollection raw = TokenBlocking(options.min_token_length)
+      .Build(e1, e2, options.execution.num_threads);
   return FinishStreamingPreparation(
       name, PreprocessBlocks(std::move(raw), options),
-      std::move(ground_truth), options.num_threads);
+      std::move(ground_truth), options.execution.num_threads);
 }
 
 StreamingDataset PrepareStreamingDirty(const std::string& name,
@@ -122,10 +123,11 @@ StreamingDataset PrepareStreamingDirty(const std::string& name,
     throw std::invalid_argument(
         "PrepareStreamingDirty: ground truth has Clean-Clean semantics");
   }
-  BlockCollection raw = TokenBlocking().Build(e, options.num_threads);
+  BlockCollection raw = TokenBlocking(options.min_token_length)
+      .Build(e, options.execution.num_threads);
   return FinishStreamingPreparation(
       name, PreprocessBlocks(std::move(raw), options),
-      std::move(ground_truth), options.num_threads);
+      std::move(ground_truth), options.execution.num_threads);
 }
 
 StreamingDataset PrepareStreamingFromBlocks(const std::string& name,

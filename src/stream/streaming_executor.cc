@@ -94,10 +94,7 @@ std::vector<StreamingExecutor::ShardSlice> StreamingExecutor::PlanShards(
     const uint64_t budget_bytes = static_cast<uint64_t>(
                                       options_.memory_budget_mb)
                                   << 20;
-    // Approximate arena bytes per candidate: the pair, its feature row,
-    // its probability, plus slack for the per-chunk aggregation partials.
-    const uint64_t bytes_per_pair =
-        sizeof(CandidatePair) + 8ull * feature_dims + 8 + 8;
+    const uint64_t bytes_per_pair = StreamingArenaBytesPerPair(feature_dims);
     const uint64_t pairs_per_shard =
         std::max<uint64_t>(1, budget_bytes / bytes_per_pair);
     const uint64_t derived =
@@ -149,7 +146,7 @@ void StreamingExecutor::FillArena(const ShardSlice& shard,
   const std::vector<ChunkRange> pivot_chunks =
       DeterministicChunks(pivot_end - pivot_begin, kPivotChunkGrain);
   ParallelFor(
-      pivot_chunks.size(), config.num_threads,
+      pivot_chunks.size(), config.execution.num_threads,
       [&](size_t chunks_begin, size_t chunks_end) {
         PivotNeighbourGenerator generator(index);
         std::vector<EntityId> neighbours;
@@ -177,14 +174,14 @@ void StreamingExecutor::FillArena(const ShardSlice& shard,
   // corresponding rows of the batch path's full matrix). ----
   watch.Restart();
   FeatureExtractor extractor(index, arena->pairs);
-  arena->features = extractor.Compute(config.features, config.num_threads,
+  arena->features = extractor.Compute(config.features, config.execution.num_threads,
                                       lcp);
   timings->feature_seconds += watch.ElapsedSeconds();
 
   // ---- Classify. ----
   watch.Restart();
   arena->probabilities =
-      model.PredictBatch(arena->features, config.num_threads);
+      model.PredictBatch(arena->features, config.execution.num_threads);
   timings->classify_seconds += watch.ElapsedSeconds();
 }
 
@@ -216,7 +213,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
   const std::vector<double>* lcp_ptr = nullptr;
   if (config.features.Contains(Feature::kLcp)) {
     lcp = FeatureExtractor(index, kNoPairs)
-              .ComputeLcpPerEntity(config.num_threads);
+              .ComputeLcpPerEntity(config.execution.num_threads);
     lcp_ptr = &lcp;
   }
   result.feature_seconds += watch.ElapsedSeconds();
@@ -256,7 +253,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
   }
   FeatureExtractor training_extractor(index, training_pairs);
   const Matrix sorted_features = training_extractor.Compute(
-      config.features, config.num_threads, lcp_ptr);
+      config.features, config.execution.num_threads, lcp_ptr);
   std::unordered_map<uint64_t, size_t> row_of;
   row_of.reserve(sorted_rows.size());
   for (size_t r = 0; r < sorted_rows.size(); ++r) row_of[sorted_rows[r]] = r;
@@ -278,7 +275,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
   PruningContext context =
       PruningContext::FromIndex(index, dataset_.stats);
   context.blast_ratio = config.blast_ratio;
-  context.num_threads = config.num_threads;
+  context.execution = config.execution;
 
   std::unique_ptr<PruningAggregator> aggregator =
       MakePruningAggregator(config.pruning, chunks.size(), context);
@@ -292,7 +289,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
       FillArena(shard, config, *model, lcp_ptr, &arena, &result);
       watch.Restart();
       const size_t shard_chunks = shard.chunk_end - shard.chunk_begin;
-      ParallelFor(shard_chunks, config.num_threads,
+      ParallelFor(shard_chunks, config.execution.num_threads,
                   [&](size_t begin, size_t end) {
                     std::unique_ptr<AggregatorScratch> scratch =
                         aggregator->MakeScratch();
@@ -362,7 +359,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
       watch.Restart();
       const size_t shard_chunks = shard.chunk_end - shard.chunk_begin;
       std::vector<std::vector<uint32_t>> parts(shard_chunks);
-      ParallelFor(shard_chunks, config.num_threads,
+      ParallelFor(shard_chunks, config.execution.num_threads,
                   [&](size_t begin, size_t end) {
                     for (size_t sc = begin; sc < end; ++sc) {
                       const size_t c = shard.chunk_begin + sc;

@@ -51,6 +51,15 @@
 
 namespace gsmb {
 
+/// Arena bytes one candidate occupies while a shard is resident: the pair,
+/// its feature row, its probability, plus slack for the per-chunk
+/// aggregation partials. PlanShards sizes shards with this, and the
+/// Engine's `auto` mode uses the SAME model to decide batch vs streaming —
+/// one function so the two can never drift apart.
+inline constexpr uint64_t StreamingArenaBytesPerPair(size_t feature_dims) {
+  return sizeof(CandidatePair) + 8ull * feature_dims + 8 + 8;
+}
+
 struct StreamingOptions {
   /// Number of contiguous, chunk-aligned slices of the candidate space.
   /// More shards = smaller arena = lower peak memory (and slightly more

@@ -1,0 +1,262 @@
+// JobSpec serialization: lossless round-trips for every field (defaulted
+// and explicit), rejection diagnostics for malformed/unknown-version specs,
+// and Validate()'s range/completeness checks.
+
+#include "gsmb/job_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gsmb {
+namespace {
+
+JobSpec EveryFieldExplicit() {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kCsv;
+  spec.dataset.e1 = "left.csv";
+  spec.dataset.e2 = "right.csv";
+  spec.dataset.ground_truth = "gt.csv";
+  spec.blocking.scheme = BlockingScheme::kSuffix;
+  spec.blocking.min_token_length = 2;
+  spec.blocking.qgram = 4;
+  spec.blocking.suffix_min_length = 5;
+  spec.blocking.suffix_max_block_size = 48;
+  spec.blocking.purge_size_fraction = 0.25;
+  spec.blocking.filter_ratio = 0.9;
+  spec.features = FeatureSet::RcnpOptimal();
+  spec.classifier = ClassifierKind::kLinearSvc;
+  spec.pruning.kind = PruningKind::kRcnp;
+  spec.pruning.blast_ratio = 0.4;
+  spec.training.labels_per_class = 123;
+  spec.training.seed = 18446744073709551615ull;  // 2^64 - 1: must survive
+  spec.execution.mode = ExecutionMode::kStreaming;
+  spec.execution.options.num_threads = 8;
+  spec.execution.shards = 32;
+  spec.execution.memory_budget_mb = 256;
+  spec.execution.serving_max_block_size = 150;
+  spec.output.retained_csv = "out.csv";
+  spec.output.keep_retained = true;
+  return spec;
+}
+
+TEST(JobSpecJson, DefaultSpecRoundTrips) {
+  JobSpec spec;  // all defaults
+  Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(spec == *again);
+}
+
+TEST(JobSpecJson, ExplicitSpecRoundTripsEveryField) {
+  const JobSpec spec = EveryFieldExplicit();
+  Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(spec == *again);
+}
+
+TEST(JobSpecJson, GeneratedDatasetRoundTrips) {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = 0.05;
+  spec.execution.mode = ExecutionMode::kServing;
+  Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(spec == *again);
+}
+
+TEST(JobSpecJson, CustomFeatureListRoundTrips) {
+  JobSpec spec;
+  spec.features = FeatureSet{Feature::kJs, Feature::kLcp, Feature::kWjs};
+  Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(spec.features.mask(), again->features.mask());
+}
+
+TEST(JobSpecJson, EveryPruningKindRoundTrips) {
+  for (PruningKind kind : AllPruningKinds()) {
+    JobSpec spec;
+    spec.pruning.kind = kind;
+    Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->pruning.kind, kind);
+  }
+}
+
+TEST(JobSpecJson, PartialSpecKeepsDefaults) {
+  Result<JobSpec> spec = JobSpec::FromJson(
+      R"({"version": 1, "pruning": {"kind": "cnp"}})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->pruning.kind, PruningKind::kCnp);
+  // Untouched sections keep their defaults.
+  JobSpec defaults;
+  EXPECT_EQ(spec->training.labels_per_class,
+            defaults.training.labels_per_class);
+  EXPECT_TRUE(spec->features == defaults.features);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection diagnostics
+// ---------------------------------------------------------------------------
+
+void ExpectRejected(const std::string& text, const std::string& fragment) {
+  Result<JobSpec> spec = JobSpec::FromJson(text);
+  ASSERT_FALSE(spec.ok()) << "accepted: " << text;
+  EXPECT_NE(spec.status().message().find(fragment), std::string::npos)
+      << "message '" << spec.status().message() << "' lacks '" << fragment
+      << "'";
+}
+
+TEST(JobSpecJson, RejectsMalformedJson) {
+  ExpectRejected("{", "JSON parse error");
+  ExpectRejected("[1]", "must be a JSON object");
+}
+
+TEST(JobSpecJson, RejectsMissingAndUnknownVersion) {
+  ExpectRejected(R"({})", "version is required");
+  ExpectRejected(R"({"version": 99})", "unsupported spec version 99");
+  ExpectRejected(R"({"version": "one"})", "non-negative integer");
+}
+
+TEST(JobSpecJson, RejectsUnknownKeysWithPath) {
+  ExpectRejected(R"({"version": 1, "prunning": {}})",
+                 "unknown key 'prunning' in spec");
+  ExpectRejected(R"({"version": 1, "training": {"labels": 5}})",
+                 "unknown key 'labels' in spec.training");
+}
+
+TEST(JobSpecJson, RejectsTypeMismatchesWithPath) {
+  ExpectRejected(R"({"version": 1, "training": {"seed": -4}})",
+                 "spec.training.seed");
+  ExpectRejected(R"({"version": 1, "blocking": {"filter_ratio": "high"}})",
+                 "spec.blocking.filter_ratio: expected a number");
+  ExpectRejected(R"({"version": 1, "dataset": {"e1": 7}})",
+                 "spec.dataset.e1: expected a string");
+}
+
+TEST(JobSpecJson, RejectsUnknownEnumNames) {
+  ExpectRejected(R"({"version": 1, "pruning": {"kind": "blart"}})",
+                 "unknown pruning kind 'blart'");
+  ExpectRejected(R"({"version": 1, "classifier": "forest"})",
+                 "unknown classifier 'forest'");
+  ExpectRejected(R"({"version": 1, "features": "blst"})", "unknown feature");
+  ExpectRejected(R"({"version": 1, "execution": {"mode": "spark"}})",
+                 "unknown execution mode 'spark'");
+  ExpectRejected(R"({"version": 1, "dataset": {"source": "parquet"}})",
+                 "unknown dataset source 'parquet'");
+  ExpectRejected(R"({"version": 1, "blocking": {"scheme": "lsh"}})",
+                 "unknown blocking scheme 'lsh'");
+}
+
+// ---------------------------------------------------------------------------
+// Validate()
+// ---------------------------------------------------------------------------
+
+TEST(JobSpecValidate, DefaultCsvSpecNeedsPaths) {
+  JobSpec spec;  // csv source, no paths
+  Status status = spec.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("dataset.e1"), std::string::npos);
+}
+
+TEST(JobSpecValidate, CompleteSpecsPass) {
+  JobSpec csv;
+  csv.dataset.e1 = "a.csv";
+  csv.dataset.ground_truth = "gt.csv";
+  EXPECT_TRUE(csv.Validate().ok()) << csv.Validate().ToString();
+
+  JobSpec generated;
+  generated.dataset.source = DatasetSource::kGeneratedCleanClean;
+  generated.dataset.name = "AbtBuy";
+  generated.dataset.scale = 0.25;
+  EXPECT_TRUE(generated.Validate().ok()) << generated.Validate().ToString();
+}
+
+TEST(JobSpecValidate, RejectsOutOfRangeValues) {
+  JobSpec base;
+  base.dataset.e1 = "a.csv";
+  base.dataset.ground_truth = "gt.csv";
+
+  JobSpec spec = base;
+  spec.blocking.filter_ratio = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.blocking.purge_size_fraction = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.execution.shards = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.training.labels_per_class = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.pruning.blast_ratio = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.dataset.name = "AbtBuy";  // name on a csv source
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.blocking.scheme = BlockingScheme::kSuffix;
+  spec.blocking.suffix_max_block_size = 1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(JobSpecValidate, GeneratedSpecRejectsCsvPaths) {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.e1 = "stray.csv";
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Name helpers
+// ---------------------------------------------------------------------------
+
+TEST(JobSpecNames, ShortNamesRoundTrip) {
+  for (PruningKind kind : AllPruningKinds()) {
+    Result<PruningKind> parsed = ParsePruningName(PruningShortName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (ClassifierKind kind :
+       {ClassifierKind::kLogisticRegression, ClassifierKind::kLinearSvc,
+        ClassifierKind::kGaussianNaiveBayes}) {
+    Result<ClassifierKind> parsed =
+        ParseClassifierName(ClassifierShortName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (ExecutionMode mode :
+       {ExecutionMode::kBatch, ExecutionMode::kStreaming,
+        ExecutionMode::kServing, ExecutionMode::kAuto}) {
+    Result<ExecutionMode> parsed = ParseExecutionMode(ExecutionModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+}
+
+TEST(JobSpecNames, FeatureSetNamesAreCaseInsensitive) {
+  Result<FeatureSet> upper = ParseFeatureSetName("BLAST");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_TRUE(*upper == FeatureSet::BlastOptimal());
+
+  Result<FeatureSet> list = ParseFeatureSetName("CF-IBF, raccb , JS");
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(*list ==
+              (FeatureSet{Feature::kCfIbf, Feature::kRaccb, Feature::kJs}));
+}
+
+TEST(JobSpecNames, ToJsonIsStableAcrossCalls) {
+  const JobSpec spec = EveryFieldExplicit();
+  EXPECT_EQ(spec.ToJson(), spec.ToJson());
+}
+
+}  // namespace
+}  // namespace gsmb

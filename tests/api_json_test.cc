@@ -1,0 +1,133 @@
+// The JSON layer under the JobSpec: parse/dump round-trips, ordering
+// guarantees, exact integer preservation, and diagnostic positions.
+
+#include "api/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace gsmb::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("-2.5")->AsDouble(), -2.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParse, IntegersKeepExactU64Form) {
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  Result<Value> parsed = Parse("18446744073709551615");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->is_u64());
+  EXPECT_EQ(parsed->AsU64(), big);
+  // And the exact form survives a dump/parse cycle.
+  Result<Value> again = Parse(Dump(*parsed));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->AsU64(), big);
+}
+
+TEST(JsonParse, NegativeAndFractionalAreNotU64) {
+  EXPECT_FALSE(Parse("-3")->is_u64());
+  EXPECT_FALSE(Parse("3.5")->is_u64());
+  EXPECT_FALSE(Parse("3e2")->is_u64());
+}
+
+TEST(JsonParse, NestedStructures) {
+  Result<Value> parsed =
+      Parse(R"({"a": [1, {"b": "x"}, null], "c": {"d": true}})");
+  ASSERT_TRUE(parsed.ok());
+  const Object& root = parsed->AsObject();
+  const Array& a = root.Find("a")->AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[1].AsObject().Find("b")->AsString(), "x");
+  EXPECT_TRUE(a[2].is_null());
+  EXPECT_TRUE(root.Find("c")->AsObject().Find("d")->AsBool());
+}
+
+TEST(JsonParse, StringEscapes) {
+  Result<Value> parsed = Parse(R"("line\nquote\"back\\slash\/uA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "line\nquote\"back\\slash/uA");
+}
+
+TEST(JsonParse, UnicodeSurrogatePair) {
+  Result<Value> parsed = Parse(R"("😀")");  // U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(Parse(R"("\uD83D")").ok());  // unpaired high surrogate
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  Result<Value> parsed = Parse("{\n  \"a\": 1,\n  \"b\": }\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("1 2").ok());          // trailing content
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("{\"a\":1,\"a\":2}").ok());  // duplicate key
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonDump, ObjectsKeepInsertionOrder) {
+  Object object;
+  object["zebra"] = Value(1);
+  object["alpha"] = Value(2);
+  object["mid"] = Value(3);
+  EXPECT_EQ(Dump(Value(std::move(object)), 0),
+            R"({"zebra":1,"alpha":2,"mid":3})");
+}
+
+TEST(JsonDump, RoundTripsDoubles) {
+  const double value = 0.35;
+  Result<Value> again = Parse(Dump(Value(value)));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->AsDouble(), value);  // bit-exact through shortest form
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const std::string input = std::string("a\tb") + static_cast<char>(1);
+  EXPECT_EQ(Dump(Value(input), 0), "\"a\\tb\\u0001\"");
+}
+
+TEST(JsonDump, IndentedFormIsStable) {
+  Object inner;
+  inner["k"] = Value("v");
+  Object root;
+  root["num"] = Value(7);
+  root["obj"] = Value(std::move(inner));
+  root["arr"] = Value(Array{Value(1), Value(2)});
+  const std::string expected =
+      "{\n"
+      "  \"num\": 7,\n"
+      "  \"obj\": {\n"
+      "    \"k\": \"v\"\n"
+      "  },\n"
+      "  \"arr\": [\n"
+      "    1,\n"
+      "    2\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(Dump(Value(std::move(root)), 2), expected);
+}
+
+}  // namespace
+}  // namespace gsmb::json

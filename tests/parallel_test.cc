@@ -265,12 +265,12 @@ TEST(ParallelPruning, AllAlgorithmsBitIdenticalAcrossThreadCounts) {
     const std::unique_ptr<PruningAlgorithm> algorithm =
         MakePruningAlgorithm(kind);
     PruningContext context = f.context;
-    context.num_threads = 1;
+    context.execution.num_threads = 1;
     const std::vector<uint32_t> serial =
         algorithm->Prune(f.pairs, f.probs, context);
     EXPECT_FALSE(serial.empty()) << algorithm->Name();
     for (size_t threads : {2, 8}) {
-      context.num_threads = threads;
+      context.execution.num_threads = threads;
       EXPECT_EQ(algorithm->Prune(f.pairs, f.probs, context), serial)
           << algorithm->Name() << " with " << threads << " threads";
     }
@@ -287,9 +287,9 @@ TEST(ParallelPipeline, RunMetaBlockingBitIdenticalToSerial) {
   config.keep_probabilities = true;
   config.keep_retained = true;
 
-  config.num_threads = 1;
+  config.execution.num_threads = 1;
   const MetaBlockingResult serial = RunMetaBlocking(prep, config);
-  config.num_threads = 4;
+  config.execution.num_threads = 4;
   const MetaBlockingResult parallel = RunMetaBlocking(prep, config);
 
   EXPECT_EQ(parallel.probabilities, serial.probabilities);

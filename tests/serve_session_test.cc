@@ -54,7 +54,7 @@ const ServingModel& TestModel() {
 SessionOptions TestOptions(size_t num_shards = 8, size_t num_threads = 1) {
   SessionOptions options;
   options.num_shards = num_shards;
-  options.num_threads = num_threads;
+  options.execution.num_threads = num_threads;
   return options;
 }
 

@@ -46,7 +46,7 @@ const ServingModel& TestModel() {
 SessionOptions TestOptions() {
   SessionOptions options;
   options.num_shards = 8;
-  options.num_threads = 2;
+  options.execution.num_threads = 2;
   return options;
 }
 

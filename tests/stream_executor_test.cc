@@ -66,7 +66,7 @@ void RunEquivalenceSweep(const PreparedDataset& prep) {
         StreamingOptions options;
         options.num_shards = shards;
         MetaBlockingConfig stream_config = config;
-        stream_config.num_threads = threads;
+        stream_config.execution.num_threads = threads;
         const StreamingResult stream =
             StreamingExecutor(twin, options).Run(stream_config);
         ExpectIdentical(batch, stream, kind, shards, threads);
@@ -125,7 +125,7 @@ TEST(StreamExecutorTest, LcpFeaturesMatchBatch) {
   StreamingOptions options;
   options.num_shards = 5;
   MetaBlockingConfig stream_config = config;
-  stream_config.num_threads = 4;
+  stream_config.execution.num_threads = 4;
   const StreamingResult stream =
       StreamingExecutor(twin, options).Run(stream_config);
   ExpectIdentical(batch, stream, config.pruning, 5, 4);
@@ -142,13 +142,13 @@ TEST(StreamExecutorTest, ManyShardDirtyDatasetMatchesBatch) {
   GroundTruth gt_copy = data.ground_truth;
   const PreparedDataset prep =
       PrepareDirty(spec.name, data.entities, std::move(gt_copy),
-                   BlockingOptions{.num_threads = 4});
+                   BlockingOptions{.execution = {.num_threads = 4}});
   const StreamingDataset twin = StreamingTwin(prep);
 
   for (PruningKind kind : {PruningKind::kBlast, PruningKind::kWep,
                            PruningKind::kCnp}) {
     MetaBlockingConfig config = BaseConfig(kind);
-    config.num_threads = 4;
+    config.execution.num_threads = 4;
     const MetaBlockingResult batch = RunMetaBlocking(prep, config);
     for (size_t shards : {size_t{3}, size_t{32}}) {
       StreamingOptions options;

@@ -1,0 +1,148 @@
+#include "cli_parse.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsmb::cli {
+
+ArgStream::ArgStream(int argc, char** argv, int begin) {
+  for (int i = begin; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+const std::string& ArgStream::Take() { return args_[pos_++]; }
+
+Result<std::string> ArgStream::Value(const std::string& flag) {
+  if (Done()) {
+    return Status::InvalidArgument(flag + " needs a value");
+  }
+  return args_[pos_++];
+}
+
+Result<uint64_t> ParseCount(const std::string& flag, const std::string& text) {
+  const bool all_digits =
+      !text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos;
+  if (all_digits) {
+    try {
+      return std::stoull(text);
+    } catch (const std::exception&) {
+      // out of range; fall through to the diagnostic
+    }
+  }
+  return Status::InvalidArgument(flag + " expects a non-negative integer, got '" +
+                                 text + "'");
+}
+
+Result<double> ParseDouble(const std::string& flag, const std::string& text) {
+  try {
+    size_t consumed = 0;
+    const double parsed = std::stod(text, &consumed);
+    if (consumed == text.size() && std::isfinite(parsed)) return parsed;
+  } catch (const std::exception&) {
+    // not a number at all; fall through to the diagnostic
+  }
+  return Status::InvalidArgument(flag + " expects a finite number, got '" +
+                                 text + "'");
+}
+
+Result<std::vector<std::string>> ExtractConfig(
+    const std::vector<std::string>& args, JobSpec* spec, bool* loaded) {
+  std::vector<std::string> rest;
+  bool have_config = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--config") {
+      rest.push_back(args[i]);
+      continue;
+    }
+    if (have_config) {
+      return Status::InvalidArgument(
+          "--config given twice; merge your spec files into one");
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("--config needs a value");
+    }
+    // Merge over the caller's pre-seeded defaults: keys the file does not
+    // name keep their current values.
+    Result<JobSpec> from_file = JobSpec::FromFile(args[++i], *spec);
+    if (!from_file.ok()) return from_file.status();
+    *spec = *from_file;
+    have_config = true;
+  }
+  if (loaded != nullptr) *loaded = have_config;
+  return rest;
+}
+
+namespace {
+
+/// Flag-qualified enum assignment: `*out = parse(value-of-flag)`.
+template <typename T, typename ParseFn>
+Status AssignEnum(const std::string& flag, ArgStream& args, ParseFn parse,
+                  T* out) {
+  Result<std::string> value = args.Value(flag);
+  if (!value.ok()) return value.status();
+  Result<T> parsed = parse(*value);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(flag + ": " + parsed.status().message());
+  }
+  *out = *parsed;
+  return Status::Ok();
+}
+
+Status AssignCount(const std::string& flag, ArgStream& args, size_t* out) {
+  Result<std::string> value = args.Value(flag);
+  if (!value.ok()) return value.status();
+  Result<uint64_t> parsed = ParseCount(flag, *value);
+  if (!parsed.ok()) return parsed.status();
+  *out = static_cast<size_t>(*parsed);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<FlagOutcome> ApplySharedFlag(const std::string& flag, ArgStream& args,
+                                    JobSpec* spec) {
+  if (flag == "--pruning") {
+    Status status =
+        AssignEnum(flag, args, ParsePruningName, &spec->pruning.kind);
+    if (!status.ok()) return status;
+    return FlagOutcome::kHandled;
+  }
+  if (flag == "--classifier") {
+    Status status =
+        AssignEnum(flag, args, ParseClassifierName, &spec->classifier);
+    if (!status.ok()) return status;
+    return FlagOutcome::kHandled;
+  }
+  if (flag == "--features") {
+    Status status =
+        AssignEnum(flag, args, ParseFeatureSetName, &spec->features);
+    if (!status.ok()) return status;
+    return FlagOutcome::kHandled;
+  }
+  if (flag == "--labels") {
+    Status status =
+        AssignCount(flag, args, &spec->training.labels_per_class);
+    if (!status.ok()) return status;
+    return FlagOutcome::kHandled;
+  }
+  if (flag == "--seed") {
+    Result<std::string> value = args.Value(flag);
+    if (!value.ok()) return value.status();
+    Result<uint64_t> parsed = ParseCount(flag, *value);
+    if (!parsed.ok()) return parsed.status();
+    spec->training.seed = *parsed;
+    return FlagOutcome::kHandled;
+  }
+  if (flag == "--threads") {
+    // 0 is stored as-is: it means "all hardware threads" and is resolved
+    // at run time (ResolvedExecution), so an `explain`ed spec stays
+    // portable across machines with different core counts.
+    Status status =
+        AssignCount(flag, args, &spec->execution.options.num_threads);
+    if (!status.ok()) return status;
+    return FlagOutcome::kHandled;
+  }
+  return FlagOutcome::kNotMine;
+}
+
+}  // namespace gsmb::cli

@@ -1,70 +1,65 @@
-// gsmb — command-line front end for the library.
+// gsmb — command-line front end for the library, re-platformed onto the
+// gsmb::Engine facade: every subcommand builds ONE declarative
+// gsmb::JobSpec (spec file first, flags merged over it) and hands it to the
+// engine. The CLI owns no pipeline logic any more — it parses, prints and
+// forwards.
 //
-// Batch mode runs the full (Generalized) Supervised Meta-blocking pipeline
-// on CSV data and prints the retained pairs or their evaluation.
+// Subcommands:
 //
-// Usage:
-//   gsmb --e1 a.csv [--e2 b.csv] --gt matches.csv
-//        [--pruning blast|rcnp|bcl|wep|wnp|rwnp|cep|cnp]
-//        [--classifier logreg|svc|nb]
-//        [--features blast|rcnp|2014|all]
-//        [--labels N]            balanced labelled pairs per class (25)
-//        [--seed N]              training-sample seed (0)
-//        [--threads N]           worker threads for blocking, features,
-//                                classification and pruning (1; 0 = all
-//                                hardware threads). Results are identical
-//                                for any thread count.
-//        [--streaming]           bounded-memory out-of-core execution
-//                                (stream/): never materialises the global
-//                                candidate set; retained pairs are
-//                                bit-identical to the in-memory path.
-//        [--shards N]            candidate-space slices for --streaming
-//                                (16); more shards = lower peak memory.
-//        [--memory-budget-mb M]  raise the shard count until one shard's
-//                                arena fits M MiB (implies nothing else;
-//                                combines with --shards by taking the
-//                                stricter of the two).
-//        [--out retained.csv]    write retained pairs as CSV
+//   gsmb run [--config job.json] [flags]
+//       Runs the spec on the backend execution.mode selects (batch,
+//       streaming, serving, or auto — auto switches to streaming when the
+//       arena-bytes model exceeds --memory-budget-mb).
 //
-// Omitting --e2 switches to Dirty ER (deduplication of --e1).
-// --shards/--memory-budget-mb without --streaming, --shards 0, and
-// --memory-budget-mb 0 are contradictions and rejected up front.
+//   gsmb explain [--config job.json] [flags]
+//       Resolves flags over the spec file and prints the canonical
+//       versioned JSON spec to stdout (re-runnable via `run --config`),
+//       plus validation and per-backend support diagnostics to stderr.
 //
-// Serve mode keeps a long-lived incremental MetaBlockingSession resident
-// and drives it with commands from stdin (see serve/session.h):
+//   gsmb serve [--config job.json] [flags] | gsmb serve --snapshot-in S
+//       Opens a LIVE serving session from the spec (Engine::OpenSession)
+//       or restores a snapshot, then drives it with commands from stdin
+//       (see serve/session.h).
 //
-//   gsmb serve --data a.csv --gt matches.csv
-//        [--shards 16] [--threads 1] [--max-block-size 200]
-//        [--pruning blast] [--classifier logreg] [--features blast]
-//        [--labels 25] [--seed 0]
-//   gsmb serve --snapshot-in session.snap [--threads N]
+//   gsmb [flags]           (legacy, == `run`)
+//       The PR 1-3 surface: --e1/--e2/--gt/--streaming/... unchanged,
+//       including its contradiction checks.
 //
-//   Commands: ingest <csv> | refresh | query <external-id> |
-//             queryfile <csv> | retained <csv> | save <path> | stats |
-//             help | quit
+// Shared pipeline flags (all subcommands): --pruning bcl|wep|wnp|rwnp|
+// blast|cep|cnp|rcnp, --classifier logreg|svc|nb, --features blast|rcnp|
+// 2014|all|<list>, --labels N, --seed N, --threads N (0 = all hardware
+// threads).
 //
+// run/explain flags: --e1 a.csv [--e2 b.csv] --gt matches.csv, or
+// --dataset NAME [--scale S] for the generated stand-ins; --mode
+// batch|streaming|serving|auto; --streaming (== --mode streaming);
+// --shards N; --memory-budget-mb M; --out retained.csv.
+//
+// serve flags: --data a.csv --gt matches.csv [--shards N] [--threads N]
+// [--max-block-size N] [--labels N] [--seed N] | --snapshot-in S.
+//
+// Unknown flags are rejected with a clear error — never silently ignored.
 // The ground truth serves both as the labelled sample pool and as the
 // evaluation oracle; in a production run you would pass only the labelled
 // subset you actually have.
 
-#include <cstdint>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
-#include "core/pipeline.h"
+#include "cli_parse.h"
 #include "datasets/io.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/status.h"
 #include "serve/session.h"
-#include "serve/serving_model.h"
-#include "stream/streaming_dataset.h"
-#include "stream/streaming_executor.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -74,72 +69,286 @@ namespace {
 using namespace gsmb;
 
 void PrintUsage(std::FILE* stream) {
-  std::fprintf(stream,
-               "usage: gsmb --e1 a.csv [--e2 b.csv] --gt matches.csv\n"
-               "            [--pruning blast] [--classifier logreg]\n"
-               "            [--features blast] [--labels 25] [--seed 0]\n"
-               "            [--threads 1] [--out retained.csv]\n"
-               "            [--streaming [--shards 16]\n"
-               "             [--memory-budget-mb M]]\n"
-               "   or: gsmb serve --data a.csv --gt matches.csv\n"
-               "            [--shards 16] [--threads 1]\n"
-               "            [--max-block-size 200] [--pruning blast]\n"
-               "            [--classifier logreg] [--features blast]\n"
-               "            [--labels 25] [--seed 0]\n"
-               "   or: gsmb serve --snapshot-in session.snap [--threads 1]\n");
+  std::fprintf(
+      stream,
+      "usage: gsmb [run] [--config job.json]\n"
+      "            --e1 a.csv [--e2 b.csv] --gt matches.csv\n"
+      "            | --dataset NAME [--scale S]\n"
+      "            [--pruning blast] [--classifier logreg]\n"
+      "            [--features blast] [--labels 25] [--seed 0]\n"
+      "            [--threads 1] [--out retained.csv]\n"
+      "            [--mode batch|streaming|serving|auto]\n"
+      "            [--streaming [--shards 16]] [--memory-budget-mb M]\n"
+      "   or: gsmb explain [--config job.json] [flags as for run]\n"
+      "   or: gsmb serve [--config job.json] --data a.csv --gt matches.csv\n"
+      "            [--shards 16] [--threads 1] [--max-block-size 200]\n"
+      "            [--pruning blast] [--classifier logreg]\n"
+      "            [--features blast] [--labels 25] [--seed 0]\n"
+      "   or: gsmb serve --snapshot-in session.snap [--threads 1]\n");
 }
 
-[[noreturn]] void Usage(const char* message) {
-  if (message != nullptr) std::fprintf(stderr, "error: %s\n", message);
-  PrintUsage(stderr);
-  std::exit(2);
+/// Uniform failure path: print the diagnostic, optionally the usage text,
+/// and return the exit code (2 for flag/spec problems, 1 at run time).
+int Fail(const Status& status, bool with_usage = false) {
+  std::fprintf(stderr, "error: %s\n", status.message().c_str());
+  if (with_usage) PrintUsage(stderr);
+  return with_usage ? 2 : 1;
 }
 
-PruningKind ParsePruning(const std::string& s) {
-  static const std::map<std::string, PruningKind> kMap = {
-      {"bcl", PruningKind::kBCl},   {"wep", PruningKind::kWep},
-      {"wnp", PruningKind::kWnp},   {"rwnp", PruningKind::kRwnp},
-      {"blast", PruningKind::kBlast}, {"cep", PruningKind::kCep},
-      {"cnp", PruningKind::kCnp},   {"rcnp", PruningKind::kRcnp}};
-  auto it = kMap.find(s);
-  if (it == kMap.end()) Usage("unknown --pruning value");
-  return it->second;
+int UsageError(const std::string& message) {
+  return Fail(Status::InvalidArgument(message), /*with_usage=*/true);
 }
 
-ClassifierKind ParseClassifier(const std::string& s) {
-  if (s == "logreg") return ClassifierKind::kLogisticRegression;
-  if (s == "svc") return ClassifierKind::kLinearSvc;
-  if (s == "nb") return ClassifierKind::kGaussianNaiveBayes;
-  Usage("unknown --classifier value");
-}
+// ---------------------------------------------------------------------------
+// run / explain flag parsing
+// ---------------------------------------------------------------------------
 
-FeatureSet ParseFeatures(const std::string& s) {
-  if (s == "blast") return FeatureSet::BlastOptimal();
-  if (s == "rcnp") return FeatureSet::RcnpOptimal();
-  if (s == "2014") return FeatureSet::Paper2014();
-  if (s == "all") return FeatureSet::All();
-  Usage("unknown --features value");
-}
+/// Flags that need post-parse contradiction checks (the legacy rules).
+struct RunFlagState {
+  bool shards_given = false;
+  bool budget_given = false;
+};
 
-uint64_t ParseNumber(const char* flag, const std::string& s) {
-  // std::stoull alone would accept "-1" (it wraps modulo 2^64), so require
-  // every character to be a digit.
-  const bool all_digits =
-      !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
-  if (all_digits) {
-    try {
-      return std::stoull(s);
-    } catch (const std::exception&) {
-      // out of range; fall through to the usage error
+/// Parses the run/explain flag surface over `spec` (which may have been
+/// pre-loaded from --config). Returns Ok or the flag diagnostic.
+Status ParseRunFlags(cli::ArgStream& args, JobSpec* spec,
+                     RunFlagState* state) {
+  while (!args.Done()) {
+    const std::string flag = args.Take();
+
+    Result<cli::FlagOutcome> shared = cli::ApplySharedFlag(flag, args, spec);
+    if (!shared.ok()) return shared.status();
+    if (*shared == cli::FlagOutcome::kHandled) continue;
+
+    if (flag == "--e1") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      spec->dataset.source = DatasetSource::kCsv;
+      spec->dataset.e1 = *value;
+    } else if (flag == "--e2") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      spec->dataset.source = DatasetSource::kCsv;
+      spec->dataset.e2 = *value;
+    } else if (flag == "--gt") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      spec->dataset.source = DatasetSource::kCsv;
+      spec->dataset.ground_truth = *value;
+    } else if (flag == "--dataset") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      // Dirty stand-ins are D10K..D300K; everything else is a Table-1
+      // clean-clean pair.
+      spec->dataset.source = value->size() > 1 && (*value)[0] == 'D' &&
+                                     std::isdigit(
+                                         static_cast<unsigned char>((*value)[1]))
+                                 ? DatasetSource::kGeneratedDirty
+                                 : DatasetSource::kGeneratedCleanClean;
+      spec->dataset.name = *value;
+    } else if (flag == "--scale") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<double> scale = cli::ParseDouble(flag, *value);
+      if (!scale.ok()) return scale.status();
+      spec->dataset.scale = *scale;
+    } else if (flag == "--scheme") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<BlockingScheme> scheme = ParseBlockingScheme(*value);
+      if (!scheme.ok()) {
+        return Status::InvalidArgument("--scheme: " +
+                                       scheme.status().message());
+      }
+      spec->blocking.scheme = *scheme;
+    } else if (flag == "--purge-fraction" || flag == "--filter-ratio") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<double> parsed = cli::ParseDouble(flag, *value);
+      if (!parsed.ok()) return parsed.status();
+      (flag == "--purge-fraction" ? spec->blocking.purge_size_fraction
+                                  : spec->blocking.filter_ratio) = *parsed;
+    } else if (flag == "--mode") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<ExecutionMode> mode = ParseExecutionMode(*value);
+      if (!mode.ok()) {
+        return Status::InvalidArgument("--mode: " + mode.status().message());
+      }
+      spec->execution.mode = *mode;
+    } else if (flag == "--streaming") {
+      spec->execution.mode = ExecutionMode::kStreaming;
+    } else if (flag == "--shards") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<uint64_t> count = cli::ParseCount(flag, *value);
+      if (!count.ok()) return count.status();
+      spec->execution.shards = static_cast<size_t>(*count);
+      state->shards_given = true;
+    } else if (flag == "--memory-budget-mb") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<uint64_t> budget = cli::ParseCount(flag, *value);
+      if (!budget.ok()) return budget.status();
+      if (*budget == 0) {
+        return Status::InvalidArgument(
+            "--memory-budget-mb 0 is contradictory: a zero-byte arena "
+            "cannot hold any candidates (omit the flag for no budget)");
+      }
+      spec->execution.memory_budget_mb = static_cast<size_t>(*budget);
+      state->budget_given = true;
+    } else if (flag == "--out") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      spec->output.retained_csv = *value;
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
     }
   }
-  Usage((std::string(flag) + " expects a non-negative integer, got '" + s +
-         "'").c_str());
+
+  // The legacy contradiction rules, now mode-aware: shard/budget flags
+  // shape streaming (or auto-resolved) execution only.
+  if (state->shards_given && spec->execution.shards == 0 &&
+      spec->execution.mode != ExecutionMode::kServing) {
+    return Status::InvalidArgument(
+        "--shards 0 is contradictory: streaming needs at least one "
+        "candidate-space slice");
+  }
+  if (spec->execution.mode == ExecutionMode::kBatch &&
+      (state->shards_given || state->budget_given)) {
+    return Status::InvalidArgument(
+        "--shards/--memory-budget-mb only shape --streaming execution; "
+        "add --streaming (or --mode streaming|auto) or drop them");
+  }
+  return Status::Ok();
 }
 
-/// Loads a profile CSV with clear diagnostics: a missing path or a file
-/// that parses to zero profiles is an immediate, explicit error instead of
-/// an empty collection that fails later in some opaque way.
+/// True when any token is --help; the caller prints usage and exits 0
+/// before flag parsing can reject it as unknown.
+bool WantsHelp(int argc, char** argv, int begin) {
+  for (int i = begin; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) return true;
+  }
+  return false;
+}
+
+Result<JobSpec> SpecFromRunArgs(int argc, char** argv, int begin,
+                                RunFlagState* state) {
+  JobSpec spec;
+  cli::ArgStream scan(argc, argv, begin);
+  std::vector<std::string> raw;
+  while (!scan.Done()) raw.push_back(scan.Take());
+  Result<std::vector<std::string>> rest = cli::ExtractConfig(raw, &spec);
+  if (!rest.ok()) return rest.status();
+  cli::ArgStream args(std::move(*rest));
+  Status parsed = ParseRunFlags(args, &spec, state);
+  if (!parsed.ok()) return parsed;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+void PrintJobResult(const JobSpec& spec, const JobResult& result) {
+  std::printf("Blocking (%.0f ms): %zu blocks, %llu candidates",
+              result.blocking_seconds * 1e3, result.num_blocks,
+              static_cast<unsigned long long>(result.num_candidates));
+  if (result.blocking_quality.num_candidates > 0) {
+    std::printf(", recall %.4f, precision %.6f",
+                result.blocking_quality.recall,
+                result.blocking_quality.precision);
+  }
+  std::printf("\n");
+
+  // threads == 0 means "all hardware threads", resolved at run time.
+  const size_t threads = spec.execution.options.num_threads > 0
+                             ? spec.execution.options.num_threads
+                             : HardwareThreads();
+  std::string shape = std::to_string(threads) + " threads";
+  if (result.backend == "streaming") {
+    shape += ", streaming: " + std::to_string(result.shards_used) +
+             " shards, " + std::to_string(result.sweeps) +
+             (result.sweeps == 1 ? " sweep" : " sweeps");
+  } else if (result.backend == "serving") {
+    shape += ", serving: " + std::to_string(result.shards_used) + " shards";
+  } else {
+    shape += ", batch";
+  }
+  std::printf(
+      "%s + %s on %s, %zu labels (%s):\n"
+      "  retained  %zu pairs\n  recall    %.4f\n  precision %.4f\n"
+      "  F1        %.4f\n  run-time  %.1f ms\n",
+      ClassifierShortName(spec.classifier),
+      PruningKindName(spec.pruning.kind), spec.features.ToString().c_str(),
+      result.training_size, shape.c_str(), result.metrics.retained,
+      result.metrics.recall, result.metrics.precision, result.metrics.f1,
+      result.total_seconds * 1e3);
+  if (!spec.output.retained_csv.empty()) {
+    std::printf("Wrote %zu retained pairs to %s\n", result.retained_csv_rows,
+                spec.output.retained_csv.c_str());
+  }
+}
+
+int RunMain(int argc, char** argv, int begin) {
+  if (WantsHelp(argc, argv, begin)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  RunFlagState state;
+  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state);
+  if (!spec.ok()) return Fail(spec.status(), /*with_usage=*/true);
+
+  Status valid = spec->Validate();
+  if (!valid.ok()) return Fail(valid, /*with_usage=*/true);
+
+  Engine engine;
+  Result<JobResult> result = engine.Run(*spec);
+  if (!result.ok()) return Fail(result.status());
+  PrintJobResult(*spec, *result);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// explain
+// ---------------------------------------------------------------------------
+
+int ExplainMain(int argc, char** argv, int begin) {
+  if (WantsHelp(argc, argv, begin)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  RunFlagState state;
+  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state);
+  if (!spec.ok()) return Fail(spec.status(), /*with_usage=*/true);
+
+  // The canonical spec goes to stdout — and nothing else, so
+  //   gsmb explain ... > job.json && gsmb run --config job.json
+  // replays the exact job. Diagnostics go to stderr.
+  std::printf("%s\n", spec->ToJson().c_str());
+
+  Status valid = spec->Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "spec does not validate: %s\n",
+                 valid.message().c_str());
+    return 2;
+  }
+  Engine engine;
+  std::fprintf(stderr, "spec is valid; execution.mode = %s\n",
+               ExecutionModeName(spec->execution.mode));
+  for (const std::string& name : engine.BackendNames()) {
+    Status supports = engine.FindBackend(name)->Supports(*spec);
+    std::fprintf(stderr, "  backend %-9s %s\n", name.c_str(),
+                 supports.ok() ? "supported" : supports.message().c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// serve mode (REPL on a live session)
+// ---------------------------------------------------------------------------
+
+/// Loads a profile CSV with clear diagnostics for the REPL commands.
 EntityCollection LoadProfilesChecked(const std::string& path,
                                      const std::string& role) {
   if (!std::filesystem::exists(path)) {
@@ -152,17 +361,6 @@ EntityCollection LoadProfilesChecked(const std::string& path,
   }
   return collection;
 }
-
-void RequireFileExists(const std::string& path, const char* role) {
-  if (!std::filesystem::exists(path)) {
-    throw std::runtime_error(std::string(role) + " path does not exist: " +
-                             path);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// serve mode
-// ---------------------------------------------------------------------------
 
 void PrintServeHelp() {
   std::printf(
@@ -312,127 +510,154 @@ int RunServeLoop(MetaBlockingSession& session) {
 }
 
 int ServeMain(int argc, char** argv) {
-  std::string data_path, gt_path, snapshot_path;
-  SessionOptions options;
-  options.max_block_size = 200;
-  ServingModelTraining training;
-  training.train_per_class = 25;
-  FeatureSet features = FeatureSet::BlastOptimal();
+  if (WantsHelp(argc, argv, 2)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  JobSpec spec;
+  // serve-mode spec defaults: the session tokenizes its own ingests and
+  // cannot apply Block Filtering; the legacy absolute purge cap stays 200.
+  spec.execution.mode = ExecutionMode::kServing;
+  spec.blocking.filter_ratio = 1.0;
+  spec.execution.serving_max_block_size = 200;
+
+  std::string snapshot_path;
   bool threads_given = false;
   // A restored snapshot carries its own options and model; every flag that
   // would contradict them is rejected rather than silently ignored.
   std::string bootstrap_flag;
 
-  for (int i = 2; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) Usage((std::string(flag) + " needs a value").c_str());
-      return argv[++i];
-    };
-    auto bootstrap_only = [&](const char* flag) {
+  cli::ArgStream scan(argc, argv, 2);
+  std::vector<std::string> raw;
+  while (!scan.Done()) raw.push_back(scan.Take());
+  // --config merges over the serve defaults seeded above: a spec file that
+  // does not mention filter_ratio or the purge cap keeps them.
+  bool config_loaded = false;
+  Result<std::vector<std::string>> rest =
+      cli::ExtractConfig(raw, &spec, &config_loaded);
+  if (!rest.ok()) return Fail(rest.status(), /*with_usage=*/true);
+  cli::ArgStream args(std::move(*rest));
+
+  while (!args.Done()) {
+    const std::string flag = args.Take();
+
+    // Shared pipeline flags; all except --threads configure a NEW session.
+    if (flag == "--pruning" || flag == "--classifier" ||
+        flag == "--features" || flag == "--labels" || flag == "--seed" ||
+        flag == "--threads") {
+      if (flag != "--threads") {
+        bootstrap_flag = flag;
+      } else {
+        threads_given = true;
+      }
+      Result<cli::FlagOutcome> shared =
+          cli::ApplySharedFlag(flag, args, &spec);
+      if (!shared.ok()) return Fail(shared.status(), /*with_usage=*/true);
+      continue;
+    }
+
+    if (flag == "--data") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status(), /*with_usage=*/true);
+      spec.dataset.source = DatasetSource::kCsv;
+      spec.dataset.e1 = *value;
+    } else if (flag == "--gt") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status(), /*with_usage=*/true);
+      spec.dataset.ground_truth = *value;
+    } else if (flag == "--snapshot-in") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status(), /*with_usage=*/true);
+      snapshot_path = *value;
+    } else if (flag == "--shards") {
       bootstrap_flag = flag;
-      return flag;
-    };
-    if (std::strcmp(argv[i], "--data") == 0) {
-      data_path = need_value("--data");
-    } else if (std::strcmp(argv[i], "--gt") == 0) {
-      gt_path = need_value("--gt");
-    } else if (std::strcmp(argv[i], "--snapshot-in") == 0) {
-      snapshot_path = need_value("--snapshot-in");
-    } else if (std::strcmp(argv[i], "--shards") == 0) {
-      options.num_shards = static_cast<size_t>(
-          ParseNumber("--shards", need_value(bootstrap_only("--shards"))));
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      options.num_threads = static_cast<size_t>(
-          ParseNumber("--threads", need_value("--threads")));
-      if (options.num_threads == 0) options.num_threads = HardwareThreads();
-      threads_given = true;
-    } else if (std::strcmp(argv[i], "--max-block-size") == 0) {
-      options.max_block_size = static_cast<size_t>(ParseNumber(
-          "--max-block-size", need_value(bootstrap_only("--max-block-size"))));
-    } else if (std::strcmp(argv[i], "--pruning") == 0) {
-      options.pruning = ParsePruning(need_value(bootstrap_only("--pruning")));
-    } else if (std::strcmp(argv[i], "--classifier") == 0) {
-      training.classifier =
-          ParseClassifier(need_value(bootstrap_only("--classifier")));
-    } else if (std::strcmp(argv[i], "--features") == 0) {
-      features = ParseFeatures(need_value(bootstrap_only("--features")));
-    } else if (std::strcmp(argv[i], "--labels") == 0) {
-      training.train_per_class = static_cast<size_t>(
-          ParseNumber("--labels", need_value(bootstrap_only("--labels"))));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      training.seed =
-          ParseNumber("--seed", need_value(bootstrap_only("--seed")));
-    } else if (std::strcmp(argv[i], "--streaming") == 0 ||
-               std::strcmp(argv[i], "--memory-budget-mb") == 0) {
-      Usage((std::string(argv[i]) +
-             " drives the one-shot batch pipeline and contradicts serve "
-             "mode, which is incremental by construction — drop the flag "
-             "or run without 'serve'")
-                .c_str());
-    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status(), /*with_usage=*/true);
+      Result<uint64_t> count = cli::ParseCount(flag, *value);
+      if (!count.ok()) return Fail(count.status(), /*with_usage=*/true);
+      spec.execution.shards = static_cast<size_t>(*count);
+    } else if (flag == "--max-block-size") {
+      bootstrap_flag = flag;
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status(), /*with_usage=*/true);
+      Result<uint64_t> count = cli::ParseCount(flag, *value);
+      if (!count.ok()) return Fail(count.status(), /*with_usage=*/true);
+      spec.execution.serving_max_block_size = static_cast<size_t>(*count);
+    } else if (flag == "--streaming" || flag == "--memory-budget-mb") {
+      return UsageError(
+          flag +
+          " drives the one-shot batch pipeline and contradicts serve "
+          "mode, which is incremental by construction — drop the flag "
+          "or run without 'serve'");
+    } else if (flag == "--help") {
       PrintUsage(stdout);
       return 0;
     } else {
-      Usage((std::string("unknown serve flag ") + argv[i]).c_str());
+      return UsageError("unknown serve flag " + flag);
     }
-  }
-  if (options.num_shards == 0) {
-    Usage("--shards 0 is contradictory: a session needs at least one shard");
   }
 
-  if (snapshot_path.empty() && (data_path.empty() || gt_path.empty())) {
-    Usage("serve needs --data and --gt (or --snapshot-in)");
+  if (spec.execution.shards == 0) {
+    return UsageError(
+        "--shards 0 is contradictory: a session needs at least one shard");
+  }
+  // Generated dataset sources (from --config) carry their own data; only a
+  // CSV-source spec needs the --data/--gt paths.
+  if (snapshot_path.empty() && spec.dataset.source == DatasetSource::kCsv &&
+      (spec.dataset.e1.empty() || spec.dataset.ground_truth.empty())) {
+    return UsageError("serve needs --data and --gt (or --snapshot-in)");
   }
   if (!snapshot_path.empty()) {
-    if (!data_path.empty() || !gt_path.empty()) {
-      Usage("--snapshot-in restores a full session; it cannot be combined "
-            "with --data/--gt");
+    if (!spec.dataset.e1.empty() || !spec.dataset.ground_truth.empty()) {
+      return UsageError(
+          "--snapshot-in restores a full session; it cannot be combined "
+          "with --data/--gt");
+    }
+    if (config_loaded) {
+      return UsageError(
+          "--config configures a new session and is ignored by "
+          "--snapshot-in (the snapshot's options govern)");
     }
     if (!bootstrap_flag.empty()) {
-      Usage((bootstrap_flag +
-             " configures a new session and is ignored by --snapshot-in "
-             "(the snapshot's options govern); only --threads applies")
-                .c_str());
+      return UsageError(
+          bootstrap_flag +
+          " configures a new session and is ignored by --snapshot-in "
+          "(the snapshot's options govern); only --threads applies");
     }
   }
 
   try {
     if (!snapshot_path.empty()) {
-      RequireFileExists(snapshot_path, "--snapshot-in");
+      if (!std::filesystem::exists(snapshot_path)) {
+        return Fail(Status::NotFound("--snapshot-in path does not exist: " +
+                                     snapshot_path));
+      }
       Stopwatch watch;
       MetaBlockingSession session = MetaBlockingSession::Load(snapshot_path);
       // The snapshot's options govern the session's semantics; the thread
-      // count is purely an execution knob, so the flag wins when given.
-      if (threads_given) session.set_num_threads(options.num_threads);
+      // count is purely an execution knob, so the flag wins when given
+      // (0 = all hardware threads, resolved here).
+      if (threads_given) {
+        session.set_num_threads(spec.execution.options.num_threads > 0
+                                    ? spec.execution.options.num_threads
+                                    : HardwareThreads());
+      }
       std::printf("restored session from %s in %.1f ms\n",
                   snapshot_path.c_str(), watch.ElapsedMillis());
       return RunServeLoop(session);
     }
 
-    const EntityCollection data = LoadProfilesChecked(data_path, "--data");
-    RequireFileExists(gt_path, "--gt");
-    const GroundTruth gt =
-        LoadGroundTruthCsv(gt_path, data, data, /*dirty=*/true);
-    std::printf("loaded %zu profiles, %zu labelled matches\n", data.size(),
-                gt.size());
-
-    training.num_threads = options.num_threads;
+    Engine engine;
     Stopwatch watch;
-    ServingModel model = TrainServingModel(data, gt, features, training);
-    std::printf("trained %s serving model on %s in %.1f ms\n",
-                ClassifierKindName(training.classifier),
-                features.ToString().c_str(), watch.ElapsedMillis());
-
-    MetaBlockingSession session(options, std::move(model));
-    watch.Restart();
-    session.AddProfiles(data.profiles());
-    session.Refresh();
-    std::printf("bootstrapped %zu-shard session in %.1f ms\n",
-                session.options().num_shards, watch.ElapsedMillis());
-    return RunServeLoop(session);
+    Result<MetaBlockingSession> session = engine.OpenSession(spec);
+    if (!session.ok()) return Fail(session.status());
+    std::printf(
+        "bootstrapped %zu-shard session (%s on %s) in %.1f ms\n",
+        session->options().num_shards, ClassifierShortName(spec.classifier),
+        spec.features.ToString().c_str(), watch.ElapsedMillis());
+    return RunServeLoop(*session);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return Fail(Status::Internal(e.what()));
   }
 }
 
@@ -442,194 +667,16 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return ServeMain(argc, argv);
   }
-
-  std::string e1_path, e2_path, gt_path, out_path;
-  MetaBlockingConfig config;
-  config.features = FeatureSet::BlastOptimal();
-  config.pruning = PruningKind::kBlast;
-  config.train_per_class = 25;
-  size_t threads = 1;
-  bool streaming = false;
-  bool shards_given = false;
-  StreamingOptions stream_options;
-
-  for (int i = 1; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) Usage((std::string(flag) + " needs a value").c_str());
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--e1") == 0) {
-      e1_path = need_value("--e1");
-    } else if (std::strcmp(argv[i], "--e2") == 0) {
-      e2_path = need_value("--e2");
-    } else if (std::strcmp(argv[i], "--gt") == 0) {
-      gt_path = need_value("--gt");
-    } else if (std::strcmp(argv[i], "--pruning") == 0) {
-      config.pruning = ParsePruning(need_value("--pruning"));
-    } else if (std::strcmp(argv[i], "--classifier") == 0) {
-      config.classifier = ParseClassifier(need_value("--classifier"));
-    } else if (std::strcmp(argv[i], "--features") == 0) {
-      config.features = ParseFeatures(need_value("--features"));
-    } else if (std::strcmp(argv[i], "--labels") == 0) {
-      config.train_per_class = static_cast<size_t>(
-          ParseNumber("--labels", need_value("--labels")));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      config.seed = ParseNumber("--seed", need_value("--seed"));
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      threads = static_cast<size_t>(
-          ParseNumber("--threads", need_value("--threads")));
-      if (threads == 0) threads = HardwareThreads();
-    } else if (std::strcmp(argv[i], "--streaming") == 0) {
-      streaming = true;
-    } else if (std::strcmp(argv[i], "--shards") == 0) {
-      stream_options.num_shards = static_cast<size_t>(
-          ParseNumber("--shards", need_value("--shards")));
-      shards_given = true;
-    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0) {
-      stream_options.memory_budget_mb = static_cast<size_t>(ParseNumber(
-          "--memory-budget-mb", need_value("--memory-budget-mb")));
-      if (stream_options.memory_budget_mb == 0) {
-        Usage("--memory-budget-mb 0 is contradictory: a zero-byte arena "
-              "cannot hold any candidates (omit the flag for no budget)");
-      }
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = need_value("--out");
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      PrintUsage(stdout);
-      return 0;
-    } else {
-      Usage((std::string("unknown flag ") + argv[i]).c_str());
-    }
+  if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
+    return ExplainMain(argc, argv, 2);
   }
-  if (e1_path.empty() || gt_path.empty()) Usage("--e1 and --gt are required");
-  if (shards_given && stream_options.num_shards == 0) {
-    Usage("--shards 0 is contradictory: streaming needs at least one "
-          "candidate-space slice");
+  if (argc > 1 && std::strcmp(argv[1], "run") == 0) {
+    return RunMain(argc, argv, 2);
   }
-  if (!streaming && (shards_given || stream_options.memory_budget_mb > 0)) {
-    Usage("--shards/--memory-budget-mb only shape --streaming execution; "
-          "add --streaming or drop them");
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    PrintUsage(stdout);
+    return 0;
   }
-
-  try {
-    const bool dirty = e2_path.empty();
-    EntityCollection e1 = LoadProfilesChecked(e1_path, "--e1");
-    EntityCollection e2 =
-        dirty ? EntityCollection() : LoadProfilesChecked(e2_path, "--e2");
-    RequireFileExists(gt_path, "--gt");
-    GroundTruth gt =
-        LoadGroundTruthCsv(gt_path, e1, dirty ? e1 : e2, dirty);
-    std::printf("Loaded %zu + %zu profiles, %zu labelled matches\n",
-                e1.size(), e2.size(), gt.size());
-
-    Stopwatch watch;
-    BlockingOptions blocking;
-    blocking.num_threads = threads;
-    config.num_threads = threads;
-
-    if (streaming) {
-      StreamingDataset prep =
-          dirty ? PrepareStreamingDirty("cli", e1, std::move(gt), blocking)
-                : PrepareStreamingCleanClean("cli", e1, e2, std::move(gt),
-                                             blocking);
-      std::printf(
-          "Blocking (%.0f ms): %zu blocks, %llu candidates (not "
-          "materialised), recall %.4f, precision %.6f\n",
-          watch.ElapsedMillis(), prep.blocks.size(),
-          static_cast<unsigned long long>(prep.num_candidates()),
-          prep.blocking_quality.recall, prep.blocking_quality.precision);
-
-      StreamingExecutor executor(prep, stream_options);
-      // Retained pairs stream straight to disk — buffering them would
-      // reintroduce the O(retained) memory the mode exists to avoid.
-      std::ofstream out_file;
-      size_t rows_written = 0;
-      StreamingExecutor::RetainedSink sink;
-      if (!out_path.empty()) {
-        // Binary mode matches WriteCsvFile, so the streaming CSV stays
-        // byte-identical to the batch branch's on every platform.
-        out_file.open(out_path, std::ios::binary);
-        if (!out_file) {
-          throw std::runtime_error("cannot write " + out_path);
-        }
-        out_file << "left_id,right_id\n";
-        sink = [&](uint32_t, const CandidatePair& p, double) {
-          out_file << EscapeCsvField(e1[p.left].external_id()) << ','
-                   << EscapeCsvField(dirty ? e1[p.right].external_id()
-                                           : e2[p.right].external_id())
-                   << '\n';
-          ++rows_written;
-        };
-      }
-      StreamingResult result = executor.Run(config, sink);
-      std::printf(
-          "%s + %s on %s, %zu labels (%zu threads, streaming: %zu shards, "
-          "arena %zu pairs, %zu sweep%s):\n"
-          "  retained  %zu pairs\n  recall    %.4f\n  precision %.4f\n"
-          "  F1        %.4f\n  run-time  %.1f ms\n",
-          ClassifierKindName(config.classifier),
-          PruningKindName(config.pruning),
-          config.features.ToString().c_str(), result.training_size, threads,
-          result.num_shards_used, result.max_shard_candidates,
-          result.sweeps, result.sweeps == 1 ? "" : "s",
-          result.metrics.retained, result.metrics.recall,
-          result.metrics.precision, result.metrics.f1,
-          result.total_seconds * 1e3);
-      if (!out_path.empty()) {
-        out_file.close();
-        if (!out_file) {
-          throw std::runtime_error("error writing " + out_path);
-        }
-        std::printf("Wrote %zu retained pairs to %s\n", rows_written,
-                    out_path.c_str());
-      }
-      return 0;
-    }
-
-    PreparedDataset prep =
-        dirty ? PrepareDirty("cli", e1, std::move(gt), blocking)
-              : PrepareCleanClean("cli", e1, e2, std::move(gt), blocking);
-    std::printf(
-        "Blocking (%.0f ms): %zu blocks, %zu candidates, recall %.4f, "
-        "precision %.6f\n",
-        watch.ElapsedMillis(), prep.blocks.size(), prep.pairs.size(),
-        prep.blocking_quality.recall, prep.blocking_quality.precision);
-
-    config.keep_retained = !out_path.empty();
-    // Multi-threaded feature extraction, then the standard pipeline.
-    FeatureExtractor extractor(*prep.index, prep.pairs);
-    watch.Restart();
-    Matrix features = extractor.Compute(config.features, threads);
-    const double feature_seconds = watch.ElapsedSeconds();
-    MetaBlockingResult result =
-        RunMetaBlockingWithFeatures(prep, config, features, feature_seconds);
-
-    std::printf(
-        "%s + %s on %s, %zu labels (%zu threads):\n"
-        "  retained  %zu pairs\n  recall    %.4f\n  precision %.4f\n"
-        "  F1        %.4f\n  run-time  %.1f ms\n",
-        ClassifierKindName(config.classifier), PruningKindName(config.pruning),
-        config.features.ToString().c_str(), result.training_size, threads,
-        result.metrics.retained, result.metrics.recall,
-        result.metrics.precision, result.metrics.f1,
-        result.total_seconds * 1e3);
-
-    if (!out_path.empty()) {
-      std::vector<CsvRow> rows;
-      rows.push_back({"left_id", "right_id"});
-      for (uint32_t idx : result.retained_indices) {
-        const CandidatePair& p = prep.pairs[idx];
-        rows.push_back({e1[p.left].external_id(),
-                        dirty ? e1[p.right].external_id()
-                              : e2[p.right].external_id()});
-      }
-      WriteCsvFile(out_path, rows);
-      std::printf("Wrote %zu retained pairs to %s\n",
-                  result.retained_indices.size(), out_path.c_str());
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return 0;
+  // Legacy surface: bare flags behave exactly like `run`.
+  return RunMain(argc, argv, 1);
 }
