@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "datasets/clean_clean_generator.h"
 #include "datasets/dirty_generator.h"
@@ -52,6 +53,92 @@ PreparedDataset PrepareDirtySpec(const DirtySpec& spec) {
   GeneratedDirty data = DirtyGenerator().Generate(spec);
   return PrepareDirty(spec.name, data.entities,
                       std::move(data.ground_truth));
+}
+
+const Engine& SharedEngine() {
+  // Never destroyed: harnesses call this from main() straight through
+  // exit, and the cache's handles must outlive every caller.
+  static const Engine* engine = new Engine();
+  return *engine;
+}
+
+JobSpec CleanCleanBaseSpec(const std::string& name) {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedCleanClean;
+  spec.dataset.name = name;
+  spec.dataset.scale = Scale();
+  return spec;
+}
+
+namespace {
+
+std::vector<uint64_t> SeedAxis(size_t num_seeds) {
+  std::vector<uint64_t> seeds(num_seeds);
+  for (size_t i = 0; i < num_seeds; ++i) seeds[i] = i;
+  return seeds;
+}
+
+[[noreturn]] void DieOnVariant(const SweepVariant& variant) {
+  std::fprintf(stderr, "sweep variant %s failed: %s\n",
+               variant.label.c_str(), variant.status.ToString().c_str());
+  std::exit(1);
+}
+
+[[noreturn]] void DieOnSweep(const Status& status) {
+  std::fprintf(stderr, "sweep failed: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+SeedSweepSummary RunSeedSweep(const JobSpec& base, size_t num_seeds) {
+  SweepSpec sweep;
+  sweep.base = base;
+  sweep.axes.seeds = SeedAxis(num_seeds);
+  Result<SweepResult> result = SharedEngine().RunSweep(sweep);
+  if (!result.ok()) DieOnSweep(result.status());
+
+  SeedSweepSummary summary;
+  MetricsAccumulator acc;
+  for (const SweepVariant& variant : result->variants) {
+    if (!variant.status.ok()) DieOnVariant(variant);
+    acc.Add(variant.result.metrics, variant.result.total_seconds);
+    summary.feature_seconds += variant.result.feature_seconds;
+    summary.classify_seconds += variant.result.classify_seconds;
+    summary.prune_seconds += variant.result.prune_seconds;
+    summary.num_candidates = variant.result.num_candidates;
+  }
+  const auto n = static_cast<double>(num_seeds);
+  summary.metrics = acc.Summary();
+  summary.feature_seconds /= n;
+  summary.classify_seconds /= n;
+  summary.prune_seconds /= n;
+  return summary;
+}
+
+std::vector<AggregateMetrics> RunPruningKindSweep(
+    const JobSpec& base, const std::vector<PruningKind>& kinds,
+    size_t num_seeds) {
+  SweepSpec sweep;
+  sweep.base = base;
+  sweep.axes.pruning = kinds;
+  sweep.axes.seeds = SeedAxis(num_seeds);
+  Result<SweepResult> result = SharedEngine().RunSweep(sweep);
+  if (!result.ok()) DieOnSweep(result.status());
+
+  // Expansion order is pruning-major, seeds innermost: variant i belongs
+  // to kind i / num_seeds.
+  std::vector<MetricsAccumulator> per_kind(kinds.size());
+  for (size_t i = 0; i < result->variants.size(); ++i) {
+    const SweepVariant& variant = result->variants[i];
+    if (!variant.status.ok()) DieOnVariant(variant);
+    per_kind[i / num_seeds].Add(variant.result.metrics,
+                                variant.result.total_seconds);
+  }
+  std::vector<AggregateMetrics> out;
+  out.reserve(kinds.size());
+  for (const MetricsAccumulator& acc : per_kind) out.push_back(acc.Summary());
+  return out;
 }
 
 MetaBlockingConfig BaselineConfig1(PruningKind kind, FeatureSet features) {

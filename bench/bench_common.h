@@ -14,6 +14,8 @@
 #include "core/pipeline.h"
 #include "datasets/specs.h"
 #include "eval/experiment.h"
+#include "gsmb/engine.h"
+#include "gsmb/sweep.h"
 #include "util/table_printer.h"
 
 namespace gsmb::bench {
@@ -38,6 +40,44 @@ PreparedDataset PrepareByName(const std::string& name);
 
 /// Prepares one Dirty scalability dataset.
 PreparedDataset PrepareDirtySpec(const DirtySpec& spec);
+
+// -- Sweep-API harness plumbing ---------------------------------------------
+// The per-figure harnesses run their grids through gsmb::Engine::RunSweep
+// against ONE process-wide engine, so every configuration of one dataset
+// shares a single cached blocking preparation (the engine-level
+// PreparedInputs cache) instead of re-preparing per experiment cell.
+
+/// The process-wide engine the harnesses share (its prepare cache is what
+/// makes repeated sweeps over one dataset prepare once).
+const Engine& SharedEngine();
+
+/// Base JobSpec of one generated Clean-Clean paper dataset at Scale():
+/// batch mode, paper preprocessing defaults.
+JobSpec CleanCleanBaseSpec(const std::string& name);
+
+/// Seed-averaged summary of one configuration, produced by a seeds-axis
+/// sweep — the sweep-API replacement for RunRepeatedExperiment. (Unlike
+/// the legacy path, features are extracted per seed, so mean timings
+/// include feature extraction in every repetition; same RT definition.)
+struct SeedSweepSummary {
+  AggregateMetrics metrics;
+  double feature_seconds = 0.0;   // mean over seeds
+  double classify_seconds = 0.0;  // mean over seeds
+  double prune_seconds = 0.0;     // mean over seeds
+  uint64_t num_candidates = 0;
+};
+
+/// Runs `base` with seeds 0..num_seeds-1 via SharedEngine().RunSweep and
+/// averages. Exits with a diagnostic if any seed fails — a bench must
+/// never silently average over missing runs.
+SeedSweepSummary RunSeedSweep(const JobSpec& base, size_t num_seeds);
+
+/// Per-kind seed-averaged metrics from one (pruning x seeds) sweep over a
+/// single dataset — one shared preparation for the whole grid. Returned in
+/// `kinds` order.
+std::vector<AggregateMetrics> RunPruningKindSweep(
+    const JobSpec& base, const std::vector<PruningKind>& kinds,
+    size_t num_seeds);
 
 /// The paper's two baseline configurations:
 ///   "1" — same budget as ours: 50 labelled pairs, new feature formulas;

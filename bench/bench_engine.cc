@@ -7,16 +7,24 @@
 // engine adds validation + dispatch + spec plumbing on top of the raw
 // pipelines, and this harness shows that overhead is noise against the
 // pipeline itself while giving one place to compare backend wall-clocks.
+// Since the staged API it also times Engine::Prepare cold vs cached — the
+// saving every repeated Run()/sweep over one dataset banks — and asserts
+// the cached handle is pointer-identical to the cold one.
 //
 //   GSMB_SCALE    dataset size multiplier (default 0.25)
 //   GSMB_THREADS  worker threads (default: all hardware threads)
+//   --json PATH   benchmark-shaped JSON artifact (bench_diff.py diffs it
+//                 in CI next to the micro / streaming artifacts)
 //
 // Exits non-zero on any cross-backend retained-count mismatch, so CI can
 // run it as a smoke.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gsmb/engine.h"
@@ -43,9 +51,53 @@ size_t EnvThreads() {
   return parsed > 0 ? static_cast<size_t>(parsed) : HardwareThreads();
 }
 
+struct BenchRow {
+  std::string name;
+  double real_time_ms = 0.0;
+};
+
+bool EmitBenchJson(const std::string& path, double scale, size_t threads,
+                   const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"bench_engine\",\n"
+      << "    \"scale\": " << scale << ",\n"
+      << "    \"threads\": " << threads << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\n"
+        << "      \"name\": \"" << rows[i].name << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"real_time\": " << rows[i].real_time_ms << ",\n"
+        << "      \"time_unit\": \"ms\"\n"
+        << "    }" << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_engine [--json out.json]\n");
+      return 2;
+    }
+  }
+
   const double scale = EnvScale();
   const size_t threads = EnvThreads();
   std::printf("== Engine facade benchmark (scale %.3g, %zu threads) ==\n\n",
@@ -66,6 +118,7 @@ int main() {
   Engine engine;
   TablePrinter table({"backend", "pruning", "retained", "recall",
                       "precision", "engine ms", "pipeline ms"});
+  std::vector<BenchRow> bench_rows;
 
   bool consistent = true;
   for (PruningKind pruning : {PruningKind::kBlast, PruningKind::kRcnp}) {
@@ -88,6 +141,9 @@ int main() {
                     TablePrinter::Fixed(result->metrics.precision, 4),
                     TablePrinter::Fixed(engine_ms, 1),
                     TablePrinter::Fixed(result->total_seconds * 1e3, 1)});
+      bench_rows.push_back({"engine/" + backend + "/" +
+                                PruningKindName(pruning),
+                            engine_ms});
       if (!have_reference) {
         reference_retained = result->metrics.retained;
         have_reference = true;
@@ -102,6 +158,47 @@ int main() {
   }
   std::printf("%s", table.ToString().c_str());
 
+  // ---- Cold vs cached preparation: what the staged API saves. ----------
+  // A fresh engine pays the full load + block + count once; the second
+  // Prepare of the same dataset+blocking is a cache hit returning the SAME
+  // handle. Both rows land in the JSON artifact so bench_diff.py tracks
+  // the cold cost and the (near-zero) cached cost across commits.
+  {
+    Engine cold_engine;
+    Stopwatch watch;
+    Result<PreparedHandle> cold = cold_engine.Prepare(spec);
+    const double cold_ms = watch.ElapsedMillis();
+    if (!cold.ok()) {
+      std::fprintf(stderr, "prepare (cold) failed: %s\n",
+                   cold.status().ToString().c_str());
+      return 1;
+    }
+    watch.Restart();
+    Result<PreparedHandle> cached = cold_engine.Prepare(spec);
+    const double cached_ms = watch.ElapsedMillis();
+    if (!cached.ok() || cached->get() != cold->get()) {
+      std::fprintf(stderr,
+                   "prepare (cached) did not return the shared handle\n");
+      return 1;
+    }
+    const PrepareCacheStats stats = cold_engine.prepare_cache_stats();
+    if (stats.misses != 1 || stats.hits != 1) {
+      std::fprintf(stderr,
+                   "prepare cache counted %zu misses / %zu hits, "
+                   "expected 1 / 1\n",
+                   stats.misses, stats.hits);
+      return 1;
+    }
+    std::printf(
+        "\nEngine::Prepare: cold %.1f ms, cached %.3f ms (%zu candidates, "
+        "~%.1f MB resident)\n",
+        cold_ms, cached_ms,
+        static_cast<size_t>((*cold)->num_candidates()),
+        static_cast<double>(stats.bytes) / (1024.0 * 1024.0));
+    bench_rows.push_back({"engine/prepare_cold", cold_ms});
+    bench_rows.push_back({"engine/prepare_cached", cached_ms});
+  }
+
   // The facade's own overhead: a spec JSON round trip plus validation per
   // Run() is the only cost the engine adds before dispatch.
   Stopwatch watch;
@@ -110,8 +207,13 @@ int main() {
     Result<JobSpec> parsed = JobSpec::FromJson(spec.ToJson());
     if (!parsed.ok() || !parsed->Validate().ok()) return 1;
   }
-  std::printf("\nspec JSON round trip + validation: %.1f us/job\n",
+  std::printf("spec JSON round trip + validation: %.1f us/job\n",
               watch.ElapsedMillis() * 1e3 / kReps);
+
+  if (!json_path.empty()) {
+    if (!EmitBenchJson(json_path, scale, threads, bench_rows)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   if (!consistent) return 1;
   std::printf("ENGINE BENCH OK: all backends retained identical counts\n");

@@ -1,6 +1,11 @@
 // Regenerates Figure 10: run-time of the best algorithms (BCl, BLAST, CNP,
 // RCNP) on the two largest datasets. BCl/CNP/RCNP all carry the expensive
 // LCP feature; BLAST's Formula 1 avoids it and should cut RT by >50%.
+//
+// Runs on the staged sweep API: each (algorithm, feature set) row is a
+// seeds-axis sweep, and all four rows of one dataset execute against ONE
+// cached blocking preparation (engine prepare cache: 1 miss + 3 hits per
+// dataset).
 
 #include <cstdio>
 
@@ -24,33 +29,30 @@ int main() {
   };
 
   for (const char* name : {"Movies", "WalmartAmazon"}) {
-    PreparedDataset dataset = PrepareByName(name);
     TablePrinter table({"Algorithm", "mean RT (ms)", "features", "classify",
                         "prune"});
+    uint64_t num_candidates = 0;
     for (const Row& row : rows) {
-      double total = 0.0, feat = 0.0, classify = 0.0, prune = 0.0;
-      for (size_t rep = 0; rep < Seeds(); ++rep) {
-        MetaBlockingConfig config;
-        config.pruning = row.kind;
-        config.features = row.features;
-        config.train_per_class = 250;
-        config.seed = rep;
-        MetaBlockingResult r = RunMetaBlocking(dataset, config);
-        total += r.total_seconds;
-        feat += r.feature_seconds;
-        classify += r.classify_seconds;
-        prune += r.prune_seconds;
-      }
-      const double n = static_cast<double>(Seeds());
-      table.AddRow({row.label, TablePrinter::Fixed(total / n * 1e3, 1),
-                    TablePrinter::Fixed(feat / n * 1e3, 1),
-                    TablePrinter::Fixed(classify / n * 1e3, 1),
-                    TablePrinter::Fixed(prune / n * 1e3, 1)});
+      JobSpec base = CleanCleanBaseSpec(name);
+      base.pruning.kind = row.kind;
+      base.features = row.features;
+      base.training.labels_per_class = 250;
+      const SeedSweepSummary summary = RunSeedSweep(base, Seeds());
+      num_candidates = summary.num_candidates;
+      table.AddRow({row.label,
+                    TablePrinter::Fixed(summary.metrics.rt_seconds * 1e3, 1),
+                    TablePrinter::Fixed(summary.feature_seconds * 1e3, 1),
+                    TablePrinter::Fixed(summary.classify_seconds * 1e3, 1),
+                    TablePrinter::Fixed(summary.prune_seconds * 1e3, 1)});
     }
     std::printf("%s (|C| = %s):\n%s\n", name,
-                TablePrinter::Count(dataset.pairs.size()).c_str(),
+                TablePrinter::Count(num_candidates).c_str(),
                 table.ToString().c_str());
   }
+
+  const PrepareCacheStats cache = SharedEngine().prepare_cache_stats();
+  std::printf("prepare cache: %zu misses (one per dataset), %zu hits\n\n",
+              cache.misses, cache.hits);
   std::printf(
       "Expected shape: the LCP-bearing algorithms (BCl, CNP, RCNP) pay a "
       "consistent\nfeature-extraction premium over LCP-free BLAST. (The "

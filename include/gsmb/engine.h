@@ -16,6 +16,15 @@
 // with) says the in-memory candidate arrays would exceed
 // execution.memory_budget_mb, and to batch otherwise.
 //
+// Staged execution. Run() is a thin Prepare + Execute composition:
+// Prepare(spec) loads the dataset and builds the blocked representation —
+// an immutable, shareable PreparedInputs handle served from an engine-level
+// LRU cache keyed on the canonical JSON of the spec's dataset+blocking
+// sections — and Execute(spec, prepared) runs the cheap per-configuration
+// stages (features, train, classify, prune) against it. Repeated Run()s
+// over the same dataset+blocking therefore prepare once; parameter sweeps
+// are first-class through RunSweep (gsmb/sweep.h).
+//
 // Equivalence contract: for any spec every backend that Supports() it
 // retains the SAME pairs. Batch and streaming are bit-identical by
 // construction (they share the pruning aggregates and the training-sample
@@ -24,7 +33,7 @@
 // linear classifier — and execution.shards is 1; with more shards the
 // session applies its documented per-shard union semantics instead.
 // tests/api_engine_test.cc locks the three-way equivalence in for all 8
-// pruning kinds.
+// pruning kinds; tests/api_prepare_test.cc locks cold == cached.
 
 #ifndef GSMB_API_ENGINE_H_
 #define GSMB_API_ENGINE_H_
@@ -36,10 +45,14 @@
 #include "blocking/block_stats.h"
 #include "core/pipeline.h"
 #include "gsmb/job_spec.h"
+#include "gsmb/prepared.h"
 #include "gsmb/status.h"
 #include "serve/session.h"
 
 namespace gsmb {
+
+struct SweepSpec;    // gsmb/sweep.h
+struct SweepResult;  // gsmb/sweep.h
 
 /// One retained comparison, by the profiles' external ids.
 struct RetainedPair {
@@ -108,12 +121,36 @@ class Executor {
   virtual Status Supports(const JobSpec& spec) const = 0;
 
   virtual Result<JobResult> Execute(const JobSpec& spec) const = 0;
+
+  /// True when ExecutePrepared() is implemented. The Engine then prepares
+  /// the spec (through its cache) and calls ExecutePrepared instead of
+  /// Execute — the staged path batch and streaming take. Backends that
+  /// load their own inputs keep the default (serving does: a session
+  /// tokenizes its own ingests, so a blocked preparation is dead weight).
+  virtual bool AcceptsPrepared() const { return false; }
+
+  /// Executes against an already-prepared input (same dataset+blocking as
+  /// the spec). Must retain exactly the pairs Execute(spec) would.
+  virtual Result<JobResult> ExecutePrepared(const JobSpec& spec,
+                                            const PreparedInputs& prepared) const;
+};
+
+/// Construction-time knobs of the Engine's prepare cache.
+struct EngineOptions {
+  /// Approximate byte budget of cached preparations, in MiB; after an
+  /// insert, least-recently-used entries are evicted until the estimated
+  /// resident total fits. 0 = no byte budget.
+  size_t prepare_cache_budget_mb = 1024;
+  /// Upper bound on cached preparations (LRU beyond it). 0 disables
+  /// caching entirely: Prepare() still works but every call builds fresh.
+  size_t prepare_cache_max_entries = 16;
 };
 
 class Engine {
  public:
   /// Constructs with the three standard backends registered.
   Engine();
+  explicit Engine(EngineOptions options);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -129,8 +166,10 @@ class Engine {
   const Executor* FindBackend(const std::string& name) const;
 
   /// Validates the spec, resolves execution.mode (including `auto`) and
-  /// dispatches. All failures — validation, unsupported spec, missing
-  /// files, internal errors — come back as the Result's Status.
+  /// dispatches — a thin Prepare + Execute composition, so repeated runs
+  /// over one dataset+blocking reuse the cached preparation. All failures —
+  /// validation, unsupported spec, missing files, internal errors — come
+  /// back as the Result's Status.
   Result<JobResult> Run(const JobSpec& spec) const;
 
   /// Runs on an explicitly named backend, bypassing mode resolution (the
@@ -142,6 +181,35 @@ class Engine {
   /// Convenience: JobSpec::FromFile + Validate + Run.
   Result<JobResult> RunFile(const std::string& path) const;
 
+  // -- Staged execution -------------------------------------------------------
+
+  /// Loads the spec's dataset and builds the blocked representation,
+  /// serving the handle from the engine's LRU cache when an equal
+  /// dataset+blocking preparation is resident. Concurrent Prepare calls
+  /// for the same key build once and share the handle. The returned handle
+  /// outlives any later eviction.
+  Result<PreparedHandle> Prepare(const JobSpec& spec) const;
+
+  /// Runs the per-configuration stages of `spec` against an
+  /// already-prepared input. The spec's dataset+blocking sections must
+  /// match the handle's cache key (rejected otherwise — a spec must never
+  /// silently execute against someone else's blocks). Resolves
+  /// execution.mode exactly like Run(), including `auto`. A backend that
+  /// does not AcceptsPrepared() (serving, which must tokenize its own
+  /// ingests; custom executors) runs its legacy Execute(spec) path
+  /// instead, loading its own inputs.
+  Result<JobResult> Execute(const JobSpec& spec,
+                            const PreparedInputs& prepared) const;
+
+  /// Expands the sweep's grid, prepares the shared dataset+blocking once
+  /// (through the cache) and executes every variant in parallel against
+  /// the shared handle. Per-variant failures are reported in the
+  /// SweepResult, never aborting sibling variants. See gsmb/sweep.h.
+  Result<SweepResult> RunSweep(const SweepSpec& sweep) const;
+
+  /// Counters of the prepare cache (hits/misses/evictions, residency).
+  PrepareCacheStats prepare_cache_stats() const;
+
   /// Builds a LIVE serving session from the spec (train model, ingest the
   /// dataset, refresh) for long-lived incremental use — the serve REPL and
   /// the incremental example sit on this. The spec must satisfy the
@@ -149,7 +217,22 @@ class Engine {
   Result<MetaBlockingSession> OpenSession(const JobSpec& spec) const;
 
  private:
+  struct PrepareCache;
+
+  /// Supports() check + staged-or-legacy dispatch on one executor.
+  Result<JobResult> Dispatch(const Executor& executor,
+                             const JobSpec& spec) const;
+  /// Re-runs the cache's eviction policy (lazy batch materialisation can
+  /// grow an entry after its insert-time check).
+  void EnforcePrepareBudget() const;
+  /// The backend name `spec.execution.mode` resolves to; `auto` consults
+  /// the arena-bytes model against `prepared`'s candidate count.
+  std::string ResolveMode(const JobSpec& spec,
+                          const PreparedInputs& prepared) const;
+
+  EngineOptions options_;
   std::vector<std::unique_ptr<Executor>> executors_;
+  std::unique_ptr<PrepareCache> cache_;
 };
 
 }  // namespace gsmb

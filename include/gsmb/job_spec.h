@@ -12,7 +12,16 @@
 //
 // Spec evolution contract: `version` is required in every serialized spec.
 // Unknown versions and unknown keys are rejected with a diagnostic — a spec
-// never silently means something else than it says.
+// never silently means something else than it says. Older versions within
+// [kJobSpecMinVersion, kJobSpecVersion] are read under THEIR schema (a
+// version-1 file may not use version-2 keys) and upgraded in memory;
+// ToJson() always writes the current version, and `gsmb_cli migrate`
+// rewrites spec files in place the same way.
+//
+// Version history:
+//   1  PR 4 — the original facade schema.
+//   2  adds pruning.validity_threshold (the paper's 0.5 floor, previously
+//      fixed; <= 0 disables it for unsupervised-style weighting).
 
 #ifndef GSMB_API_JOB_SPEC_H_
 #define GSMB_API_JOB_SPEC_H_
@@ -28,8 +37,10 @@
 
 namespace gsmb {
 
-/// Version written by ToJson() and accepted by FromJson().
-inline constexpr uint64_t kJobSpecVersion = 1;
+/// Version written by ToJson(). FromJson() reads every version in
+/// [kJobSpecMinVersion, kJobSpecVersion] and upgrades in memory.
+inline constexpr uint64_t kJobSpecVersion = 2;
+inline constexpr uint64_t kJobSpecMinVersion = 1;
 
 // ---------------------------------------------------------------------------
 // Sections
@@ -89,6 +100,10 @@ struct TrainingSpec {
 struct PruningSpec {
   PruningKind kind = PruningKind::kBlast;
   double blast_ratio = 0.35;
+  /// Pairs with classifier probability below this are never retained (the
+  /// paper's 0.5). <= 0 disables the floor (unsupervised-style weighting).
+  /// Spec version 2; a version-1 file cannot name it.
+  double validity_threshold = 0.5;
 };
 
 enum class ExecutionMode {

@@ -1,0 +1,125 @@
+// gsmb::SweepSpec — a parameter sweep as a first-class, declarative job.
+//
+// The paper's experiment grids (pruning kind x feature set x classifier x
+// training size x seed over one dataset) were previously caller-side loops,
+// each Run() re-preparing blocking from scratch. A SweepSpec names the grid
+// once — a base JobSpec plus per-axis value lists — and Engine::RunSweep
+// expands it, prepares the shared dataset+blocking exactly once (through
+// the engine's prepare cache), executes the variants in parallel against
+// the shared PreparedInputs, and reports one structured SweepResult.
+//
+// Like JobSpec, a SweepSpec serializes to versioned JSON with
+// reject-don't-ignore validation:
+//
+//   {
+//     "version": 1,
+//     "base": { ...JobSpec object, version and all... },
+//     "axes": {
+//       "pruning":  ["bcl", "wep", ...],
+//       "features": ["blast", "2014"],
+//       "classifier": ["logreg"],
+//       "labels_per_class": [25, 250],
+//       "seeds": [0, 1, 2]
+//     },
+//     "retained_dir": "out/"          // optional
+//   }
+//
+// An empty (or absent) axis contributes the base spec's value, so the grid
+// size is the product of max(1, |axis|) over the five axes.
+
+#ifndef GSMB_API_SWEEP_H_
+#define GSMB_API_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/status.h"
+
+namespace gsmb {
+
+/// Version written by SweepSpec::ToJson() and accepted by FromJson().
+inline constexpr uint64_t kSweepSpecVersion = 1;
+
+/// The swept axes. Empty axis = the base spec's single value.
+struct SweepAxes {
+  std::vector<PruningKind> pruning;
+  std::vector<FeatureSet> features;
+  std::vector<ClassifierKind> classifiers;
+  std::vector<size_t> labels_per_class;
+  std::vector<uint64_t> seeds;
+};
+
+struct SweepSpec {
+  uint64_t version = kSweepSpecVersion;
+  /// Every variant inherits this spec; only the axed fields vary. The
+  /// base's dataset+blocking sections define the ONE shared preparation.
+  JobSpec base;
+  SweepAxes axes;
+  /// When non-empty, every variant's retained pairs are written to
+  /// `<retained_dir>/<variant label>.csv` (the directory is created).
+  /// base.output.retained_csv must stay empty — a single path cannot hold
+  /// a grid of results.
+  std::string retained_dir;
+
+  /// Canonical JSON (schema above); re-parses to an equal spec.
+  std::string ToJson(int indent = 2) const;
+  static Result<SweepSpec> FromJson(const std::string& text);
+  static Result<SweepSpec> FromFile(const std::string& path);
+
+  /// base.Validate() plus sweep-level rules (no per-variant output
+  /// collisions, non-empty grid).
+  Status Validate() const;
+
+  /// Product of max(1, |axis|) over the axes.
+  size_t GridSize() const;
+
+  /// The expanded grid, deterministic order: pruning outermost, then
+  /// features, classifier, labels_per_class, seeds innermost.
+  std::vector<JobSpec> Expand() const;
+
+  bool operator==(const SweepSpec& other) const;
+};
+
+/// Deterministic, filesystem-safe label of one expanded variant:
+/// "<pruning>_<features>_<classifier>_l<labels>_s<seed>" (commas of a
+/// custom feature list become '+').
+std::string SweepVariantLabel(const JobSpec& variant);
+
+/// One executed grid point.
+struct SweepVariant {
+  JobSpec spec;
+  std::string label;
+  /// OK when `result` is meaningful; a failed variant carries its
+  /// diagnostic here and never aborts the rest of the sweep.
+  Status status;
+  JobResult result;
+};
+
+struct SweepResult {
+  /// Expansion order (see SweepSpec::Expand) — independent of the parallel
+  /// execution order.
+  std::vector<SweepVariant> variants;
+  /// Prepare-cache activity of this sweep: a cold sweep reports
+  /// misses == 1 (the one shared preparation); a sweep over an
+  /// already-cached dataset reports hits == 1, misses == 0.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// One-off preparation cost of the shared handle, seconds.
+  double prepare_seconds = 0.0;
+  /// Whole-sweep wall clock (prepare + all variants), seconds.
+  double total_seconds = 0.0;
+
+  bool all_ok() const {
+    for (const SweepVariant& v : variants) {
+      if (!v.status.ok()) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace gsmb
+
+#endif  // GSMB_API_SWEEP_H_

@@ -55,69 +55,77 @@ class ServingBackend : public Executor {
     return Status::Ok();
   }
 
+  // Deliberately NOT AcceptsPrepared(): a session blocks (tokenizes) its
+  // own ingests, so nothing of a PreparedInputs handle beyond the raw
+  // profiles is usable here — taking the staged path would build (and
+  // cache) a whole blocks+index+counting preparation just to throw it
+  // away. The Engine falls back to this legacy path instead, which loads
+  // the inputs and nothing else, exactly the pre-staged cost.
   Result<JobResult> Execute(const JobSpec& spec) const override {
     Result<JobInputs> inputs = LoadJobInputs(spec);
     if (!inputs.ok()) return inputs.status();
-
-    Stopwatch total_watch;
-    Stopwatch watch;
-    size_t training_size = 0;
-    Result<MetaBlockingSession> session = BuildServingSession(
-        spec, *inputs, /*cold_build_universe=*/true, &training_size);
-    if (!session.ok()) return session.status();
-
-    JobResult result;
-    result.backend = "serving";
-    result.training_size = training_size;
-    // The session trains + blocks + refreshes in one build; report the
-    // whole cold build as train time and the refresh split is not
-    // observable from outside, so total covers the build.
-    result.train_seconds = watch.ElapsedSeconds();
-
-    const std::vector<CandidatePair> retained = session->RetainedPairs();
-    size_t true_positives = 0;
-    for (const CandidatePair& pair : retained) {
-      if (inputs->ground_truth.IsMatch(pair.left, pair.right)) {
-        ++true_positives;
-      }
-    }
-    result.metrics = MetricsFromCounts(true_positives, retained.size(),
-                                       inputs->ground_truth.size());
-
-    const SessionStats stats = session->Stats();
-    result.num_blocks = stats.num_blocks;
-    result.num_candidates = stats.num_candidates;
-    result.shards_used = stats.num_shards;
-    result.model_coefficients = session->model().weights;
-    result.model_coefficients.push_back(session->model().intercept);
-    result.total_seconds = total_watch.ElapsedSeconds();
-
-    // Session pairs are sorted ascending (left, right) — the same order the
-    // batch indices and the streaming sink produce.
-    if (!spec.output.retained_csv.empty()) {
-      Result<std::ofstream> csv = OpenRetainedCsv(spec.output.retained_csv);
-      if (!csv.ok()) return csv.status();
-      for (const CandidatePair& pair : retained) {
-        AppendRetainedCsvRow(*csv, inputs->ExternalLeftId(pair.left),
-                             inputs->ExternalRightId(pair.right));
-      }
-      Status finished =
-          FinishRetainedCsv(*csv, spec.output.retained_csv);
-      if (!finished.ok()) return finished;
-      result.retained_csv_rows = retained.size();
-    }
-    if (spec.output.keep_retained) {
-      result.retained.reserve(retained.size());
-      for (const CandidatePair& pair : retained) {
-        result.retained.push_back({inputs->ExternalLeftId(pair.left),
-                                   inputs->ExternalRightId(pair.right)});
-      }
-    }
-    return result;
+    return RunServingOn(spec, *inputs);
   }
 };
 
 }  // namespace
+
+Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
+  Stopwatch total_watch;
+  Stopwatch watch;
+  size_t training_size = 0;
+  Result<MetaBlockingSession> session = BuildServingSession(
+      spec, inputs, /*cold_build_universe=*/true, &training_size);
+  if (!session.ok()) return session.status();
+
+  JobResult result;
+  result.backend = "serving";
+  result.training_size = training_size;
+  // The session trains + blocks + refreshes in one build; report the
+  // whole cold build as train time and the refresh split is not
+  // observable from outside, so total covers the build.
+  result.train_seconds = watch.ElapsedSeconds();
+
+  const std::vector<CandidatePair> retained = session->RetainedPairs();
+  size_t true_positives = 0;
+  for (const CandidatePair& pair : retained) {
+    if (inputs.ground_truth.IsMatch(pair.left, pair.right)) {
+      ++true_positives;
+    }
+  }
+  result.metrics = MetricsFromCounts(true_positives, retained.size(),
+                                     inputs.ground_truth.size());
+
+  const SessionStats stats = session->Stats();
+  result.num_blocks = stats.num_blocks;
+  result.num_candidates = stats.num_candidates;
+  result.shards_used = stats.num_shards;
+  result.model_coefficients = session->model().weights;
+  result.model_coefficients.push_back(session->model().intercept);
+  result.total_seconds = total_watch.ElapsedSeconds();
+
+  // Session pairs are sorted ascending (left, right) — the same order the
+  // batch indices and the streaming sink produce.
+  if (!spec.output.retained_csv.empty()) {
+    Result<std::ofstream> csv = OpenRetainedCsv(spec.output.retained_csv);
+    if (!csv.ok()) return csv.status();
+    for (const CandidatePair& pair : retained) {
+      AppendRetainedCsvRow(*csv, inputs.ExternalLeftId(pair.left),
+                           inputs.ExternalRightId(pair.right));
+    }
+    Status finished = FinishRetainedCsv(*csv, spec.output.retained_csv);
+    if (!finished.ok()) return finished;
+    result.retained_csv_rows = retained.size();
+  }
+  if (spec.output.keep_retained) {
+    result.retained.reserve(retained.size());
+    for (const CandidatePair& pair : retained) {
+      result.retained.push_back({inputs.ExternalLeftId(pair.left),
+                                 inputs.ExternalRightId(pair.right)});
+    }
+  }
+  return result;
+}
 
 Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
                                                 const JobInputs& inputs,
@@ -143,6 +151,7 @@ Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
   options.min_token_length = spec.blocking.min_token_length;
   options.pruning = spec.pruning.kind;
   options.blast_ratio = spec.pruning.blast_ratio;
+  options.validity_threshold = spec.pruning.validity_threshold;
   if (spec.execution.serving_max_block_size > 0) {
     options.max_block_size = spec.execution.serving_max_block_size;
   } else if (spec.blocking.purge_size_fraction < 1.0) {

@@ -2,13 +2,14 @@
 // Executor interface. Retained pairs are bit-identical to the batch
 // backend's for any shard/thread count (stream/streaming_executor.h
 // documents why); retained CSV rows stream straight to disk so the mode
-// never buffers O(retained) memory.
+// never buffers O(retained) memory. Executes straight off a shared
+// PreparedInputs handle's counting preparation — a streaming-only sweep
+// never materialises the O(|C|) batch arrays.
 
 #include <utility>
 
 #include "api/backends.h"
 #include "stream/streaming_executor.h"
-#include "util/stopwatch.h"
 
 namespace gsmb::api {
 
@@ -20,24 +21,27 @@ class StreamingBackend : public Executor {
 
   Status Supports(const JobSpec&) const override { return Status::Ok(); }
 
-  Result<JobResult> Execute(const JobSpec& spec) const override {
-    Result<JobInputs> inputs = LoadJobInputs(spec);
-    if (!inputs.ok()) return inputs.status();
+  bool AcceptsPrepared() const override { return true; }
 
-    Stopwatch watch;
-    BlockCollection blocks = BuildPreprocessedBlocks(spec, *inputs);
-    StreamingDataset prep = PrepareStreamingFromBlocks(
-        "job", std::move(blocks), inputs->ground_truth,
-        ResolvedExecution(spec).num_threads);
-    return RunStreamingOn(spec, *inputs, prep, watch.ElapsedSeconds());
+  Result<JobResult> ExecutePrepared(
+      const JobSpec& spec, const PreparedInputs& prepared) const override {
+    return RunStreamingOn(spec, prepared);
+  }
+
+  Result<JobResult> Execute(const JobSpec& spec) const override {
+    Result<PreparedHandle> prepared = BuildPreparedInputs(spec);
+    if (!prepared.ok()) return prepared.status();
+    return RunStreamingOn(spec, **prepared);
   }
 };
 
 }  // namespace
 
-Result<JobResult> RunStreamingOn(const JobSpec& spec, const JobInputs& inputs,
-                                 const StreamingDataset& prep,
-                                 double blocking_seconds) {
+Result<JobResult> RunStreamingOn(const JobSpec& spec,
+                                 const PreparedInputs& prepared) {
+  const JobInputs& inputs = prepared.inputs;
+  const StreamingDataset& prep = prepared.stream;
+
   StreamingOptions options;
   options.num_shards = spec.execution.shards;
   options.memory_budget_mb = spec.execution.memory_budget_mb;
@@ -83,7 +87,7 @@ Result<JobResult> RunStreamingOn(const JobSpec& spec, const JobInputs& inputs,
   result.num_candidates = prep.num_candidates();
   result.training_size = run.training_size;
   result.model_coefficients = run.model_coefficients;
-  result.blocking_seconds = blocking_seconds;
+  result.blocking_seconds = prepared.prepare_seconds;
   result.generate_seconds = run.generate_seconds;
   result.feature_seconds = run.feature_seconds;
   result.train_seconds = run.train_seconds;

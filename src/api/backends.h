@@ -1,11 +1,13 @@
 // Internal plumbing shared by the Engine's standard backends.
 //
-// Each backend's Execute() is: load the spec's inputs -> build the
-// preprocessed block collection -> hand both to its pipeline. The load and
-// block-build steps are identical across backends (that is what makes
-// cross-backend equivalence testable at the API boundary), so they live
-// here; the `auto` resolver also calls them directly to count candidates
-// once and then feed the SAME blocks to whichever backend it picks.
+// Each backend's staged entry point is ExecutePrepared(spec, prepared): the
+// Engine loads + blocks + counts ONCE per distinct dataset+blocking pair
+// (gsmb/prepared.h, served from the prepare cache) and every backend
+// executes its per-configuration stages against that shared, immutable
+// handle. The legacy Execute(spec) path builds a private preparation and
+// delegates — which is what keeps cross-backend equivalence testable at the
+// API boundary: every backend's implied candidate set derives from the SAME
+// preparation code.
 
 #ifndef GSMB_API_BACKENDS_H_
 #define GSMB_API_BACKENDS_H_
@@ -20,25 +22,11 @@
 #include "er/ground_truth.h"
 #include "gsmb/engine.h"
 #include "gsmb/job_spec.h"
+#include "gsmb/prepared.h"
 #include "gsmb/status.h"
 #include "stream/streaming_dataset.h"
 
 namespace gsmb::api {
-
-/// The loaded dataset of a job: one or two collections plus ground truth.
-struct JobInputs {
-  EntityCollection e1;
-  EntityCollection e2;  // empty for Dirty ER
-  bool dirty = false;
-  GroundTruth ground_truth{false};
-
-  const std::string& ExternalLeftId(EntityId id) const {
-    return e1[id].external_id();
-  }
-  const std::string& ExternalRightId(EntityId id) const {
-    return dirty ? e1[id].external_id() : e2[id].external_id();
-  }
-};
 
 /// Loads CSV files or generates the named synthetic dataset. Missing paths
 /// and empty parses are NotFound/InvalidArgument with the offending path.
@@ -49,6 +37,11 @@ Result<JobInputs> LoadJobInputs(const JobSpec& spec);
 /// preprocessing every backend's implied candidate set derives from.
 BlockCollection BuildPreprocessedBlocks(const JobSpec& spec,
                                         const JobInputs& inputs);
+
+/// The full preparation stage: load inputs, build + preprocess blocks, run
+/// the counting preparation. Everything Engine::Prepare caches; also the
+/// uncached path behind each backend's legacy Execute(spec).
+Result<PreparedHandle> BuildPreparedInputs(const JobSpec& spec);
 
 /// spec.execution.options with threads == 0 resolved to the hardware count.
 ExecutionOptions ResolvedExecution(const JobSpec& spec);
@@ -69,21 +62,18 @@ void AppendRetainedCsvRow(std::ofstream& out, const std::string& left_id,
 Status FinishRetainedCsv(std::ofstream& out, const std::string& path);
 
 // -- Backend pipelines ------------------------------------------------------
-// The Execute() bodies, split from dataset loading so the `auto` resolver
-// can reuse an already-built preparation.
+// The ExecutePrepared() bodies: per-configuration execution against a
+// shared preparation. The batch path materialises the handle's lazy O(|C|)
+// arrays on first use; the streaming path runs straight off the counting
+// preparation. Serving does NOT take the staged path (a session tokenizes
+// its own ingests, so a blocked preparation would be dead weight): its
+// Execute loads the inputs and builds the session directly.
 
-Result<JobResult> RunBatchOn(const JobSpec& spec, const JobInputs& inputs,
-                             const PreparedDataset& prep,
-                             double blocking_seconds);
-Result<JobResult> RunStreamingOn(const JobSpec& spec, const JobInputs& inputs,
-                                 const StreamingDataset& prep,
-                                 double blocking_seconds);
-
-/// Batch preparation from an already counting-prepared streaming dataset
-/// (consumes it): the auto resolver counts candidates with the cheap
-/// streaming preparation, then materialises only if batch wins.
-PreparedDataset BatchPrepFromStreaming(StreamingDataset prep,
-                                       size_t num_threads);
+Result<JobResult> RunBatchOn(const JobSpec& spec,
+                             const PreparedInputs& prepared);
+Result<JobResult> RunStreamingOn(const JobSpec& spec,
+                                 const PreparedInputs& prepared);
+Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs);
 
 std::unique_ptr<Executor> MakeBatchBackend();
 std::unique_ptr<Executor> MakeStreamingBackend();

@@ -2,6 +2,10 @@
 
 #include <exception>
 #include <filesystem>
+#include <future>
+#include <list>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "api/backends.h"
@@ -101,6 +105,27 @@ Result<JobInputs> LoadJobInputs(const JobSpec& spec) {
   return GenerateInputs(spec);
 }
 
+Result<PreparedHandle> BuildPreparedInputs(const JobSpec& spec) {
+  try {
+    Result<JobInputs> inputs = LoadJobInputs(spec);
+    if (!inputs.ok()) return inputs.status();
+
+    auto prepared = std::make_shared<PreparedInputs>();
+    prepared->inputs = std::move(*inputs);
+    Stopwatch watch;
+    BlockCollection blocks =
+        BuildPreprocessedBlocks(spec, prepared->inputs);
+    prepared->stream = PrepareStreamingFromBlocks(
+        "job", std::move(blocks), prepared->inputs.ground_truth,
+        ResolvedExecution(spec).num_threads);
+    prepared->prepare_seconds = watch.ElapsedSeconds();
+    prepared->cache_key = PrepareCacheKey(spec);
+    return PreparedHandle(std::move(prepared));
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("preparation failed: ") + e.what());
+  }
+}
+
 BlockCollection BuildPreprocessedBlocks(const JobSpec& spec,
                                         const JobInputs& inputs) {
   const size_t threads = ResolvedExecution(spec).num_threads;
@@ -152,6 +177,7 @@ MetaBlockingConfig ConfigFromSpec(const JobSpec& spec) {
   config.train_per_class = spec.training.labels_per_class;
   config.seed = spec.training.seed;
   config.blast_ratio = spec.pruning.blast_ratio;
+  config.validity_threshold = spec.pruning.validity_threshold;
   config.execution = ResolvedExecution(spec);
   return config;
 }
@@ -189,10 +215,88 @@ Status FinishRetainedCsv(std::ofstream& out, const std::string& path) {
 }  // namespace api
 
 // ---------------------------------------------------------------------------
+// Executor defaults
+// ---------------------------------------------------------------------------
+
+Result<JobResult> Executor::ExecutePrepared(const JobSpec&,
+                                            const PreparedInputs&) const {
+  return Status::Unimplemented(
+      "backend '" + name() +
+      "' does not implement ExecutePrepared (AcceptsPrepared() is false)");
+}
+
+// ---------------------------------------------------------------------------
+// The prepare cache: LRU over shared, immutable preparations
+// ---------------------------------------------------------------------------
+
+struct Engine::PrepareCache {
+  struct Slot {
+    /// Shared by every Prepare() of this key: concurrent callers of a
+    /// still-building preparation block on the future and come back with
+    /// the SAME handle the builder produced.
+    std::shared_future<Result<PreparedHandle>> future;
+    /// LRU clock; larger = more recently used.
+    uint64_t last_used = 0;
+    bool ready = false;  // future carries a value (ok or failed)
+  };
+
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, Slot> slots;
+  uint64_t clock = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+
+  /// Estimated resident bytes over READY, successful slots. Called under
+  /// the mutex.
+  size_t BytesLocked() const {
+    size_t total = 0;
+    for (const auto& [key, slot] : slots) {
+      if (!slot.ready) continue;
+      const Result<PreparedHandle>& result = slot.future.get();
+      if (result.ok()) total += (*result)->ApproxBytes();
+    }
+    return total;
+  }
+
+  /// Drops least-recently-used ready slots until both budgets hold.
+  /// `keep` (the slot just inserted or touched) is evicted only when it is
+  /// the last one standing and still violates a budget — a cache that
+  /// cannot hold even one entry degrades to pass-through, not to failure.
+  void EvictLocked(const EngineOptions& options, const std::string& keep) {
+    const size_t budget_bytes = options.prepare_cache_budget_mb << 20;
+    while (slots.size() > 1 &&
+           ((options.prepare_cache_max_entries > 0 &&
+             slots.size() > options.prepare_cache_max_entries) ||
+            (budget_bytes > 0 && BytesLocked() > budget_bytes))) {
+      auto victim = slots.end();
+      for (auto it = slots.begin(); it != slots.end(); ++it) {
+        if (!it->second.ready || it->first == keep) continue;
+        if (victim == slots.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim == slots.end()) break;  // only in-flight slots left
+      slots.erase(victim);
+      ++evictions;
+    }
+    if (slots.size() == 1 && budget_bytes > 0 &&
+        BytesLocked() > budget_bytes) {
+      slots.clear();
+      ++evictions;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine() {
+Engine::Engine() : Engine(EngineOptions{}) {}
+
+Engine::Engine(EngineOptions options)
+    : options_(options), cache_(std::make_unique<PrepareCache>()) {
   executors_.push_back(api::MakeBatchBackend());
   executors_.push_back(api::MakeStreamingBackend());
   executors_.push_back(api::MakeServingBackend());
@@ -227,6 +331,150 @@ const Executor* Engine::FindBackend(const std::string& name) const {
   return nullptr;
 }
 
+Result<PreparedHandle> Engine::Prepare(const JobSpec& spec) const {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  // max_entries == 0 disables the cache: build fresh, count the miss.
+  if (options_.prepare_cache_max_entries == 0) {
+    {
+      std::lock_guard<std::mutex> lock(cache_->mutex);
+      ++cache_->misses;
+    }
+    return api::BuildPreparedInputs(spec);
+  }
+
+  const std::string key = PrepareCacheKey(spec);
+  std::promise<Result<PreparedHandle>> promise;
+  std::shared_future<Result<PreparedHandle>> pending;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->slots.find(key);
+    if (it != cache_->slots.end()) {
+      ++cache_->hits;
+      it->second.last_used = ++cache_->clock;
+      pending = it->second.future;
+      hit = true;
+    } else {
+      ++cache_->misses;
+      PrepareCache::Slot slot;
+      slot.future = promise.get_future().share();
+      slot.last_used = ++cache_->clock;
+      cache_->slots.emplace(key, std::move(slot));
+    }
+  }
+  // Wait outside the lock: a still-building preparation must not serialize
+  // unrelated Prepare() calls. Racers of one build share ONE handle.
+  if (hit) return pending.get();
+
+  Result<PreparedHandle> built = api::BuildPreparedInputs(spec);
+  promise.set_value(built);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->slots.find(key);
+    if (it != cache_->slots.end()) {
+      if (built.ok()) {
+        it->second.ready = true;
+        cache_->EvictLocked(options_, key);
+      } else {
+        // Failures are never cached: the next Prepare retries (the file
+        // may exist by then). Racers already holding the future still see
+        // this failure — correct, they raced the same broken build.
+        cache_->slots.erase(it);
+      }
+    }
+  }
+  return built;
+}
+
+std::string Engine::ResolveMode(const JobSpec& spec,
+                                const PreparedInputs& prepared) const {
+  if (spec.execution.mode != ExecutionMode::kAuto) {
+    return ExecutionModeName(spec.execution.mode);
+  }
+  // `auto`: the prepared handle already counted the candidates, so the
+  // resolution is the same cheap arithmetic on cold and cached paths —
+  // budget vs the arena-bytes model the streaming executor shards with.
+  const uint64_t budget_bytes =
+      static_cast<uint64_t>(spec.execution.memory_budget_mb) << 20;
+  const uint64_t estimated = api::EstimateCandidateBytes(
+      prepared.num_candidates(), spec.features.Dimensions());
+  return budget_bytes > 0 && estimated > budget_bytes ? "streaming" : "batch";
+}
+
+Result<JobResult> Engine::Execute(const JobSpec& spec,
+                                  const PreparedInputs& prepared) const {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  if (PrepareCacheKey(spec) != prepared.cache_key) {
+    return Status::InvalidArgument(
+        "Execute: the spec's dataset/blocking sections do not match the "
+        "prepared handle (prepared for " + prepared.cache_key + ")");
+  }
+  const std::string name = ResolveMode(spec, prepared);
+  const Executor* executor = FindBackend(name);
+  if (executor == nullptr) {
+    return Status::NotFound("no backend named '" + name + "' is registered");
+  }
+  Status supported = executor->Supports(spec);
+  if (!supported.ok()) return supported;
+  try {
+    if (!executor->AcceptsPrepared()) {
+      // Backends that load their own inputs (serving, custom executors)
+      // run their legacy path; the handle stays untouched.
+      return executor->Execute(spec);
+    }
+    Result<JobResult> result = executor->ExecutePrepared(spec, prepared);
+    // Lazy materialisation (the batch O(|C|) arrays) can grow a cached
+    // entry after its insert-time budget check; re-enforce now.
+    EnforcePrepareBudget();
+    return result;
+  } catch (const std::exception& e) {
+    return Status::Internal("backend '" + name + "' failed: " + e.what());
+  }
+}
+
+void Engine::EnforcePrepareBudget() const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->EvictLocked(options_, /*keep=*/"");
+}
+
+PrepareCacheStats Engine::prepare_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  PrepareCacheStats stats;
+  stats.hits = cache_->hits;
+  stats.misses = cache_->misses;
+  stats.evictions = cache_->evictions;
+  stats.entries = cache_->slots.size();
+  stats.bytes = cache_->BytesLocked();
+  return stats;
+}
+
+Result<JobResult> Engine::Dispatch(const Executor& executor,
+                                   const JobSpec& spec) const {
+  Status supported = executor.Supports(spec);
+  if (!supported.ok()) return supported;
+  try {
+    if (executor.AcceptsPrepared()) {
+      // The staged path: prepare through the cache, execute against the
+      // shared handle. Run() is exactly Prepare + ExecutePrepared.
+      Result<PreparedHandle> prepared = Prepare(spec);
+      if (!prepared.ok()) return prepared.status();
+      Result<JobResult> result = executor.ExecutePrepared(spec, **prepared);
+      // Lazy materialisation can grow the cached entry past its
+      // insert-time budget check; re-enforce now.
+      EnforcePrepareBudget();
+      return result;
+    }
+    // Backends that load their own inputs (serving, custom executors).
+    return executor.Execute(spec);
+  } catch (const std::exception& e) {
+    return Status::Internal("backend '" + executor.name() +
+                            "' failed: " + e.what());
+  }
+}
+
 Result<JobResult> Engine::RunOn(const std::string& backend,
                                 const JobSpec& spec) const {
   Status valid = spec.Validate();
@@ -241,13 +489,7 @@ Result<JobResult> Engine::RunOn(const std::string& backend,
     return Status::NotFound("no backend named '" + backend +
                             "' is registered (have: " + known + ")");
   }
-  Status supported = executor->Supports(spec);
-  if (!supported.ok()) return supported;
-  try {
-    return executor->Execute(spec);
-  } catch (const std::exception& e) {
-    return Status::Internal("backend '" + backend + "' failed: " + e.what());
-  }
+  return Dispatch(*executor, spec);
 }
 
 Result<JobResult> Engine::Run(const JobSpec& spec) const {
@@ -258,37 +500,14 @@ Result<JobResult> Engine::Run(const JobSpec& spec) const {
     return RunOn(ExecutionModeName(spec.execution.mode), spec);
   }
 
-  // ---- `auto`: count candidates once, then pick batch or streaming. ----
-  // The counting preparation (stream/) derives the candidate cardinality
-  // without materialising any O(|C|) array, so resolving the mode costs
-  // blocking + one counting sweep. The blocks feed whichever backend wins —
-  // nothing is prepared twice.
-  try {
-    Result<api::JobInputs> inputs = api::LoadJobInputs(spec);
-    if (!inputs.ok()) return inputs.status();
-
-    Stopwatch watch;
-    BlockCollection blocks = api::BuildPreprocessedBlocks(spec, *inputs);
-    const size_t threads = api::ResolvedExecution(spec).num_threads;
-    StreamingDataset counted = PrepareStreamingFromBlocks(
-        "job", std::move(blocks), inputs->ground_truth, threads);
-    const double blocking_seconds = watch.ElapsedSeconds();
-
-    const uint64_t budget_bytes =
-        static_cast<uint64_t>(spec.execution.memory_budget_mb) << 20;
-    const uint64_t estimated = api::EstimateCandidateBytes(
-        counted.num_candidates(), spec.features.Dimensions());
-    const bool stream = budget_bytes > 0 && estimated > budget_bytes;
-
-    if (stream) {
-      return api::RunStreamingOn(spec, *inputs, counted, blocking_seconds);
-    }
-    PreparedDataset prep =
-        api::BatchPrepFromStreaming(std::move(counted), threads);
-    return api::RunBatchOn(spec, *inputs, prep, blocking_seconds);
-  } catch (const std::exception& e) {
-    return Status::Internal(std::string("auto-mode run failed: ") + e.what());
-  }
+  // ---- `auto`: prepare once (cached), then pick batch or streaming. ----
+  // The counting preparation derives the candidate cardinality without
+  // materialising any O(|C|) array; the SAME handle then feeds whichever
+  // backend wins — nothing is prepared twice, and a cached handle resolves
+  // identically to a cold one.
+  Result<PreparedHandle> prepared = Prepare(spec);
+  if (!prepared.ok()) return prepared.status();
+  return Execute(spec, **prepared);
 }
 
 Result<JobResult> Engine::RunFile(const std::string& path) const {
@@ -307,7 +526,7 @@ Result<MetaBlockingSession> Engine::OpenSession(const JobSpec& spec) const {
   Status supported = serving->Supports(spec);
   if (!supported.ok()) return supported;
   try {
-    Result<api::JobInputs> inputs = api::LoadJobInputs(spec);
+    Result<JobInputs> inputs = api::LoadJobInputs(spec);
     if (!inputs.ok()) return inputs.status();
     return api::BuildServingSession(spec, *inputs,
                                     /*cold_build_universe=*/false);

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "api/json.h"
+#include "api/spec_json.h"
+#include "gsmb/prepared.h"
 
 namespace gsmb {
 
@@ -314,10 +316,9 @@ Result<FeatureSet> ParseFeatureSetName(const std::string& name) {
 // Serialization
 // ---------------------------------------------------------------------------
 
-std::string JobSpec::ToJson(int indent) const {
-  json::Object root;
-  root["version"] = json::Value(version);
+namespace api {
 
+json::Object DatasetSectionJson(const DatasetSpec& dataset) {
   json::Object dataset_obj;
   dataset_obj["source"] = json::Value(DatasetSourceName(dataset.source));
   if (dataset.source == DatasetSource::kCsv) {
@@ -328,9 +329,11 @@ std::string JobSpec::ToJson(int indent) const {
     dataset_obj["name"] = json::Value(dataset.name);
     dataset_obj["scale"] = json::Value(dataset.scale);
   }
-  root["dataset"] = json::Value(std::move(dataset_obj));
+  return dataset_obj;
+}
 
-  // Every member is serialized regardless of the active scheme/kind, so a
+json::Object BlockingSectionJson(const BlockingSpec& blocking) {
+  // Every member is serialized regardless of the active scheme, so a
   // round-trip is lossless and `explain` shows the complete state.
   json::Object blocking_obj;
   blocking_obj["scheme"] = json::Value(BlockingSchemeName(blocking.scheme));
@@ -342,78 +345,113 @@ std::string JobSpec::ToJson(int indent) const {
   blocking_obj["purge_size_fraction"] =
       json::Value(blocking.purge_size_fraction);
   blocking_obj["filter_ratio"] = json::Value(blocking.filter_ratio);
-  root["blocking"] = json::Value(std::move(blocking_obj));
+  return blocking_obj;
+}
 
-  root["features"] = json::Value(FeatureSetSpecName(features));
-  root["classifier"] = json::Value(ClassifierShortName(classifier));
+json::Value JobSpecToJsonValue(const JobSpec& spec) {
+  json::Object root;
+  // Always the CURRENT version: parsing upgrades older specs in memory, so
+  // a serialized spec is canonical by construction.
+  root["version"] = json::Value(kJobSpecVersion);
+
+  root["dataset"] = json::Value(DatasetSectionJson(spec.dataset));
+  root["blocking"] = json::Value(BlockingSectionJson(spec.blocking));
+
+  root["features"] = json::Value(FeatureSetSpecName(spec.features));
+  root["classifier"] = json::Value(ClassifierShortName(spec.classifier));
 
   json::Object pruning_obj;
-  pruning_obj["kind"] = json::Value(PruningShortName(pruning.kind));
-  pruning_obj["blast_ratio"] = json::Value(pruning.blast_ratio);
+  pruning_obj["kind"] = json::Value(PruningShortName(spec.pruning.kind));
+  pruning_obj["blast_ratio"] = json::Value(spec.pruning.blast_ratio);
+  pruning_obj["validity_threshold"] =
+      json::Value(spec.pruning.validity_threshold);
   root["pruning"] = json::Value(std::move(pruning_obj));
 
   json::Object training_obj;
-  training_obj["labels_per_class"] = json::Value(training.labels_per_class);
-  training_obj["seed"] = json::Value(training.seed);
+  training_obj["labels_per_class"] =
+      json::Value(spec.training.labels_per_class);
+  training_obj["seed"] = json::Value(spec.training.seed);
   root["training"] = json::Value(std::move(training_obj));
 
   json::Object execution_obj;
-  execution_obj["mode"] = json::Value(ExecutionModeName(execution.mode));
-  execution_obj["threads"] = json::Value(execution.options.num_threads);
-  execution_obj["shards"] = json::Value(execution.shards);
-  execution_obj["memory_budget_mb"] = json::Value(execution.memory_budget_mb);
+  execution_obj["mode"] = json::Value(ExecutionModeName(spec.execution.mode));
+  execution_obj["threads"] = json::Value(spec.execution.options.num_threads);
+  execution_obj["shards"] = json::Value(spec.execution.shards);
+  execution_obj["memory_budget_mb"] =
+      json::Value(spec.execution.memory_budget_mb);
   execution_obj["serving_max_block_size"] =
-      json::Value(execution.serving_max_block_size);
+      json::Value(spec.execution.serving_max_block_size);
   root["execution"] = json::Value(std::move(execution_obj));
 
-  if (!output.retained_csv.empty() || output.keep_retained) {
+  if (!spec.output.retained_csv.empty() || spec.output.keep_retained) {
     json::Object output_obj;
-    if (!output.retained_csv.empty()) {
-      output_obj["retained_csv"] = json::Value(output.retained_csv);
+    if (!spec.output.retained_csv.empty()) {
+      output_obj["retained_csv"] = json::Value(spec.output.retained_csv);
     }
-    if (output.keep_retained) {
+    if (spec.output.keep_retained) {
       output_obj["keep_retained"] = json::Value(true);
     }
     root["output"] = json::Value(std::move(output_obj));
   }
 
-  return json::Dump(json::Value(std::move(root)), indent);
+  return json::Value(std::move(root));
 }
 
-Result<JobSpec> JobSpec::FromJson(const std::string& text,
-                                  const JobSpec& base) {
-  Result<json::Value> parsed = json::Parse(text);
-  if (!parsed.ok()) return parsed.status();
-  if (!parsed->is_object()) {
+}  // namespace api
+
+std::string JobSpec::ToJson(int indent) const {
+  return json::Dump(api::JobSpecToJsonValue(*this), indent);
+}
+
+std::string PrepareCacheKey(const JobSpec& spec) {
+  // Single-line canonical JSON of the two sections a preparation is a pure
+  // function of. Execution knobs (threads, shards, budgets) never enter:
+  // every preparation path is bit-identical across them.
+  json::Object key;
+  key["dataset"] = json::Value(api::DatasetSectionJson(spec.dataset));
+  key["blocking"] = json::Value(api::BlockingSectionJson(spec.blocking));
+  return json::Dump(json::Value(std::move(key)), /*indent=*/0);
+}
+
+namespace api {
+
+Result<JobSpec> JobSpecFromJsonValue(const json::Value& parsed,
+                                     const JobSpec& base,
+                                     const std::string& path) {
+  if (!parsed.is_object()) {
     return Status::InvalidArgument(
         "a job spec must be a JSON object, got " +
-        std::string(json::Value::KindName(parsed->kind())));
+        std::string(json::Value::KindName(parsed.kind())));
   }
 
   JobSpec spec = base;
-  Section root(parsed->AsObject(), "spec");
+  Section root(parsed.AsObject(), path);
 
   // Version first: an unknown version must fail before any member of it is
   // interpreted under this version's schema.
+  uint64_t read_version = 0;
   {
     const json::Value* v = root.Raw("version");
     if (v == nullptr) {
       return Status::InvalidArgument(
-          "spec.version is required (current version: " +
+          path + ".version is required (current version: " +
           std::to_string(kJobSpecVersion) + ")");
     }
     if (!v->is_u64()) {
       return Status::InvalidArgument(
-          "spec.version: expected a non-negative integer, got " +
+          path + ".version: expected a non-negative integer, got " +
           std::string(json::Value::KindName(v->kind())));
     }
-    spec.version = v->AsU64();
-    if (spec.version != kJobSpecVersion) {
+    read_version = v->AsU64();
+    if (read_version < kJobSpecMinVersion || read_version > kJobSpecVersion) {
       return Status::InvalidArgument(
-          "unsupported spec version " + std::to_string(spec.version) +
-          " (this build reads version " + std::to_string(kJobSpecVersion) +
-          ")");
+          "unsupported spec version " + std::to_string(read_version) +
+          " (this build reads versions " + std::to_string(kJobSpecMinVersion) +
+          ".." + std::to_string(kJobSpecVersion) + ")");
     }
+    // Older specs upgrade in memory: absent newer keys keep their
+    // defaults, and the spec re-serializes as the current version.
+    spec.version = kJobSpecVersion;
   }
 
   GSMB_RETURN_IF_ERROR(root.GetSection("dataset", [&](Section& s) {
@@ -455,6 +493,17 @@ Result<JobSpec> JobSpec::FromJson(const std::string& text,
         s.GetEnum("kind", ParsePruningName, &spec.pruning.kind));
     GSMB_RETURN_IF_ERROR(
         s.GetDouble("blast_ratio", &spec.pruning.blast_ratio));
+    if (read_version >= 2) {
+      GSMB_RETURN_IF_ERROR(s.GetDouble("validity_threshold",
+                                       &spec.pruning.validity_threshold));
+    } else if (s.Raw("validity_threshold") != nullptr) {
+      // A version-1 document using a version-2 key is a versioning bug in
+      // the producer; name the fix instead of a generic unknown-key error.
+      return Status::InvalidArgument(
+          path +
+          ".pruning.validity_threshold is a version-2 key; declare "
+          "\"version\": 2 (or run `gsmb_cli migrate`)");
+    }
     return Status::Ok();
   }));
 
@@ -487,6 +536,15 @@ Result<JobSpec> JobSpec::FromJson(const std::string& text,
 
   GSMB_RETURN_IF_ERROR(root.Finish());
   return spec;
+}
+
+}  // namespace api
+
+Result<JobSpec> JobSpec::FromJson(const std::string& text,
+                                  const JobSpec& base) {
+  Result<json::Value> parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return api::JobSpecFromJsonValue(*parsed, base, "spec");
 }
 
 Result<JobSpec> JobSpec::FromJson(const std::string& text) {
@@ -590,6 +648,11 @@ Status JobSpec::Validate() const {
   if (!(pruning.blast_ratio > 0.0)) {
     return Status::InvalidArgument("pruning.blast_ratio must be > 0");
   }
+  if (!(pruning.validity_threshold < 1.0)) {
+    return Status::InvalidArgument(
+        "pruning.validity_threshold must be < 1 (a floor of 1 discards "
+        "every pair; use <= 0 to disable the floor)");
+  }
 
   if (execution.shards < 1) {
     return Status::InvalidArgument(
@@ -617,6 +680,7 @@ bool JobSpec::operator==(const JobSpec& other) const {
          features == other.features && classifier == other.classifier &&
          pruning.kind == other.pruning.kind &&
          pruning.blast_ratio == other.pruning.blast_ratio &&
+         pruning.validity_threshold == other.pruning.validity_threshold &&
          training.labels_per_class == other.training.labels_per_class &&
          training.seed == other.training.seed &&
          execution.mode == other.execution.mode &&

@@ -1,0 +1,36 @@
+// Value-level JobSpec (de)serialization, shared inside the api layer.
+//
+// JobSpec::ToJson/FromJson work on whole documents; the sweep spec embeds a
+// JobSpec as its "base" member and the prepare cache keys on two of its
+// sections, so the object-level hooks live here instead of being re-derived
+// from text.
+
+#ifndef GSMB_API_SPEC_JSON_H_
+#define GSMB_API_SPEC_JSON_H_
+
+#include <string>
+
+#include "api/json.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/status.h"
+
+namespace gsmb::api {
+
+/// The canonical spec object ToJson() dumps (current version, every field
+/// explicit, members in schema order).
+json::Value JobSpecToJsonValue(const JobSpec& spec);
+
+/// The dataset / blocking sections alone — the two sections a preparation
+/// is a pure function of (PrepareCacheKey builds on these).
+json::Object DatasetSectionJson(const DatasetSpec& dataset);
+json::Object BlockingSectionJson(const BlockingSpec& blocking);
+
+/// Parses a spec object over `base`; diagnostics are qualified with `path`
+/// ("spec" for a top-level document, "sweep.base" when embedded).
+Result<JobSpec> JobSpecFromJsonValue(const json::Value& root,
+                                     const JobSpec& base,
+                                     const std::string& path);
+
+}  // namespace gsmb::api
+
+#endif  // GSMB_API_SPEC_JSON_H_

@@ -1,0 +1,418 @@
+#include "gsmb/sweep.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "api/backends.h"
+#include "api/json.h"
+#include "api/spec_json.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace gsmb {
+
+namespace {
+
+template <typename T>
+json::Array NamesArray(const std::vector<T>& values,
+                       std::string (*name_of)(T)) {
+  json::Array out;
+  out.reserve(values.size());
+  for (const T& value : values) out.emplace_back(name_of(value));
+  return out;
+}
+
+std::string PruningAxisName(PruningKind kind) { return PruningShortName(kind); }
+std::string ClassifierAxisName(ClassifierKind kind) {
+  return std::string(ClassifierShortName(kind));
+}
+
+/// Parses one string-valued axis array through a Parse* helper.
+template <typename T, typename ParseFn>
+Status ParseNameAxis(const json::Value& value, const char* path, ParseFn parse,
+                     std::vector<T>* out) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument(std::string(path) +
+                                   ": expected an array of strings");
+  }
+  out->clear();
+  for (const json::Value& item : value.AsArray()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument(std::string(path) +
+                                     ": expected an array of strings");
+    }
+    Result<T> parsed = parse(item.AsString());
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(std::string(path) + ": " +
+                                     parsed.status().message());
+    }
+    out->push_back(*parsed);
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status ParseCountAxis(const json::Value& value, const char* path,
+                      std::vector<T>* out) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument(
+        std::string(path) + ": expected an array of non-negative integers");
+  }
+  out->clear();
+  for (const json::Value& item : value.AsArray()) {
+    if (!item.is_u64()) {
+      return Status::InvalidArgument(
+          std::string(path) + ": expected an array of non-negative integers");
+    }
+    out->push_back(static_cast<T>(item.AsU64()));
+  }
+  return Status::Ok();
+}
+
+/// Rejects an axis with repeated values: duplicate variants would collide
+/// on labels (and retained_dir file names) while adding no information.
+template <typename T, typename KeyFn>
+Status RejectDuplicates(const std::vector<T>& values, const char* path,
+                        KeyFn key_of) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      if (key_of(values[i]) == key_of(values[j])) {
+        return Status::InvalidArgument(std::string(path) +
+                                       ": duplicate value '" +
+                                       key_of(values[i]) + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string SweepSpec::ToJson(int indent) const {
+  json::Object root;
+  root["version"] = json::Value(version);
+  root["base"] = api::JobSpecToJsonValue(base);
+
+  json::Object axes_obj;
+  if (!axes.pruning.empty()) {
+    axes_obj["pruning"] = json::Value(NamesArray(axes.pruning,
+                                                 &PruningAxisName));
+  }
+  if (!axes.features.empty()) {
+    json::Array features;
+    for (const FeatureSet& set : axes.features) {
+      features.emplace_back(FeatureSetSpecName(set));
+    }
+    axes_obj["features"] = json::Value(std::move(features));
+  }
+  if (!axes.classifiers.empty()) {
+    axes_obj["classifier"] =
+        json::Value(NamesArray(axes.classifiers, &ClassifierAxisName));
+  }
+  if (!axes.labels_per_class.empty()) {
+    json::Array labels;
+    for (size_t value : axes.labels_per_class) labels.emplace_back(value);
+    axes_obj["labels_per_class"] = json::Value(std::move(labels));
+  }
+  if (!axes.seeds.empty()) {
+    json::Array seeds;
+    for (uint64_t value : axes.seeds) seeds.emplace_back(value);
+    axes_obj["seeds"] = json::Value(std::move(seeds));
+  }
+  root["axes"] = json::Value(std::move(axes_obj));
+
+  if (!retained_dir.empty()) {
+    root["retained_dir"] = json::Value(retained_dir);
+  }
+  return json::Dump(json::Value(std::move(root)), indent);
+}
+
+Result<SweepSpec> SweepSpec::FromJson(const std::string& text) {
+  Result<json::Value> parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument(
+        "a sweep spec must be a JSON object, got " +
+        std::string(json::Value::KindName(parsed->kind())));
+  }
+
+  SweepSpec sweep;
+  const json::Object& root = parsed->AsObject();
+
+  // Version first, same contract as JobSpec.
+  const json::Value* version = root.Find("version");
+  if (version == nullptr) {
+    return Status::InvalidArgument(
+        "sweep.version is required (current version: " +
+        std::to_string(kSweepSpecVersion) + ")");
+  }
+  if (!version->is_u64()) {
+    return Status::InvalidArgument(
+        "sweep.version: expected a non-negative integer");
+  }
+  sweep.version = version->AsU64();
+  if (sweep.version != kSweepSpecVersion) {
+    return Status::InvalidArgument(
+        "unsupported sweep version " + std::to_string(sweep.version) +
+        " (this build reads version " + std::to_string(kSweepSpecVersion) +
+        ")");
+  }
+
+  for (const auto& [key, value] : root.members()) {
+    if (key == "version") continue;
+    if (key == "base") {
+      Result<JobSpec> base =
+          api::JobSpecFromJsonValue(value, JobSpec(), "sweep.base");
+      if (!base.ok()) return base.status();
+      sweep.base = *base;
+    } else if (key == "axes") {
+      if (!value.is_object()) {
+        return Status::InvalidArgument("sweep.axes: expected an object");
+      }
+      for (const auto& [axis, axis_value] : value.AsObject().members()) {
+        Status parsed_axis = Status::Ok();
+        if (axis == "pruning") {
+          parsed_axis = ParseNameAxis(axis_value, "sweep.axes.pruning",
+                                      ParsePruningName, &sweep.axes.pruning);
+        } else if (axis == "features") {
+          parsed_axis = ParseNameAxis(axis_value, "sweep.axes.features",
+                                      ParseFeatureSetName,
+                                      &sweep.axes.features);
+        } else if (axis == "classifier") {
+          parsed_axis = ParseNameAxis(axis_value, "sweep.axes.classifier",
+                                      ParseClassifierName,
+                                      &sweep.axes.classifiers);
+        } else if (axis == "labels_per_class") {
+          parsed_axis = ParseCountAxis(axis_value,
+                                       "sweep.axes.labels_per_class",
+                                       &sweep.axes.labels_per_class);
+        } else if (axis == "seeds") {
+          parsed_axis =
+              ParseCountAxis(axis_value, "sweep.axes.seeds", &sweep.axes.seeds);
+        } else {
+          return Status::InvalidArgument(
+              "unknown key '" + axis +
+              "' in sweep.axes (the spec rejects unrecognized settings "
+              "rather than ignore them)");
+        }
+        if (!parsed_axis.ok()) return parsed_axis;
+      }
+    } else if (key == "retained_dir") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("sweep.retained_dir: expected a string");
+      }
+      sweep.retained_dir = value.AsString();
+    } else {
+      return Status::InvalidArgument(
+          "unknown key '" + key +
+          "' in sweep (the spec rejects unrecognized settings rather than "
+          "ignore them)");
+    }
+  }
+  return sweep;
+}
+
+Result<SweepSpec> SweepSpec::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open sweep file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<SweepSpec> sweep = FromJson(buffer.str());
+  if (!sweep.ok()) {
+    return Status(sweep.status().code(),
+                  path + ": " + sweep.status().message());
+  }
+  return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// Validation / expansion
+// ---------------------------------------------------------------------------
+
+Status SweepSpec::Validate() const {
+  if (version != kSweepSpecVersion) {
+    return Status::InvalidArgument("unsupported sweep version " +
+                                   std::to_string(version));
+  }
+  Status base_valid = base.Validate();
+  if (!base_valid.ok()) {
+    return Status(base_valid.code(),
+                  "sweep.base: " + base_valid.message());
+  }
+  if (!base.output.retained_csv.empty()) {
+    return Status::InvalidArgument(
+        "sweep.base.output.retained_csv must be empty: one path cannot "
+        "hold a grid of results (use retained_dir for per-variant CSVs)");
+  }
+  Status unique = RejectDuplicates(axes.pruning, "sweep.axes.pruning",
+                                   [](PruningKind k) {
+                                     return PruningShortName(k);
+                                   });
+  if (!unique.ok()) return unique;
+  unique = RejectDuplicates(axes.features, "sweep.axes.features",
+                            [](const FeatureSet& s) {
+                              return FeatureSetSpecName(s);
+                            });
+  if (!unique.ok()) return unique;
+  unique = RejectDuplicates(axes.classifiers, "sweep.axes.classifier",
+                            [](ClassifierKind k) {
+                              return std::string(ClassifierShortName(k));
+                            });
+  if (!unique.ok()) return unique;
+  unique = RejectDuplicates(axes.labels_per_class,
+                            "sweep.axes.labels_per_class",
+                            [](size_t v) { return std::to_string(v); });
+  if (!unique.ok()) return unique;
+  unique = RejectDuplicates(axes.seeds, "sweep.axes.seeds",
+                            [](uint64_t v) { return std::to_string(v); });
+  if (!unique.ok()) return unique;
+  for (size_t labels : axes.labels_per_class) {
+    if (labels < 1) {
+      return Status::InvalidArgument(
+          "sweep.axes.labels_per_class values must be >= 1");
+    }
+  }
+  return Status::Ok();
+}
+
+size_t SweepSpec::GridSize() const {
+  auto dim = [](size_t n) { return n == 0 ? size_t{1} : n; };
+  return dim(axes.pruning.size()) * dim(axes.features.size()) *
+         dim(axes.classifiers.size()) * dim(axes.labels_per_class.size()) *
+         dim(axes.seeds.size());
+}
+
+std::vector<JobSpec> SweepSpec::Expand() const {
+  // An empty axis contributes the base's single value, so every loop below
+  // runs at least once and the expansion order is exactly the documented
+  // pruning -> features -> classifier -> labels -> seeds nesting.
+  const std::vector<PruningKind> prunings =
+      axes.pruning.empty() ? std::vector<PruningKind>{base.pruning.kind}
+                           : axes.pruning;
+  const std::vector<FeatureSet> features =
+      axes.features.empty() ? std::vector<FeatureSet>{base.features}
+                            : axes.features;
+  const std::vector<ClassifierKind> classifiers =
+      axes.classifiers.empty() ? std::vector<ClassifierKind>{base.classifier}
+                               : axes.classifiers;
+  const std::vector<size_t> labels =
+      axes.labels_per_class.empty()
+          ? std::vector<size_t>{base.training.labels_per_class}
+          : axes.labels_per_class;
+  const std::vector<uint64_t> seeds =
+      axes.seeds.empty() ? std::vector<uint64_t>{base.training.seed}
+                         : axes.seeds;
+
+  std::vector<JobSpec> variants;
+  variants.reserve(GridSize());
+  for (PruningKind pruning : prunings) {
+    for (const FeatureSet& feature_set : features) {
+      for (ClassifierKind classifier : classifiers) {
+        for (size_t labels_per_class : labels) {
+          for (uint64_t seed : seeds) {
+            JobSpec variant = base;
+            variant.pruning.kind = pruning;
+            variant.features = feature_set;
+            variant.classifier = classifier;
+            variant.training.labels_per_class = labels_per_class;
+            variant.training.seed = seed;
+            variants.push_back(std::move(variant));
+          }
+        }
+      }
+    }
+  }
+  return variants;
+}
+
+bool SweepSpec::operator==(const SweepSpec& other) const {
+  return version == other.version && base == other.base &&
+         axes.pruning == other.axes.pruning &&
+         axes.features == other.axes.features &&
+         axes.classifiers == other.axes.classifiers &&
+         axes.labels_per_class == other.axes.labels_per_class &&
+         axes.seeds == other.axes.seeds &&
+         retained_dir == other.retained_dir;
+}
+
+std::string SweepVariantLabel(const JobSpec& variant) {
+  std::string features = FeatureSetSpecName(variant.features);
+  // A custom feature list serializes with commas; '+' keeps the label one
+  // filesystem-safe token.
+  std::replace(features.begin(), features.end(), ',', '+');
+  return PruningShortName(variant.pruning.kind) + "_" + features + "_" +
+         ClassifierShortName(variant.classifier) + "_l" +
+         std::to_string(variant.training.labels_per_class) + "_s" +
+         std::to_string(variant.training.seed);
+}
+
+// ---------------------------------------------------------------------------
+// Engine::RunSweep
+// ---------------------------------------------------------------------------
+
+Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
+  Status valid = sweep.Validate();
+  if (!valid.ok()) return valid;
+
+  Stopwatch total_watch;
+
+  // One preparation for the whole grid: every variant shares the base's
+  // dataset+blocking sections, so every variant shares this handle.
+  const PrepareCacheStats before = prepare_cache_stats();
+  Result<PreparedHandle> prepared = Prepare(sweep.base);
+  if (!prepared.ok()) return prepared.status();
+  const PrepareCacheStats after = prepare_cache_stats();
+
+  if (!sweep.retained_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(sweep.retained_dir, ec);
+    if (ec) {
+      return Status::NotFound("cannot create sweep.retained_dir '" +
+                              sweep.retained_dir + "': " + ec.message());
+    }
+  }
+
+  std::vector<JobSpec> variants = sweep.Expand();
+  SweepResult result;
+  result.variants.resize(variants.size());
+  result.cache_hits = after.hits - before.hits;
+  result.cache_misses = after.misses - before.misses;
+  result.prepare_seconds = (*prepared)->prepare_seconds;
+
+  // Variants are independent, deterministic jobs; run them in parallel
+  // (nested-safe: each variant's own stages parallelise internally too).
+  // Results land in expansion order regardless of scheduling.
+  const size_t threads = api::ResolvedExecution(sweep.base).num_threads;
+  ParallelFor(variants.size(), threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      SweepVariant& out = result.variants[i];
+      out.spec = std::move(variants[i]);
+      out.label = SweepVariantLabel(out.spec);
+      if (!sweep.retained_dir.empty()) {
+        out.spec.output.retained_csv =
+            sweep.retained_dir + "/" + out.label + ".csv";
+      }
+      Result<JobResult> run = Execute(out.spec, **prepared);
+      if (run.ok()) {
+        out.result = std::move(*run);
+        out.status = Status::Ok();
+      } else {
+        out.status = run.status();
+      }
+    }
+  });
+
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gsmb

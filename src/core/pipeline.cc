@@ -114,20 +114,46 @@ EffectivenessMetrics EvaluateRetained(
                            num_ground_truth);
 }
 
+PreparedRef RefOf(const PreparedDataset& dataset) {
+  PreparedRef ref;
+  ref.name = &dataset.name;
+  ref.index = dataset.index.get();
+  ref.stats = &dataset.stats;
+  ref.pairs = &dataset.pairs;
+  ref.is_positive = &dataset.is_positive;
+  ref.num_ground_truth = dataset.ground_truth.size();
+  return ref;
+}
+
 MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
                                    const MetaBlockingConfig& config) {
+  return RunMetaBlocking(RefOf(dataset), config);
+}
+
+MetaBlockingResult RunMetaBlocking(const PreparedRef& prepared,
+                                   const MetaBlockingConfig& config) {
   Stopwatch watch;
-  FeatureExtractor extractor(*dataset.index, dataset.pairs);
-  Matrix features = extractor.Compute(config.features, config.execution.num_threads);
+  FeatureExtractor extractor(*prepared.index, *prepared.pairs);
+  Matrix features =
+      extractor.Compute(config.features, config.execution.num_threads);
   double feature_seconds = watch.ElapsedSeconds();
-  return RunMetaBlockingWithFeatures(dataset, config, features,
+  return RunMetaBlockingWithFeatures(prepared, config, features,
                                      feature_seconds);
 }
 
 MetaBlockingResult RunMetaBlockingWithFeatures(
     const PreparedDataset& dataset, const MetaBlockingConfig& config,
     const Matrix& features, double feature_seconds_hint) {
-  if (features.rows() != dataset.pairs.size()) {
+  return RunMetaBlockingWithFeatures(RefOf(dataset), config, features,
+                                     feature_seconds_hint);
+}
+
+MetaBlockingResult RunMetaBlockingWithFeatures(
+    const PreparedRef& prepared, const MetaBlockingConfig& config,
+    const Matrix& features, double feature_seconds_hint) {
+  const std::vector<CandidatePair>& pairs = *prepared.pairs;
+  const std::vector<uint8_t>& is_positive = *prepared.is_positive;
+  if (features.rows() != pairs.size()) {
     throw std::invalid_argument(
         "RunMetaBlockingWithFeatures: feature rows != candidate pairs");
   }
@@ -143,11 +169,11 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
   Stopwatch watch;
   Rng rng(config.seed);
   TrainingSet training =
-      SampleBalanced(dataset.is_positive, config.train_per_class, &rng);
+      SampleBalanced(is_positive, config.train_per_class, &rng);
   if (training.size() < 2) {
     throw std::runtime_error(
         "RunMetaBlocking: not enough labelled pairs to train (dataset '" +
-        dataset.name + "')");
+        *prepared.name + "')");
   }
   Matrix train_x = features.SelectRows(training.row_indices);
   std::unique_ptr<ProbabilisticClassifier> model =
@@ -166,18 +192,19 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
   // ---- Pruning. ----
   watch.Restart();
   PruningContext context =
-      PruningContext::FromIndex(*dataset.index, dataset.stats);
+      PruningContext::FromIndex(*prepared.index, *prepared.stats);
   context.blast_ratio = config.blast_ratio;
+  context.validity_threshold = config.validity_threshold;
   context.execution = config.execution;
   std::vector<uint32_t> retained =
       MakePruningAlgorithm(config.pruning)
-          ->Prune(dataset.pairs, probabilities, context);
+          ->Prune(pairs, probabilities, context);
   result.prune_seconds = watch.ElapsedSeconds();
 
   result.total_seconds = result.feature_seconds + result.train_seconds +
                          result.classify_seconds + result.prune_seconds;
-  result.metrics = EvaluateRetained(retained, dataset.is_positive,
-                                    dataset.ground_truth.size());
+  result.metrics =
+      EvaluateRetained(retained, is_positive, prepared.num_ground_truth);
   if (config.keep_probabilities) result.probabilities = std::move(probabilities);
   if (config.keep_retained) result.retained_indices = std::move(retained);
   return result;

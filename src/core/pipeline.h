@@ -102,6 +102,10 @@ struct MetaBlockingConfig {
   /// Seed for the training-pair sample (one paper repetition = one seed).
   uint64_t seed = 0;
   double blast_ratio = 0.35;
+  /// Validity floor: pairs with classifier probability below this are never
+  /// retained (the paper's 0.5; <= 0 disables it, as the unsupervised
+  /// weighting path does).
+  double validity_threshold = 0.5;
   /// Keep per-pair probabilities in the result (Figure 12 needs them).
   bool keep_probabilities = false;
   /// Keep retained pair indices in the result.
@@ -151,9 +155,29 @@ struct MetaBlockingResult {
   std::vector<uint32_t> retained_indices;
 };
 
+/// The prepare/execute split: everything the execute phase actually READS
+/// of a preparation, as a non-owning view. Callers that share one
+/// preparation across many configurations (Engine::Prepare handles, sweep
+/// harnesses) execute through this without owning a PreparedDataset —
+/// the blocks/index can live in a cached, immutable handle while the pairs
+/// and labels come from its lazily materialised batch arrays.
+struct PreparedRef {
+  const std::string* name = nullptr;
+  const EntityIndex* index = nullptr;
+  const BlockCollectionStats* stats = nullptr;
+  const std::vector<CandidatePair>* pairs = nullptr;
+  const std::vector<uint8_t>* is_positive = nullptr;
+  size_t num_ground_truth = 0;
+};
+
+/// The view of an owning preparation.
+PreparedRef RefOf(const PreparedDataset& dataset);
+
 /// Runs one configuration end to end (features computed internally and
 /// included in the timing, as the paper's RT does).
 MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
+                                   const MetaBlockingConfig& config);
+MetaBlockingResult RunMetaBlocking(const PreparedRef& prepared,
                                    const MetaBlockingConfig& config);
 
 /// Variant that reuses a precomputed feature matrix whose columns follow
@@ -162,6 +186,9 @@ MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
 /// exclude it). Used by the seed-averaging experiment harness.
 MetaBlockingResult RunMetaBlockingWithFeatures(
     const PreparedDataset& dataset, const MetaBlockingConfig& config,
+    const Matrix& features, double feature_seconds_hint = 0.0);
+MetaBlockingResult RunMetaBlockingWithFeatures(
+    const PreparedRef& prepared, const MetaBlockingConfig& config,
     const Matrix& features, double feature_seconds_hint = 0.0);
 
 }  // namespace gsmb

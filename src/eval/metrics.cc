@@ -23,11 +23,16 @@ double StdDev(const std::vector<double>& v, double mean) {
 }  // namespace
 
 void MetricsAccumulator::Add(const MetaBlockingResult& result) {
-  recalls_.push_back(result.metrics.recall);
-  precisions_.push_back(result.metrics.precision);
-  f1s_.push_back(result.metrics.f1);
-  rts_.push_back(result.total_seconds);
-  retained_.push_back(static_cast<double>(result.metrics.retained));
+  Add(result.metrics, result.total_seconds);
+}
+
+void MetricsAccumulator::Add(const EffectivenessMetrics& metrics,
+                             double total_seconds) {
+  recalls_.push_back(metrics.recall);
+  precisions_.push_back(metrics.precision);
+  f1s_.push_back(metrics.f1);
+  rts_.push_back(total_seconds);
+  retained_.push_back(static_cast<double>(metrics.retained));
 }
 
 AggregateMetrics MetricsAccumulator::Summary() const {

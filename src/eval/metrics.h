@@ -30,6 +30,9 @@ struct AggregateMetrics {
 class MetricsAccumulator {
  public:
   void Add(const MetaBlockingResult& result);
+  /// Same protocol from an (already evaluated) metrics triple + run time —
+  /// what a JobResult of the Engine/sweep API carries.
+  void Add(const EffectivenessMetrics& metrics, double total_seconds);
 
   /// Mean and (population) standard deviation over the added runs.
   AggregateMetrics Summary() const;

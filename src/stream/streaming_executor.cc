@@ -275,6 +275,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
   PruningContext context =
       PruningContext::FromIndex(index, dataset_.stats);
   context.blast_ratio = config.blast_ratio;
+  context.validity_threshold = config.validity_threshold;
   context.execution = config.execution;
 
   std::unique_ptr<PruningAggregator> aggregator =

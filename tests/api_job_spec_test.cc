@@ -96,6 +96,70 @@ TEST(JobSpecJson, PartialSpecKeepsDefaults) {
 }
 
 // ---------------------------------------------------------------------------
+// Version evolution (v1 -> v2)
+// ---------------------------------------------------------------------------
+
+TEST(JobSpecVersions, V1SpecIsReadAndUpgradedInMemory) {
+  Result<JobSpec> spec = JobSpec::FromJson(
+      R"({"version": 1, "pruning": {"kind": "cnp", "blast_ratio": 0.4}})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->version, kJobSpecVersion);
+  EXPECT_EQ(spec->pruning.kind, PruningKind::kCnp);
+  // The v2-only field keeps its default — v1 semantics are unchanged.
+  EXPECT_EQ(spec->pruning.validity_threshold, 0.5);
+  // Re-serialization is canonical current-version JSON.
+  EXPECT_NE(spec->ToJson().find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(spec->ToJson().find("\"validity_threshold\": 0.5"),
+            std::string::npos);
+}
+
+TEST(JobSpecVersions, V1AndV2EquivalentsParseEqual) {
+  Result<JobSpec> v1 = JobSpec::FromJson(
+      R"({"version": 1, "training": {"labels_per_class": 42}})");
+  Result<JobSpec> v2 = JobSpec::FromJson(
+      R"({"version": 2, "training": {"labels_per_class": 42}})");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(*v1 == *v2);
+}
+
+TEST(JobSpecVersions, V1RejectsVersion2Keys) {
+  Result<JobSpec> spec = JobSpec::FromJson(
+      R"({"version": 1, "pruning": {"validity_threshold": 0.4}})");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("version-2 key"), std::string::npos)
+      << spec.status().message();
+}
+
+TEST(JobSpecVersions, ValidityThresholdRoundTripsInV2) {
+  JobSpec spec;
+  spec.pruning.validity_threshold = 0.25;
+  Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->pruning.validity_threshold, 0.25);
+  EXPECT_TRUE(spec == *again);
+
+  // <= 0 (disabled floor) is a legal, serializable setting.
+  spec.pruning.validity_threshold = 0.0;
+  again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->pruning.validity_threshold, 0.0);
+}
+
+TEST(JobSpecVersions, ValidateRejectsImpossibleThreshold) {
+  JobSpec spec;
+  spec.dataset.e1 = "a.csv";
+  spec.dataset.ground_truth = "gt.csv";
+  spec.pruning.validity_threshold = 1.0;  // would discard every pair
+  Status status = spec.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("validity_threshold"), std::string::npos);
+
+  spec.pruning.validity_threshold = -0.5;  // disabled floor: fine
+  EXPECT_TRUE(spec.Validate().ok()) << spec.Validate().ToString();
+}
+
+// ---------------------------------------------------------------------------
 // Rejection diagnostics
 // ---------------------------------------------------------------------------
 

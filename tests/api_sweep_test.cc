@@ -1,0 +1,270 @@
+// SweepSpec serialization/expansion and Engine::RunSweep equivalence.
+//
+// The load-bearing assertion (the staged-API acceptance bar): a 2-axis
+// sweep — all 8 pruning kinds x 2 feature sets — over one dataset performs
+// exactly ONE blocking preparation (the sweep's cache counters prove it),
+// and every variant's retained pairs are bit-identical to an independent
+// Engine::Run of the corresponding single JobSpec, on the batch AND the
+// streaming backend.
+
+#include "gsmb/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+
+namespace gsmb {
+namespace {
+
+JobSpec BaseSpec() {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = 0.03;
+  spec.blocking.filter_ratio = 1.0;
+  spec.training.labels_per_class = 15;
+  spec.training.seed = 3;
+  spec.execution.shards = 1;
+  spec.output.keep_retained = true;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization / validation / expansion
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpecJson, RoundTripsEveryAxis) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.axes.pruning = {PruningKind::kBlast, PruningKind::kCnp};
+  sweep.axes.features = {FeatureSet::BlastOptimal(), FeatureSet::Paper2014()};
+  sweep.axes.classifiers = {ClassifierKind::kLogisticRegression,
+                            ClassifierKind::kLinearSvc};
+  sweep.axes.labels_per_class = {15, 250};
+  sweep.axes.seeds = {0, 1, 18446744073709551615ull};  // 2^64-1 must survive
+  sweep.retained_dir = "out";
+
+  Result<SweepSpec> again = SweepSpec::FromJson(sweep.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(sweep == *again);
+  EXPECT_EQ(again->GridSize(), 2u * 2 * 2 * 2 * 3);
+}
+
+TEST(SweepSpecJson, EmptyAxesMeanTheBaseValue) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  EXPECT_EQ(sweep.GridSize(), 1u);
+  const std::vector<JobSpec> variants = sweep.Expand();
+  ASSERT_EQ(variants.size(), 1u);
+  EXPECT_TRUE(variants[0] == sweep.base);
+
+  Result<SweepSpec> again = SweepSpec::FromJson(sweep.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(sweep == *again);
+}
+
+void ExpectSweepRejected(const std::string& text,
+                         const std::string& fragment) {
+  Result<SweepSpec> sweep = SweepSpec::FromJson(text);
+  ASSERT_FALSE(sweep.ok()) << "accepted: " << text;
+  EXPECT_NE(sweep.status().message().find(fragment), std::string::npos)
+      << "message '" << sweep.status().message() << "' lacks '" << fragment
+      << "'";
+}
+
+TEST(SweepSpecJson, RejectsMalformedDocuments) {
+  ExpectSweepRejected(R"({})", "version is required");
+  ExpectSweepRejected(R"({"version": 9})", "unsupported sweep version 9");
+  ExpectSweepRejected(R"({"version": 1, "grid": {}})", "unknown key 'grid'");
+  ExpectSweepRejected(
+      R"({"version": 1, "axes": {"prunings": []}})",
+      "unknown key 'prunings' in sweep.axes");
+  ExpectSweepRejected(
+      R"({"version": 1, "axes": {"pruning": ["blart"]}})",
+      "unknown pruning kind 'blart'");
+  ExpectSweepRejected(
+      R"({"version": 1, "axes": {"seeds": [-1]}})",
+      "sweep.axes.seeds");
+  // Base diagnostics carry the nested path.
+  ExpectSweepRejected(
+      R"({"version": 1, "base": {"version": 2, "prunning": {}}})",
+      "unknown key 'prunning' in sweep.base");
+  // The base spec is versioned like any spec document.
+  ExpectSweepRejected(R"({"version": 1, "base": {}})",
+                      "sweep.base.version is required");
+}
+
+TEST(SweepSpecValidate, RejectsCollidingOutputsAndDuplicates) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+
+  SweepSpec csv = sweep;
+  csv.base.output.retained_csv = "one.csv";
+  EXPECT_FALSE(csv.Validate().ok());
+
+  SweepSpec duplicates = sweep;
+  duplicates.axes.seeds = {1, 1};
+  Status status = duplicates.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+}
+
+TEST(SweepExpand, NestingOrderIsPruningMajorSeedsMinor) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.axes.pruning = {PruningKind::kWep, PruningKind::kCep};
+  sweep.axes.seeds = {5, 7, 9};
+
+  const std::vector<JobSpec> variants = sweep.Expand();
+  ASSERT_EQ(variants.size(), 6u);
+  EXPECT_EQ(variants[0].pruning.kind, PruningKind::kWep);
+  EXPECT_EQ(variants[0].training.seed, 5u);
+  EXPECT_EQ(variants[2].pruning.kind, PruningKind::kWep);
+  EXPECT_EQ(variants[2].training.seed, 9u);
+  EXPECT_EQ(variants[3].pruning.kind, PruningKind::kCep);
+  EXPECT_EQ(variants[3].training.seed, 5u);
+  // Unswept fields inherit the base everywhere.
+  for (const JobSpec& variant : variants) {
+    EXPECT_EQ(variant.training.labels_per_class, 15u);
+    EXPECT_TRUE(variant.features == sweep.base.features);
+  }
+}
+
+TEST(SweepVariantLabels, AreFilesystemSafeAndDistinct) {
+  JobSpec variant = BaseSpec();
+  EXPECT_EQ(SweepVariantLabel(variant), "blast_blast_logreg_l15_s3");
+  variant.features = FeatureSet{Feature::kCfIbf, Feature::kJs};
+  const std::string label = SweepVariantLabel(variant);
+  EXPECT_EQ(label.find(','), std::string::npos) << label;
+  EXPECT_EQ(label, "blast_cf-ibf+js_logreg_l15_s3");
+}
+
+// ---------------------------------------------------------------------------
+// RunSweep
+// ---------------------------------------------------------------------------
+
+/// The acceptance grid: 8 pruning kinds x 2 feature sets on one backend.
+void RunTwoAxisGrid(ExecutionMode mode) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.base.execution.mode = mode;
+  sweep.axes.pruning = AllPruningKinds();
+  sweep.axes.features = {FeatureSet::BlastOptimal(), FeatureSet::Paper2014()};
+
+  Engine engine;
+  Result<SweepResult> result = engine.RunSweep(sweep);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->variants.size(), 16u);
+
+  // Exactly ONE blocking preparation for the whole grid.
+  EXPECT_EQ(result->cache_misses, 1u);
+  EXPECT_EQ(result->cache_hits, 0u);
+  const PrepareCacheStats stats = engine.prepare_cache_stats();
+  EXPECT_EQ(stats.misses, 1u) << "a variant re-prepared blocking";
+
+  // Every variant bit-identical to an independent, cache-free Run.
+  EngineOptions uncached;
+  uncached.prepare_cache_max_entries = 0;
+  Engine independent(uncached);
+  for (const SweepVariant& variant : result->variants) {
+    ASSERT_TRUE(variant.status.ok())
+        << variant.label << ": " << variant.status.ToString();
+    ASSERT_GT(variant.result.metrics.retained, 0u) << variant.label;
+    Result<JobResult> direct = independent.Run(variant.spec);
+    ASSERT_TRUE(direct.ok())
+        << variant.label << ": " << direct.status().ToString();
+    EXPECT_EQ(variant.result.retained, direct->retained) << variant.label;
+    EXPECT_EQ(variant.result.model_coefficients, direct->model_coefficients)
+        << variant.label;
+  }
+}
+
+TEST(SweepEquivalence, TwoAxisGridBatch) {
+  RunTwoAxisGrid(ExecutionMode::kBatch);
+}
+
+TEST(SweepEquivalence, TwoAxisGridStreaming) {
+  RunTwoAxisGrid(ExecutionMode::kStreaming);
+}
+
+TEST(SweepEquivalence, ParallelVariantExecutionIsDeterministic) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.axes.seeds = {0, 1, 2, 3};
+
+  Engine serial_engine;
+  SweepSpec serial = sweep;
+  serial.base.execution.options.num_threads = 1;
+  Result<SweepResult> one = serial_engine.RunSweep(serial);
+  ASSERT_TRUE(one.ok());
+
+  Engine threaded_engine;
+  SweepSpec threaded = sweep;
+  threaded.base.execution.options.num_threads = 4;
+  Result<SweepResult> many = threaded_engine.RunSweep(threaded);
+  ASSERT_TRUE(many.ok());
+
+  ASSERT_EQ(one->variants.size(), many->variants.size());
+  for (size_t i = 0; i < one->variants.size(); ++i) {
+    ASSERT_TRUE(one->variants[i].status.ok());
+    ASSERT_TRUE(many->variants[i].status.ok());
+    EXPECT_EQ(one->variants[i].label, many->variants[i].label);
+    EXPECT_EQ(one->variants[i].result.retained,
+              many->variants[i].result.retained);
+  }
+}
+
+TEST(SweepFailures, AFailedVariantNeverAbortsItsSiblings) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.base.execution.mode = ExecutionMode::kServing;
+  // Naive Bayes has no raw-space linear form: the serving backend rejects
+  // that variant; logreg runs.
+  sweep.axes.classifiers = {ClassifierKind::kLogisticRegression,
+                            ClassifierKind::kGaussianNaiveBayes};
+
+  Engine engine;
+  Result<SweepResult> result = engine.RunSweep(sweep);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->variants.size(), 2u);
+  EXPECT_FALSE(result->all_ok());
+
+  EXPECT_TRUE(result->variants[0].status.ok())
+      << result->variants[0].status.ToString();
+  EXPECT_GT(result->variants[0].result.metrics.retained, 0u);
+
+  EXPECT_FALSE(result->variants[1].status.ok());
+  EXPECT_EQ(result->variants[1].status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SweepOutputs, RetainedDirHoldsOneCsvPerVariant) {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.axes.seeds = {0, 1};
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gsmb_sweep_retained_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  sweep.retained_dir = dir;
+
+  Engine engine;
+  Result<SweepResult> result = engine.RunSweep(sweep);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const SweepVariant& variant : result->variants) {
+    ASSERT_TRUE(variant.status.ok());
+    const std::string path = dir + "/" + variant.label + ".csv";
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    EXPECT_EQ(variant.result.retained_csv_rows,
+              variant.result.metrics.retained);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -16,6 +16,20 @@
 //       versioned JSON spec to stdout (re-runnable via `run --config`),
 //       plus validation and per-backend support diagnostics to stderr.
 //
+//   gsmb sweep --config sweep.json [flags]
+//       Runs a parameter sweep (gsmb/sweep.h): expands the grid, prepares
+//       the shared dataset+blocking ONCE, executes every variant in
+//       parallel against the cached PreparedInputs. `--csv`/`--json` write
+//       machine-readable per-variant results; `--retained-dir` writes one
+//       retained CSV per variant. Dataset/pipeline flags merge over the
+//       sweep file's base spec, exactly as `run` flags merge over a job
+//       spec.
+//
+//   gsmb migrate spec.json [more.json ...]
+//       Upgrades version-1 spec files to the current version in place
+//       (canonical re-serialization; a migrated spec runs byte-identical
+//       to its version-1 flag-equivalent).
+//
 //   gsmb serve [--config job.json] [flags] | gsmb serve --snapshot-in S
 //       Opens a LIVE serving session from the spec (Engine::OpenSession)
 //       or restores a snapshot, then drives it with commands from stdin
@@ -47,6 +61,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -54,14 +69,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/json.h"
 #include "cli_parse.h"
 #include "datasets/io.h"
 #include "gsmb/engine.h"
 #include "gsmb/job_spec.h"
 #include "gsmb/status.h"
+#include "gsmb/sweep.h"
 #include "serve/session.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
+#include "util/table_printer.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -79,7 +97,12 @@ void PrintUsage(std::FILE* stream) {
       "            [--threads 1] [--out retained.csv]\n"
       "            [--mode batch|streaming|serving|auto]\n"
       "            [--streaming [--shards 16]] [--memory-budget-mb M]\n"
-      "   or: gsmb explain [--config job.json] [flags as for run]\n"
+      "   or: gsmb explain [--config job.json] [--format text|json]\n"
+      "            [flags as for run]\n"
+      "   or: gsmb sweep --config sweep.json [--csv results.csv]\n"
+      "            [--json results.json] [--retained-dir DIR]\n"
+      "            [flags as for run, applied to the sweep's base spec]\n"
+      "   or: gsmb migrate spec.json [more.json ...]\n"
       "   or: gsmb serve [--config job.json] --data a.csv --gt matches.csv\n"
       "            [--shards 16] [--threads 1] [--max-block-size 200]\n"
       "            [--pruning blast] [--classifier logreg]\n"
@@ -168,6 +191,12 @@ Status ParseRunFlags(cli::ArgStream& args, JobSpec* spec,
       if (!parsed.ok()) return parsed.status();
       (flag == "--purge-fraction" ? spec->blocking.purge_size_fraction
                                   : spec->blocking.filter_ratio) = *parsed;
+    } else if (flag == "--validity-threshold") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return value.status();
+      Result<double> parsed = cli::ParseDouble(flag, *value);
+      if (!parsed.ok()) return parsed.status();
+      spec->pruning.validity_threshold = *parsed;
     } else if (flag == "--mode") {
       Result<std::string> value = args.Value(flag);
       if (!value.ok()) return value.status();
@@ -313,21 +342,91 @@ int RunMain(int argc, char** argv, int begin) {
 // explain
 // ---------------------------------------------------------------------------
 
+/// Machine-readable explain document: the canonical spec plus the exact
+/// validation / Supports() diagnostics the text mode prints to stderr, so
+/// CI and the sweep planner can assert backend eligibility without parsing
+/// human-shaped text.
+int ExplainJson(const JobSpec& spec) {
+  json::Object doc;
+  // ToJson() is canonical by construction; re-parse it rather than
+  // duplicating the schema here.
+  Result<json::Value> spec_value = json::Parse(spec.ToJson());
+  if (!spec_value.ok()) {
+    return Fail(Status::Internal("explain: canonical spec does not re-parse: " +
+                                 spec_value.status().message()));
+  }
+  doc["spec"] = std::move(*spec_value);
+
+  const Status valid = spec.Validate();
+  doc["valid"] = json::Value(valid.ok());
+  if (!valid.ok()) {
+    doc["validation_error"] = json::Value(valid.message());
+  }
+  doc["execution_mode"] = json::Value(ExecutionModeName(spec.execution.mode));
+
+  json::Array backends;
+  if (valid.ok()) {
+    Engine engine;
+    for (const std::string& name : engine.BackendNames()) {
+      Status supports = engine.FindBackend(name)->Supports(spec);
+      json::Object backend;
+      backend["name"] = json::Value(name);
+      backend["supported"] = json::Value(supports.ok());
+      if (!supports.ok()) {
+        backend["diagnostic"] = json::Value(supports.message());
+      }
+      backends.emplace_back(std::move(backend));
+    }
+  }
+  doc["backends"] = json::Value(std::move(backends));
+
+  std::printf("%s\n", json::Dump(json::Value(std::move(doc))).c_str());
+  return valid.ok() ? 0 : 2;
+}
+
 int ExplainMain(int argc, char** argv, int begin) {
   if (WantsHelp(argc, argv, begin)) {
     PrintUsage(stdout);
     return 0;
   }
+
+  // --format is explain-only; peel it off before the shared run-flag
+  // parser (which would reject it as unknown).
+  std::vector<std::string> raw;
+  std::string format = "text";
+  for (int i = begin; i < argc; ++i) raw.emplace_back(argv[i]);
+  for (size_t i = 0; i < raw.size();) {
+    if (raw[i] == "--format") {
+      if (i + 1 >= raw.size()) {
+        return UsageError("--format needs a value (text or json)");
+      }
+      format = raw[i + 1];
+      if (format != "text" && format != "json") {
+        return UsageError("--format: expected text or json, got '" + format +
+                          "'");
+      }
+      raw.erase(raw.begin() + i, raw.begin() + i + 2);
+    } else {
+      ++i;
+    }
+  }
+
   RunFlagState state;
-  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state);
-  if (!spec.ok()) return Fail(spec.status(), /*with_usage=*/true);
+  JobSpec parsed_spec;
+  Result<std::vector<std::string>> rest = cli::ExtractConfig(raw, &parsed_spec);
+  if (!rest.ok()) return Fail(rest.status(), /*with_usage=*/true);
+  cli::ArgStream args(std::move(*rest));
+  Status flags = ParseRunFlags(args, &parsed_spec, &state);
+  if (!flags.ok()) return Fail(flags, /*with_usage=*/true);
+
+  if (format == "json") return ExplainJson(parsed_spec);
 
   // The canonical spec goes to stdout — and nothing else, so
   //   gsmb explain ... > job.json && gsmb run --config job.json
   // replays the exact job. Diagnostics go to stderr.
-  std::printf("%s\n", spec->ToJson().c_str());
+  std::printf("%s\n", parsed_spec.ToJson().c_str());
 
-  Status valid = spec->Validate();
+  Status valid = parsed_spec.Validate();
   if (!valid.ok()) {
     std::fprintf(stderr, "spec does not validate: %s\n",
                  valid.message().c_str());
@@ -335,11 +434,266 @@ int ExplainMain(int argc, char** argv, int begin) {
   }
   Engine engine;
   std::fprintf(stderr, "spec is valid; execution.mode = %s\n",
-               ExecutionModeName(spec->execution.mode));
+               ExecutionModeName(parsed_spec.execution.mode));
   for (const std::string& name : engine.BackendNames()) {
-    Status supports = engine.FindBackend(name)->Supports(*spec);
+    Status supports = engine.FindBackend(name)->Supports(parsed_spec);
     std::fprintf(stderr, "  backend %-9s %s\n", name.c_str(),
                  supports.ok() ? "supported" : supports.message().c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// sweep
+// ---------------------------------------------------------------------------
+
+/// One results row per variant, machine-readable. `status` is "ok" or the
+/// variant's diagnostic.
+std::vector<CsvRow> SweepCsvRows(const SweepResult& result) {
+  std::vector<CsvRow> rows;
+  rows.reserve(result.variants.size() + 1);
+  rows.push_back({"label", "pruning", "features", "classifier",
+                  "labels_per_class", "seed", "backend", "retained", "recall",
+                  "precision", "f1", "total_seconds", "status"});
+  char buffer[32];
+  auto fixed = [&buffer](double v) {
+    std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+    return std::string(buffer);
+  };
+  for (const SweepVariant& v : result.variants) {
+    const bool ok = v.status.ok();
+    rows.push_back({v.label, PruningShortName(v.spec.pruning.kind),
+                    FeatureSetSpecName(v.spec.features),
+                    ClassifierShortName(v.spec.classifier),
+                    std::to_string(v.spec.training.labels_per_class),
+                    std::to_string(v.spec.training.seed),
+                    ok ? v.result.backend : "",
+                    ok ? std::to_string(v.result.metrics.retained) : "",
+                    ok ? fixed(v.result.metrics.recall) : "",
+                    ok ? fixed(v.result.metrics.precision) : "",
+                    ok ? fixed(v.result.metrics.f1) : "",
+                    ok ? fixed(v.result.total_seconds) : "",
+                    ok ? "ok" : v.status.message()});
+  }
+  return rows;
+}
+
+Status WriteSweepJson(const std::string& path, const SweepSpec& sweep,
+                      const SweepResult& result) {
+  json::Object doc;
+  json::Object cache;
+  cache["hits"] = json::Value(result.cache_hits);
+  cache["misses"] = json::Value(result.cache_misses);
+  doc["cache"] = json::Value(std::move(cache));
+  doc["prepare_seconds"] = json::Value(result.prepare_seconds);
+  doc["total_seconds"] = json::Value(result.total_seconds);
+  doc["grid_size"] = json::Value(sweep.GridSize());
+
+  json::Array variants;
+  for (const SweepVariant& v : result.variants) {
+    json::Object row;
+    row["label"] = json::Value(v.label);
+    row["pruning"] = json::Value(PruningShortName(v.spec.pruning.kind));
+    row["features"] = json::Value(FeatureSetSpecName(v.spec.features));
+    row["classifier"] = json::Value(ClassifierShortName(v.spec.classifier));
+    row["labels_per_class"] =
+        json::Value(v.spec.training.labels_per_class);
+    row["seed"] = json::Value(v.spec.training.seed);
+    if (v.status.ok()) {
+      row["backend"] = json::Value(v.result.backend);
+      row["retained"] = json::Value(v.result.metrics.retained);
+      row["recall"] = json::Value(v.result.metrics.recall);
+      row["precision"] = json::Value(v.result.metrics.precision);
+      row["f1"] = json::Value(v.result.metrics.f1);
+      row["total_seconds"] = json::Value(v.result.total_seconds);
+    } else {
+      row["error"] = json::Value(v.status.ToString());
+    }
+    variants.emplace_back(std::move(row));
+  }
+  doc["variants"] = json::Value(std::move(variants));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound("cannot write --json file: " + path);
+  }
+  out << json::Dump(json::Value(std::move(doc))) << "\n";
+  out.close();
+  if (!out) {
+    return Status::Internal("error writing --json file: " + path);
+  }
+  return Status::Ok();
+}
+
+int SweepMain(int argc, char** argv, int begin) {
+  if (WantsHelp(argc, argv, begin)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+
+  // Peel off the sweep-only flags; the rest merge over the base spec.
+  std::vector<std::string> raw;
+  for (int i = begin; i < argc; ++i) raw.emplace_back(argv[i]);
+  std::string config_path, csv_path, json_path, retained_dir;
+  auto take_value = [&raw](size_t i, const char* flag,
+                           std::string* out) -> Result<size_t> {
+    if (i + 1 >= raw.size()) {
+      return Status::InvalidArgument(std::string(flag) + " needs a value");
+    }
+    *out = raw[i + 1];
+    return i;  // caller erases [i, i+2)
+  };
+  for (size_t i = 0; i < raw.size();) {
+    std::string* target = nullptr;
+    if (raw[i] == "--config") target = &config_path;
+    else if (raw[i] == "--csv") target = &csv_path;
+    else if (raw[i] == "--json") target = &json_path;
+    else if (raw[i] == "--retained-dir") target = &retained_dir;
+    if (target == nullptr) {
+      ++i;
+      continue;
+    }
+    Result<size_t> taken = take_value(i, raw[i].c_str(), target);
+    if (!taken.ok()) return Fail(taken.status(), /*with_usage=*/true);
+    raw.erase(raw.begin() + i, raw.begin() + i + 2);
+  }
+  if (config_path.empty()) {
+    return UsageError("sweep needs --config sweep.json (the grid lives in "
+                      "the sweep spec, not in flags)");
+  }
+
+  Result<SweepSpec> sweep = SweepSpec::FromFile(config_path);
+  if (!sweep.ok()) return Fail(sweep.status(), /*with_usage=*/true);
+  if (!retained_dir.empty()) sweep->retained_dir = retained_dir;
+
+  // Remaining flags (dataset paths, --threads, ...) merge over the base
+  // spec, exactly like `run` flags merge over a job spec file.
+  RunFlagState state;
+  cli::ArgStream args(std::move(raw));
+  Status flags = ParseRunFlags(args, &sweep->base, &state);
+  if (!flags.ok()) return Fail(flags, /*with_usage=*/true);
+
+  Status valid = sweep->Validate();
+  if (!valid.ok()) return Fail(valid, /*with_usage=*/true);
+
+  Engine engine;
+  Result<SweepResult> result = engine.RunSweep(*sweep);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf(
+      "prepared blocking once in %.1f ms (cache: %zu miss%s, %zu hit%s); "
+      "%zu variant%s in %.1f ms\n",
+      result->prepare_seconds * 1e3, result->cache_misses,
+      result->cache_misses == 1 ? "" : "es", result->cache_hits,
+      result->cache_hits == 1 ? "" : "s", result->variants.size(),
+      result->variants.size() == 1 ? "" : "s", result->total_seconds * 1e3);
+
+  TablePrinter table({"variant", "backend", "retained", "recall", "precision",
+                      "F1", "RT ms"});
+  size_t failures = 0;
+  for (const SweepVariant& v : result->variants) {
+    if (!v.status.ok()) {
+      ++failures;
+      table.AddRow({v.label, "FAILED: " + v.status.message(), "", "", "", "",
+                    ""});
+      continue;
+    }
+    table.AddRow({v.label, v.result.backend,
+                  std::to_string(v.result.metrics.retained),
+                  TablePrinter::Fixed(v.result.metrics.recall, 4),
+                  TablePrinter::Fixed(v.result.metrics.precision, 4),
+                  TablePrinter::Fixed(v.result.metrics.f1, 4),
+                  TablePrinter::Fixed(v.result.total_seconds * 1e3, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Result files come after the sweep ran; a bad output path must still
+  // report cleanly (exit 1), never abort a finished sweep.
+  if (!csv_path.empty()) {
+    try {
+      WriteCsvFile(csv_path, SweepCsvRows(*result));
+    } catch (const std::exception& e) {
+      return Fail(Status::NotFound(std::string("--csv: ") + e.what()));
+    }
+    std::printf("wrote %zu result rows to %s\n", result->variants.size(),
+                csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    Status written = WriteSweepJson(json_path, *sweep, *result);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote sweep JSON to %s\n", json_path.c_str());
+  }
+  if (!sweep->retained_dir.empty()) {
+    std::printf("retained CSVs under %s/\n", sweep->retained_dir.c_str());
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "error: %zu of %zu variants failed\n", failures,
+                 result->variants.size());
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// migrate
+// ---------------------------------------------------------------------------
+
+int MigrateMain(int argc, char** argv, int begin) {
+  if (WantsHelp(argc, argv, begin) || begin >= argc) {
+    if (begin >= argc) {
+      return UsageError("migrate needs at least one spec file");
+    }
+    PrintUsage(stdout);
+    return 0;
+  }
+  for (int i = begin; i < argc; ++i) {
+    const std::string path = argv[i];
+    if (path.rfind("--", 0) == 0) {
+      return UsageError("unknown migrate flag " + path);
+    }
+
+    // Read the on-disk version first so the report can say what changed;
+    // FromFile then applies the full versioned schema (a version-1 file
+    // must not use version-2 keys, unknown keys still reject, ...).
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Fail(Status::NotFound("cannot open spec file: " + path));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    uint64_t old_version = 0;
+    {
+      Result<json::Value> parsed = json::Parse(buffer.str());
+      if (parsed.ok() && parsed->is_object()) {
+        const json::Value* v = parsed->AsObject().Find("version");
+        if (v != nullptr && v->is_u64()) old_version = v->AsU64();
+      }
+    }
+
+    Result<JobSpec> spec = JobSpec::FromJson(buffer.str());
+    if (!spec.ok()) {
+      return Fail(Status(spec.status().code(),
+                         path + ": " + spec.status().message()));
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(Status::NotFound("cannot rewrite spec file: " + path));
+    }
+    out << spec->ToJson() << "\n";
+    out.close();
+    if (!out) {
+      return Fail(Status::Internal("error writing spec file: " + path));
+    }
+    if (old_version == kJobSpecVersion) {
+      std::printf("%s: already version %llu (rewritten canonically)\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(kJobSpecVersion));
+    } else {
+      std::printf("%s: migrated version %llu -> %llu\n", path.c_str(),
+                  static_cast<unsigned long long>(old_version),
+                  static_cast<unsigned long long>(kJobSpecVersion));
+    }
   }
   return 0;
 }
@@ -669,6 +1023,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
     return ExplainMain(argc, argv, 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return SweepMain(argc, argv, 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "migrate") == 0) {
+    return MigrateMain(argc, argv, 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "run") == 0) {
     return RunMain(argc, argv, 2);
