@@ -418,17 +418,19 @@ void AppendNumber(const Value& value, std::string* out) {
 }
 
 void DumpTo(const Value& value, int indent, int depth, std::string* out) {
-  const std::string newline_pad =
-      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) *
-                                          static_cast<size_t>(depth + 1),
-                                      ' ')
-                 : "";
-  const std::string closing_pad =
-      indent > 0
-          ? "\n" + std::string(
-                       static_cast<size_t>(indent) * static_cast<size_t>(depth),
-                       ' ')
-          : "";
+  // Built with append rather than operator+ — equivalent, but the chained
+  // temporary trips GCC 12's -Wrestrict false positive (PR 105329) when
+  // inlined, and the tree builds with -Werror.
+  std::string newline_pad;
+  std::string closing_pad;
+  if (indent > 0) {
+    newline_pad.push_back('\n');
+    newline_pad.append(
+        static_cast<size_t>(indent) * static_cast<size_t>(depth + 1), ' ');
+    closing_pad.push_back('\n');
+    closing_pad.append(
+        static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+  }
   switch (value.kind()) {
     case Value::Kind::kNull:
       out->append("null");

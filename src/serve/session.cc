@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -65,7 +67,7 @@ std::vector<std::string> MetaBlockingSession::TokensOf(
   return tokens;
 }
 
-EntityId MetaBlockingSession::AddProfile(const EntityProfile& profile) {
+EntityId MetaBlockingSession::AddProfileLocked(const EntityProfile& profile) {
   const EntityId id = profiles_.Add(profile);
   for (std::string& token : TokensOf(profile)) {
     Shard& shard = shards_[ShardOf(token)];
@@ -75,12 +77,25 @@ EntityId MetaBlockingSession::AddProfile(const EntityProfile& profile) {
   return id;
 }
 
+EntityId MetaBlockingSession::AddProfile(const EntityProfile& profile) {
+  std::unique_lock<std::shared_mutex> lock(sync_->mutex);
+  return AddProfileLocked(profile);
+}
+
 std::vector<EntityId> MetaBlockingSession::AddProfiles(
     const std::vector<EntityProfile>& batch) {
+  std::unique_lock<std::shared_mutex> lock(sync_->mutex);
   std::vector<EntityId> ids;
   ids.reserve(batch.size());
-  for (const EntityProfile& profile : batch) ids.push_back(AddProfile(profile));
+  for (const EntityProfile& profile : batch) {
+    ids.push_back(AddProfileLocked(profile));
+  }
   return ids;
+}
+
+void MetaBlockingSession::set_num_threads(size_t num_threads) {
+  std::unique_lock<std::shared_mutex> lock(sync_->mutex);
+  options_.execution.num_threads = num_threads;
 }
 
 void MetaBlockingSession::RefreshShard(Shard* shard) const {
@@ -195,6 +210,10 @@ void MetaBlockingSession::RefreshShard(Shard* shard) const {
 }
 
 size_t MetaBlockingSession::Refresh() {
+  // Exclusive: the per-shard pipelines below mutate the shard caches. The
+  // ParallelFor workers write on behalf of this lock holder; readers
+  // observe the writes through the release/acquire pair of this mutex.
+  std::unique_lock<std::shared_mutex> lock(sync_->mutex);
   std::vector<size_t> dirty;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shards_[s].dirty) dirty.push_back(s);
@@ -206,11 +225,13 @@ size_t MetaBlockingSession::Refresh() {
                 }
               });
   for (size_t s : dirty) shards_[s].dirty = false;
-  if (!dirty.empty()) retained_count_.reset();
+  if (!dirty.empty()) {
+    sync_->retained_count.store(kRetainedCountUnknown, std::memory_order_relaxed);
+  }
   return dirty.size();
 }
 
-std::vector<CandidatePair> MetaBlockingSession::RetainedPairs() const {
+std::vector<CandidatePair> MetaBlockingSession::RetainedPairsLocked() const {
   std::vector<CandidatePair> out;
   size_t total = 0;
   for (const Shard& shard : shards_) total += shard.retained.size();
@@ -222,27 +243,38 @@ std::vector<CandidatePair> MetaBlockingSession::RetainedPairs() const {
   // appears once: the session's answer is the union.
   std::sort(out.begin(), out.end(), PairLess);
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  retained_count_ = out.size();
+  // Concurrent shared-lock readers may race to memoise; they computed the
+  // same value from the same shard state, so either store is correct.
+  sync_->retained_count.store(out.size(), std::memory_order_relaxed);
   return out;
 }
 
+std::vector<CandidatePair> MetaBlockingSession::RetainedPairs() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->mutex);
+  return RetainedPairsLocked();
+}
+
 size_t MetaBlockingSession::DirtyShardCount() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->mutex);
   size_t count = 0;
   for (const Shard& shard : shards_) count += shard.dirty ? 1 : 0;
   return count;
 }
 
 SessionStats MetaBlockingSession::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->mutex);
   SessionStats stats;
   stats.num_profiles = profiles_.size();
   stats.num_shards = shards_.size();
-  stats.dirty_shards = DirtyShardCount();
   for (const Shard& shard : shards_) {
+    stats.dirty_shards += shard.dirty ? 1 : 0;
     stats.num_blocks += shard.num_blocks;
     stats.num_candidates += shard.num_candidates;
   }
-  stats.num_retained =
-      retained_count_.has_value() ? *retained_count_ : RetainedPairs().size();
+  const size_t memoised = sync_->retained_count.load(std::memory_order_relaxed);
+  stats.num_retained = memoised != kRetainedCountUnknown
+                           ? memoised
+                           : RetainedPairsLocked().size();
   return stats;
 }
 
@@ -418,6 +450,7 @@ void MetaBlockingSession::QueryShard(
 std::vector<QueryMatch> MetaBlockingSession::QueryCandidates(
     const EntityProfile& probe, size_t max_results,
     std::optional<EntityId> exclude) const {
+  std::shared_lock<std::shared_mutex> lock(sync_->mutex);
   // Group the probe's tokens by owning shard; std::map keeps the shard
   // visit order deterministic.
   std::map<size_t, std::vector<std::string>> by_shard;

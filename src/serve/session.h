@@ -25,6 +25,15 @@
 //   Save()/Load()        Binary snapshot of the full session (options,
 //                        model, profiles, per-shard caches) for restarts.
 //
+// Thread safety. The session is internally synchronized: AddProfiles /
+// Refresh take an exclusive lock, QueryCandidates / RetainedPairs / Stats /
+// Save take a shared one, so any interleaving of ingest, refresh and query
+// from concurrent threads is race-free and equivalent to SOME serial order
+// (each call is atomic; the bit-identical-to-cold-rebuild guarantee then
+// applies to whatever serial order the locks produced). The accessors that
+// return references into the session (profiles(), model(), options()) are
+// the exception: they are only safe while no concurrent writer exists.
+//
 // Sharding semantics. Every blocking key (token) lives in exactly one
 // shard, so the shards partition the block collection; the session's
 // retained set is the sorted union of the per-shard retained sets. Within
@@ -38,9 +47,12 @@
 #ifndef GSMB_SERVE_SESSION_H_
 #define GSMB_SERVE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -147,9 +159,7 @@ class MetaBlockingSession {
   const SessionOptions& options() const { return options_; }
   /// Worker threads for Refresh(); purely an execution knob (results are
   /// identical for any value), so a restored snapshot may override it.
-  void set_num_threads(size_t num_threads) {
-    options_.execution.num_threads = num_threads;
-  }
+  void set_num_threads(size_t num_threads);
   const ServingModel& model() const { return model_; }
   /// The resident collection; QueryMatch::id indexes it.
   const EntityCollection& profiles() const { return profiles_; }
@@ -190,6 +200,10 @@ class MetaBlockingSession {
 
   size_t ShardOf(const std::string& token) const;
   std::vector<std::string> TokensOf(const EntityProfile& profile) const;
+  /// AddProfile body; the caller holds `mutex_` exclusively.
+  EntityId AddProfileLocked(const EntityProfile& profile);
+  /// RetainedPairs body; the caller holds `mutex_` (shared suffices).
+  std::vector<CandidatePair> RetainedPairsLocked() const;
   /// Recomputes one shard's caches from its key table (pure; thread-safe
   /// across distinct shards).
   void RefreshShard(Shard* shard) const;
@@ -199,12 +213,27 @@ class MetaBlockingSession {
                   std::optional<EntityId> exclude,
                   std::unordered_map<EntityId, double>* best) const;
 
+  /// kRetainedCountUnknown in `retained_count` means "not memoised yet".
+  static constexpr size_t kRetainedCountUnknown = ~size_t{0};
+
+  /// The synchronization state, held behind a unique_ptr so the session
+  /// stays movable (std::shared_mutex is neither movable nor copyable;
+  /// moves happen only in single-threaded hand-off contexts — Load()
+  /// returns, Result<MetaBlockingSession> — where no lock is held).
+  struct Sync {
+    /// Writers (AddProfiles, Refresh, set_num_threads) take this
+    /// exclusively; readers (queries, retained pairs, stats, Save) share it.
+    mutable std::shared_mutex mutex;
+    /// |RetainedPairs()| memoised across Stats() calls; reset by Refresh().
+    /// Atomic so concurrent shared-lock readers may both memoise it.
+    std::atomic<size_t> retained_count{kRetainedCountUnknown};
+  };
+
+  std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
   SessionOptions options_;
   ServingModel model_;
   EntityCollection profiles_;
   std::vector<Shard> shards_;
-  /// |RetainedPairs()| memoised across Stats() calls; reset by Refresh().
-  mutable std::optional<size_t> retained_count_;
 };
 
 }  // namespace gsmb

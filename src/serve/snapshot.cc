@@ -16,10 +16,14 @@
 // profiles instead — smaller snapshots and one fewer format detail that
 // could drift from the ingest path.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "serve/session.h"
 
@@ -107,6 +111,9 @@ class SnapshotReader {
 }  // namespace
 
 void MetaBlockingSession::Save(const std::string& path) const {
+  // A reader lock: Save is a consistent point-in-time snapshot even while
+  // concurrent queries run; writers (ingest/refresh) wait.
+  std::shared_lock<std::shared_mutex> lock(sync_->mutex);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw std::runtime_error("session snapshot: cannot open " + path +
@@ -150,7 +157,15 @@ void MetaBlockingSession::Save(const std::string& path) const {
       PutU32(out, p.right);
     }
     PutU64(out, shard.aggregates.size());
-    for (const auto& [id, agg] : shard.aggregates) {
+    // In ascending id order, NOT hash-table order: two sessions with the
+    // same logical state must serialise to the same bytes, and unordered
+    // iteration order depends on insertion history and hash seed.
+    std::vector<EntityId> ids;
+    ids.reserve(shard.aggregates.size());
+    for (const auto& [id, agg] : shard.aggregates) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const EntityId id : ids) {
+      const EntityAggregates& agg = shard.aggregates.at(id);
       PutU32(out, id);
       PutU32(out, agg.num_blocks);
       PutF64(out, agg.comparisons);

@@ -164,10 +164,13 @@ TEST(PrepareCache, DisabledCacheStillPrepares) {
 }
 
 TEST(PrepareCache, CrossThreadRaceSharesOneBuild) {
+  // Run under the `tsan` preset as well as plain builds: the racing
+  // threads exercise the cache's shared_future slot hand-off, and TSan
+  // checks the happens-before edges the assertions below rely on.
   Engine engine;
   const JobSpec spec = SmallSpec();
 
-  constexpr size_t kThreads = 4;
+  constexpr size_t kThreads = 8;
   std::vector<const PreparedInputs*> handles(kThreads, nullptr);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -156,10 +157,12 @@ TEST(SuffixBlocking, CapsBlockSize) {
   EntityCollection c1;
   EntityCollection c2;
   for (int i = 0; i < 10; ++i) {
-    EntityProfile p("a" + std::to_string(i));
+    // std::string{} + avoids the operator+(const char*, string&&) overload,
+    // which trips a GCC 12 -Wrestrict false positive at -O3 (GCC PR105651).
+    EntityProfile p(std::string{"a"} + std::to_string(i));
     p.AddAttribute("t", "common");
     c1.Add(std::move(p));
-    EntityProfile q("b" + std::to_string(i));
+    EntityProfile q(std::string{"b"} + std::to_string(i));
     q.AddAttribute("t", "common");
     c2.Add(std::move(q));
   }
@@ -215,9 +218,11 @@ EntityCollection NoisyProfiles(const char* prefix, size_t count,
   EntityCollection collection;
   for (size_t i = 0; i < count; ++i) {
     EntityProfile p(prefix + std::to_string(i));
-    p.AddAttribute("name", "entity shard" + std::to_string((i * salt) % 97) +
-                               " token" + std::to_string(i % 13));
-    p.AddAttribute("desc", "common word" + std::to_string((i + salt) % 29));
+    p.AddAttribute("name", std::string{"entity shard"} +
+                               std::to_string((i * salt) % 97) + " token" +
+                               std::to_string(i % 13));
+    p.AddAttribute("desc", std::string{"common word"} +
+                               std::to_string((i + salt) % 29));
     collection.Add(std::move(p));
   }
   return collection;

@@ -1,3 +1,5 @@
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "blocking/block_filtering.h"
@@ -74,7 +76,7 @@ TEST(BlockPurging, ComparisonBudgetKeepsUniformBlocks) {
   BlockCollection bc(/*clean_clean=*/false, 10, 0);
   for (int i = 0; i < 4; ++i) {
     Block b;
-    b.key = "k" + std::to_string(i);
+    b.key = std::string{"k"} + std::to_string(i);  // GCC PR105651 (-Wrestrict)
     b.left = {static_cast<EntityId>(2 * i), static_cast<EntityId>(2 * i + 1)};
     bc.Add(b);
   }
@@ -87,7 +89,9 @@ TEST(BlockFiltering, RemovesEntityFromLargestBlocks) {
   BlockCollection bc(/*clean_clean=*/false, 12, 0);
   for (size_t s = 0; s < 5; ++s) {
     Block b;
-    b.key = "b" + std::to_string(s);
+    // std::string{} + avoids the operator+(const char*, string&&) overload,
+    // which trips a GCC 12 -Wrestrict false positive at -O3 (GCC PR105651).
+    b.key = std::string{"b"} + std::to_string(s);
     b.left.push_back(0);
     for (size_t m = 0; m < s + 1; ++m) {
       b.left.push_back(static_cast<EntityId>(1 + s + m));

@@ -1,6 +1,7 @@
 #include "blocking/candidate_pairs.h"
 
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -66,7 +67,7 @@ TEST(CandidatePairs, RedundantComparisonsDeduplicated) {
   BlockCollection bc(/*clean_clean=*/true, 1, 1);
   for (int i = 0; i < 2; ++i) {
     Block b;
-    b.key = "k" + std::to_string(i);
+    b.key = std::string{"k"} + std::to_string(i);  // GCC PR105651 (-Wrestrict)
     b.left = {0};
     b.right = {0};
     bc.Add(b);

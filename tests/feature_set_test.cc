@@ -49,7 +49,9 @@ TEST(FeatureSet, EnumerationOrderedBySizeThenMask) {
     const size_t prev = all[i - 1].CountFeatures();
     const size_t cur = all[i].CountFeatures();
     EXPECT_LE(prev, cur);
-    if (prev == cur) EXPECT_LT(all[i - 1].mask(), all[i].mask());
+    if (prev == cur) {
+      EXPECT_LT(all[i - 1].mask(), all[i].mask());
+    }
   }
   // Singletons first, full set last.
   EXPECT_EQ(all.front().CountFeatures(), 1u);

@@ -308,7 +308,9 @@ TEST(ServeSession, QueryIsDeterministicAndBounded) {
     EXPECT_EQ(first[i].id, second[i].id);
     EXPECT_EQ(first[i].probability, second[i].probability);
     EXPECT_GE(first[i].probability, session.options().validity_threshold);
-    if (i > 0) EXPECT_GE(first[i - 1].probability, first[i].probability);
+    if (i > 0) {
+      EXPECT_GE(first[i - 1].probability, first[i].probability);
+    }
   }
 }
 

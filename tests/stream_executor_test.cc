@@ -196,7 +196,9 @@ TEST(StreamExecutorTest, SinkReceivesRetainedAscendingWithPairs) {
     StreamingResult stream = StreamingExecutor(twin, options).Run(
         config, [&](uint32_t index, const CandidatePair& pair,
                     double probability) {
-          if (!seen.empty()) EXPECT_LT(seen.back(), index);
+          if (!seen.empty()) {
+            EXPECT_LT(seen.back(), index);
+          }
           seen.push_back(index);
           EXPECT_EQ(prep.pairs[index], pair);
           EXPECT_GE(probability, 0.5);  // default validity threshold

@@ -296,11 +296,15 @@ void PrintJobResult(const JobSpec& spec, const JobResult& result) {
                              : HardwareThreads();
   std::string shape = std::to_string(threads) + " threads";
   if (result.backend == "streaming") {
-    shape += ", streaming: " + std::to_string(result.shards_used) +
+    // std::string{} + avoids the operator+(const char*, string&&) overload,
+    // which trips a GCC 12 -Wrestrict false positive at -O3 (GCC PR105651).
+    shape += std::string{", streaming: "} + std::to_string(result.shards_used) +
              " shards, " + std::to_string(result.sweeps) +
              (result.sweeps == 1 ? " sweep" : " sweeps");
   } else if (result.backend == "serving") {
-    shape += ", serving: " + std::to_string(result.shards_used) + " shards";
+    shape +=
+        std::string{", serving: "} + std::to_string(result.shards_used) +
+        " shards";
   } else {
     shape += ", batch";
   }

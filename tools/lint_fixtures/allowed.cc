@@ -1,0 +1,21 @@
+// Lint fixture: banned patterns carrying the escape hatch. MUST be clean —
+// every hit is waived by a gsmb-lint marker.
+#include <cstdlib>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+
+void PutU32(std::ostream& out, uint32_t v);
+
+void Waived(std::ostream& out,
+            const std::unordered_map<uint32_t, double>& aggregates) {
+  // Rationale: demo of the line-level escape hatch.
+  for (const auto& [id, value] : aggregates) {  // gsmb-lint: allow(unordered-iteration-into-output)
+    PutU32(out, id);
+  }
+  int jitter = rand();  // gsmb-lint: allow(raw-random)
+  (void)jitter;
+  // gsmb-lint: allow(raw-thread) — marker on the preceding line also works.
+  std::thread t([] {});
+  t.join();
+}

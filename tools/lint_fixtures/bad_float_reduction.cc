@@ -1,0 +1,20 @@
+// Lint fixture: a shared float accumulator folded inside a ParallelFor
+// worker lambda. MUST trip float-reduction (and only that rule).
+#include <cstddef>
+#include <vector>
+
+namespace gsmb {
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& fn);
+}
+
+double SumAll(const std::vector<double>& values, size_t num_threads) {
+  double total = 0.0;
+  gsmb::ParallelFor(values.size(), num_threads,
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        total += values[i];
+                      }
+                    });
+  return total;
+}

@@ -1,0 +1,10 @@
+// Lint fixture: nondeterministic randomness outside util/random.
+// MUST trip raw-random (and only that rule).
+#include <cstdlib>
+#include <random>
+
+int NoisySample() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<int>(engine()) + rand();
+}

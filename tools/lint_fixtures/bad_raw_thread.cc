@@ -1,0 +1,13 @@
+// Lint fixture: hand-rolled threading outside util/.
+// MUST trip raw-thread (and only that rule).
+#include <thread>
+#include <vector>
+
+void FanOut(std::vector<int>* out) {
+  std::thread worker([out] { out->push_back(1); });
+  worker.join();
+#pragma omp parallel for
+  for (int i = 0; i < 4; ++i) {
+    (void)i;
+  }
+}

@@ -1,0 +1,16 @@
+// Lint fixture: iterating an unordered_map straight into snapshot bytes.
+// MUST trip unordered-iteration-into-output (and only that rule).
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+void PutU32(std::ostream& out, uint32_t v);
+void PutF64(std::ostream& out, double v);
+
+void WriteAggregates(std::ostream& out,
+                     const std::unordered_map<uint32_t, double>& aggregates) {
+  for (const auto& [id, value] : aggregates) {
+    PutU32(out, id);
+    PutF64(out, value);
+  }
+}

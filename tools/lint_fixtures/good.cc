@@ -1,0 +1,58 @@
+// Lint fixture: the sanctioned version of every banned pattern. MUST be
+// clean under all four rules.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+void PutU32(std::ostream& out, uint32_t v);
+void PutF64(std::ostream& out, double v);
+
+namespace gsmb {
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& fn);
+}
+
+// Collect-then-sort before emitting: deterministic bytes.
+void WriteAggregatesSorted(
+    std::ostream& out,
+    const std::unordered_map<uint32_t, double>& aggregates) {
+  std::vector<uint32_t> ids;
+  ids.reserve(aggregates.size());
+  for (const auto& [id, value] : aggregates) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const uint32_t id : ids) {
+    PutU32(out, id);
+    PutF64(out, aggregates.at(id));
+  }
+}
+
+// Order-insensitive fold over an unordered container: fine without a sort.
+double TotalOf(const std::unordered_map<uint32_t, double>& aggregates) {
+  double total = 0.0;
+  for (const auto& [id, value] : aggregates) total += value;
+  return total;
+}
+
+// Per-chunk slots folded in chunk order: deterministic for any thread
+// count (lambda-local accumulators are fine too).
+double SumChunked(const std::vector<double>& values,
+                  const std::vector<size_t>& chunk_of, size_t num_chunks,
+                  size_t num_threads) {
+  std::vector<double> slots(num_chunks, 0.0);
+  gsmb::ParallelFor(values.size(), num_threads,
+                    [&](size_t begin, size_t end) {
+                      double local = 0.0;
+                      for (size_t i = begin; i < end; ++i) {
+                        local += values[i];
+                        slots[chunk_of[i]] += values[i];
+                      }
+                      (void)local;
+                    });
+  double total = 0.0;
+  for (size_t c = 0; c < num_chunks; ++c) total += slots[c];
+  return total;
+}
