@@ -13,12 +13,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "datasets/dirty_generator.h"
 #include "datasets/specs.h"
+#include "gsmb/telemetry.h"
 #include "serve/session.h"
 #include "serve/serving_model.h"
 #include "util/stopwatch.h"
@@ -45,7 +49,22 @@ double EnvScale() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "bench_serve_session.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  // Latency percentiles come from the telemetry registry, not ad-hoc
+  // timers: the sink's serve.*.latency_us histograms see every
+  // ingest/refresh/query this benchmark issues.
+  obs::TelemetrySink sink;
+  obs::InstallSink(&sink);
+
   const double scale = EnvScale();
   const size_t num_shards = ShardsFromEnv();
   const size_t threads = HardwareThreads();
@@ -147,6 +166,52 @@ int main() {
       "avg)\n",
       queries, query_seconds * 1e3, query_seconds * 1e3 / queries,
       static_cast<double>(results) / static_cast<double>(queries));
+
+  // ---- Registry-derived latency percentiles + bench JSON. ----
+  obs::InstallSink(nullptr);
+  const obs::MetricsSnapshot snapshot = sink.SnapshotMetrics();
+  double q50 = 0.0, q95 = 0.0, q99 = 0.0;
+  const auto query_hist = snapshot.histograms.find("serve.query.latency_us");
+  if (query_hist != snapshot.histograms.end() &&
+      query_hist->second.count > 0) {
+    q50 = query_hist->second.Percentile(0.50);
+    q95 = query_hist->second.Percentile(0.95);
+    q99 = query_hist->second.Percentile(0.99);
+    std::printf(
+        "latency     p50 %.0f us | p95 %.0f us | p99 %.0f us (registry, "
+        "%llu probes)\n",
+        q50, q95, q99,
+        static_cast<unsigned long long>(query_hist->second.count));
+  }
+
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"context\": {\n"
+        << "    \"executable\": \"bench_serve_session\",\n"
+        << "    \"scale\": " << scale << ",\n"
+        << "    \"num_shards\": " << num_shards << ",\n"
+        << "    \"refresh_speedup_vs_cold\": " << speedup << "\n"
+        << "  },\n  \"benchmarks\": [\n";
+    auto row = [&](const char* name, double real_ms, bool last,
+                   const std::string& extra = std::string()) {
+      out << "    {\n      \"name\": \"" << name << "\",\n"
+          << "      \"run_type\": \"iteration\",\n"
+          << "      \"real_time\": " << real_ms << ",\n"
+          << "      \"time_unit\": \"ms\"" << extra << "\n    }"
+          << (last ? "\n" : ",\n");
+    };
+    std::ostringstream query_extra;
+    query_extra << ",\n      \"query_p50_us\": " << q50
+                << ",\n      \"query_p95_us\": " << q95
+                << ",\n      \"query_p99_us\": " << q99;
+    row("serve_session/ingest", ingest_seconds * 1e3, false);
+    row("serve_session/cold_build", cold_seconds * 1e3, false);
+    row("serve_session/refresh", refresh_seconds * 1e3, false);
+    row("serve_session/query", query_seconds * 1e3 / queries, true,
+        query_extra.str());
+    out << "  ]\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
 
   const bool speedup_ok = speedup >= 5.0;
   std::printf("\n%s\n", identical && speedup_ok

@@ -27,6 +27,7 @@
 #include "core/pipeline.h"
 #include "datasets/dirty_generator.h"
 #include "datasets/specs.h"
+#include "gsmb/telemetry.h"
 #include "stream/streaming_dataset.h"
 #include "stream/streaming_executor.h"
 #include "util/mem_stats.h"
@@ -119,10 +120,22 @@ int RunChild(const std::string& mode, const std::string& props_path) {
     props["prep_ms"] = std::to_string(watch.ElapsedMillis());
     StreamingOptions options;
     options.num_shards = EnvSize("GSMB_STREAM_SHARDS", 64);
+    // Per-shard fold times come from the telemetry registry's
+    // stream.shard.fold_us histogram, recorded by the executor itself.
+    obs::TelemetrySink sink;
+    obs::InstallSink(&sink);
     watch.Restart();
     const StreamingResult result =
         StreamingExecutor(prep, options).Run(config);
     props["run_ms"] = std::to_string(watch.ElapsedMillis());
+    obs::InstallSink(nullptr);
+    const obs::MetricsSnapshot snapshot = sink.SnapshotMetrics();
+    const auto fold = snapshot.histograms.find("stream.shard.fold_us");
+    if (fold != snapshot.histograms.end() && fold->second.count > 0) {
+      props["fold_p50_us"] = std::to_string(fold->second.Percentile(0.50));
+      props["fold_p95_us"] = std::to_string(fold->second.Percentile(0.95));
+      props["fold_p99_us"] = std::to_string(fold->second.Percentile(0.99));
+    }
     props["pairs"] = std::to_string(prep.num_candidates());
     props["retained"] = std::to_string(result.metrics.retained);
     props["shards"] = std::to_string(result.num_shards_used);
@@ -158,8 +171,15 @@ void EmitBenchJson(const std::string& path, const Props& stream,
         << "      \"prep_ms\": " << PropDouble(props, "prep_ms") << ",\n"
         << "      \"pairs\": " << PropDouble(props, "pairs") << ",\n"
         << "      \"retained\": " << PropDouble(props, "retained") << ",\n"
-        << "      \"peak_rss_mb\": " << PropDouble(props, "peak_rss_mb")
-        << "\n    }" << (last ? "\n" : ",\n");
+        << "      \"peak_rss_mb\": " << PropDouble(props, "peak_rss_mb");
+    // Registry-derived percentile keys, present on the stream row only;
+    // bench_diff.py tolerates keys one side lacks.
+    for (const char* key : {"fold_p50_us", "fold_p95_us", "fold_p99_us"}) {
+      if (props.count(key) != 0) {
+        out << ",\n      \"" << key << "\": " << PropDouble(props, key);
+      }
+    }
+    out << "\n    }" << (last ? "\n" : ",\n");
   };
   out << "{\n  \"context\": {\n"
       << "    \"executable\": \"bench_stream_executor\",\n"
@@ -209,6 +229,13 @@ int RunParent(const char* self, const std::string& json_path) {
               PropDouble(stream, "shards"),
               PropDouble(stream, "arena_pairs"),
               PropDouble(stream, "sweeps"));
+  if (stream.count("fold_p50_us") != 0) {
+    std::printf("shard fold: p50 %.0f us | p95 %.0f us | p99 %.0f us "
+                "(registry)\n",
+                PropDouble(stream, "fold_p50_us"),
+                PropDouble(stream, "fold_p95_us"),
+                PropDouble(stream, "fold_p99_us"));
+  }
   std::printf("peak-RSS reduction (batch / stream): %.2fx\n", ratio);
 
   EmitBenchJson(json_path, stream, batch, ratio);

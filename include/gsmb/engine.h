@@ -79,12 +79,16 @@ struct JobResult {
   /// classifiers only).
   std::vector<double> model_coefficients;
 
-  /// Run-time breakdown, seconds. `total_seconds` covers features + train +
-  /// classify + prune (the paper's RT); `blocking_seconds` is reported
-  /// separately, as the paper treats blocking as fixed preprocessing.
+  /// Run-time breakdown, seconds, single-sourced from the telemetry phase
+  /// clock (obs::PhaseTimings through ApplyPhaseTimings) so every backend
+  /// reports the same canonical phase set. `total_seconds` covers pairs +
+  /// features + train + classify + prune (the paper's RT);
+  /// `blocking_seconds` is reported separately, as the paper treats
+  /// blocking as fixed preprocessing.
   double blocking_seconds = 0.0;
-  /// Streaming only: candidate-pair regeneration (a cost batch pays during
-  /// preparation instead); included in total_seconds for fair comparisons.
+  /// Candidate-pair generation: streaming regenerates pairs per shard;
+  /// batch reports the prepared handle's one-off candidate-array
+  /// materialisation cost here.
   double generate_seconds = 0.0;
   double feature_seconds = 0.0;
   double train_seconds = 0.0;
@@ -103,6 +107,12 @@ struct JobResult {
   std::vector<RetainedPair> retained;
   /// Rows written to spec.output.retained_csv (0 when no path was given).
   size_t retained_csv_rows = 0;
+
+  /// Per-run metric snapshot: counters derived from this run's own numbers
+  /// (pairs.generated, pairs.retained, ...) plus `phase.<name>.seconds`
+  /// gauges. Built per job, never from global state, so concurrent sweep
+  /// variants carry independent, deterministic snapshots.
+  obs::MetricsSnapshot telemetry;
 };
 
 /// A registered execution backend. Implementations load the spec's dataset,

@@ -83,8 +83,11 @@ class PreparedInputs {
   /// PrepareCacheKey(spec) of the spec this was prepared from.
   std::string cache_key;
   /// Wall-clock cost of the preparation (load + block + count), seconds.
-  /// Reported as JobResult::blocking_seconds by every execution against
-  /// this handle — the one-off cost of the handle, not of the call.
+  /// Feeds JobResult::blocking_seconds through api::ApplyPhaseTimings —
+  /// the single-source writer of every backend's timing fields — as the
+  /// one-off cost of the handle, not of the call. (The batch arrays'
+  /// materialize_seconds is reported as generate_seconds, the same phase
+  /// that cost lands in when streaming regenerates pairs per shard.)
   double prepare_seconds = 0.0;
 
   uint64_t num_candidates() const { return stream.num_candidates(); }

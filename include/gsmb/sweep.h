@@ -111,6 +111,11 @@ struct SweepResult {
   double prepare_seconds = 0.0;
   /// Whole-sweep wall clock (prepare + all variants), seconds.
   double total_seconds = 0.0;
+  /// Merge of every successful variant's per-run snapshot (counters sum,
+  /// gauges keep their max) plus this sweep's prepare-cache activity as
+  /// `prepare.cache.{hit,miss}` counters. Variant snapshots are job-local,
+  /// so the merge is deterministic regardless of execution interleaving.
+  obs::MetricsSnapshot telemetry;
 
   bool all_ok() const {
     for (const SweepVariant& v : variants) {

@@ -62,16 +62,12 @@ Result<JobResult> RunBatchOn(const JobSpec& spec,
   result.num_candidates = batch.pairs.size();
   result.training_size = run.training_size;
   result.model_coefficients = run.model_coefficients;
-  // The one-off preparation cost of the handle (load + block + count, plus
-  // this backend's candidate materialisation) — not re-paid by later
-  // executions against the same handle.
-  result.blocking_seconds =
-      prepared.prepare_seconds + batch.materialize_seconds;
-  result.feature_seconds = run.feature_seconds;
-  result.train_seconds = run.train_seconds;
-  result.classify_seconds = run.classify_seconds;
-  result.prune_seconds = run.prune_seconds;
-  result.total_seconds = run.total_seconds;
+  // Phase breakdown from the pipeline's telemetry clock; the handle's lazy
+  // candidate materialisation is this backend's pair-generation cost
+  // (one-off per handle, reported by every run against it).
+  obs::PhaseTimings phases = run.phases;
+  phases.Add(obs::Phase::kPairs, batch.materialize_seconds);
+  ApplyPhaseTimings(phases, prepared.prepare_seconds, &result);
   result.shards_used = 1;
 
   // Retained indices are ascending, and the candidate order is ascending

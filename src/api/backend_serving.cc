@@ -19,7 +19,6 @@
 
 #include "api/backends.h"
 #include "serve/serving_model.h"
-#include "util/stopwatch.h"
 
 namespace gsmb::api {
 
@@ -71,20 +70,15 @@ class ServingBackend : public Executor {
 }  // namespace
 
 Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
-  Stopwatch total_watch;
-  Stopwatch watch;
   size_t training_size = 0;
+  obs::PhaseTimings phases;
   Result<MetaBlockingSession> session = BuildServingSession(
-      spec, inputs, /*cold_build_universe=*/true, &training_size);
+      spec, inputs, /*cold_build_universe=*/true, &training_size, &phases);
   if (!session.ok()) return session.status();
 
   JobResult result;
   result.backend = "serving";
   result.training_size = training_size;
-  // The session trains + blocks + refreshes in one build; report the
-  // whole cold build as train time and the refresh split is not
-  // observable from outside, so total covers the build.
-  result.train_seconds = watch.ElapsedSeconds();
 
   const std::vector<CandidatePair> retained = session->RetainedPairs();
   size_t true_positives = 0;
@@ -102,7 +96,9 @@ Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
   result.shards_used = stats.num_shards;
   result.model_coefficients = session->model().weights;
   result.model_coefficients.push_back(session->model().intercept);
-  result.total_seconds = total_watch.ElapsedSeconds();
+  // A session blocks during its own refresh (no prepared handle), so the
+  // prepare cost is zero and kBlocking carries the re-block time.
+  ApplyPhaseTimings(phases, /*prepare_seconds=*/0.0, &result);
 
   // Session pairs are sorted ascending (left, right) — the same order the
   // batch indices and the streaming sink produce.
@@ -130,7 +126,8 @@ Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
 Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
                                                 const JobInputs& inputs,
                                                 bool cold_build_universe,
-                                                size_t* training_size) {
+                                                size_t* training_size,
+                                                obs::PhaseTimings* phases) {
   // Train exactly like the batch backend trains: same blocking options,
   // same balanced-sample seed, same classifier. TrainServingModel folds
   // the standardisation into raw-space weights, the one representation a
@@ -141,9 +138,12 @@ Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
   training.seed = spec.training.seed;
   training.blocking = BlockingOptionsFromSpec(spec);
   training.execution = ResolvedExecution(spec);
-  ServingModel model = TrainServingModel(inputs.e1, inputs.ground_truth,
-                                         spec.features, training,
-                                         training_size);
+  obs::PhaseTimings build_phases;
+  ServingModel model = [&] {
+    obs::ScopedPhase phase(&build_phases, obs::Phase::kTrain);
+    return TrainServingModel(inputs.e1, inputs.ground_truth, spec.features,
+                             training, training_size);
+  }();
 
   SessionOptions options;
   options.num_shards = spec.execution.shards;
@@ -169,6 +169,10 @@ Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
   MetaBlockingSession session(options, std::move(model));
   session.AddProfiles(inputs.e1.profiles());
   session.Refresh();
+  if (phases != nullptr) {
+    build_phases.MergeFrom(session.AccumulatedPhases());
+    phases->MergeFrom(build_phases);
+  }
   return session;
 }
 

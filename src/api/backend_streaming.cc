@@ -87,13 +87,7 @@ Result<JobResult> RunStreamingOn(const JobSpec& spec,
   result.num_candidates = prep.num_candidates();
   result.training_size = run.training_size;
   result.model_coefficients = run.model_coefficients;
-  result.blocking_seconds = prepared.prepare_seconds;
-  result.generate_seconds = run.generate_seconds;
-  result.feature_seconds = run.feature_seconds;
-  result.train_seconds = run.train_seconds;
-  result.classify_seconds = run.classify_seconds;
-  result.prune_seconds = run.prune_seconds;
-  result.total_seconds = run.total_seconds;
+  ApplyPhaseTimings(run.phases, prepared.prepare_seconds, &result);
   result.shards_used = run.num_shards_used;
   result.sweeps = run.sweeps;
   return result;

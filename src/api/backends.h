@@ -61,6 +61,17 @@ void AppendRetainedCsvRow(std::ofstream& out, const std::string& left_id,
                           const std::string& right_id);
 Status FinishRetainedCsv(std::ofstream& out, const std::string& path);
 
+/// The one place JobResult timing fields are written. Every backend runs
+/// its pipeline against an obs::PhaseTimings (the telemetry clock) and
+/// finishes through here: `prepare_seconds` is the prepared handle's
+/// one-off cost (plus any in-run re-blocking the backend put in
+/// Phase::kBlocking), the phase array fills the `*_seconds` breakdown,
+/// and the per-run metric snapshot (result->telemetry) is derived from
+/// the result's own counters — so all three backends report the same
+/// canonical phase set from the same clock.
+void ApplyPhaseTimings(const obs::PhaseTimings& phases,
+                       double prepare_seconds, JobResult* result);
+
 // -- Backend pipelines ------------------------------------------------------
 // The ExecutePrepared() bodies: per-configuration execution against a
 // shared preparation. The batch path materialises the handle's lazy O(|C|)
@@ -84,11 +95,14 @@ std::unique_ptr<Executor> MakeServingBackend();
 /// entity universe to the profile count (one-shot Run; batch parity);
 /// OpenSession leaves it unset for PR2's incremental present-entity
 /// semantics. `training_size` (optional) receives the balanced training
-/// sample's actual size.
+/// sample's actual size; `phases` (optional) receives the cold build's
+/// phase breakdown — kTrain for the model fit plus the session's
+/// accumulated refresh phases.
 Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
                                                 const JobInputs& inputs,
                                                 bool cold_build_universe,
-                                                size_t* training_size = nullptr);
+                                                size_t* training_size = nullptr,
+                                                obs::PhaseTimings* phases = nullptr);
 
 }  // namespace gsmb::api
 

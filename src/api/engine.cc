@@ -16,6 +16,7 @@
 #include "datasets/dirty_generator.h"
 #include "datasets/io.h"
 #include "datasets/specs.h"
+#include "gsmb/telemetry.h"
 #include "stream/streaming_executor.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -113,11 +114,16 @@ Result<PreparedHandle> BuildPreparedInputs(const JobSpec& spec) {
     auto prepared = std::make_shared<PreparedInputs>();
     prepared->inputs = std::move(*inputs);
     Stopwatch watch;
-    BlockCollection blocks =
-        BuildPreprocessedBlocks(spec, prepared->inputs);
-    prepared->stream = PrepareStreamingFromBlocks(
-        "job", std::move(blocks), prepared->inputs.ground_truth,
-        ResolvedExecution(spec).num_threads);
+    {
+      GSMB_SPAN("prepare");
+      BlockCollection blocks = [&] {
+        GSMB_SPAN("blocking");
+        return BuildPreprocessedBlocks(spec, prepared->inputs);
+      }();
+      prepared->stream = PrepareStreamingFromBlocks(
+          "job", std::move(blocks), prepared->inputs.ground_truth,
+          ResolvedExecution(spec).num_threads);
+    }
     prepared->prepare_seconds = watch.ElapsedSeconds();
     prepared->cache_key = PrepareCacheKey(spec);
     return PreparedHandle(std::move(prepared));
@@ -210,6 +216,37 @@ Status FinishRetainedCsv(std::ofstream& out, const std::string& path) {
     return Status::Internal("error writing output.retained_csv: " + path);
   }
   return Status::Ok();
+}
+
+void ApplyPhaseTimings(const obs::PhaseTimings& phases,
+                       double prepare_seconds, JobResult* result) {
+  result->blocking_seconds =
+      prepare_seconds + phases.Get(obs::Phase::kBlocking);
+  result->generate_seconds = phases.Get(obs::Phase::kPairs);
+  result->feature_seconds = phases.Get(obs::Phase::kFeatures);
+  result->train_seconds = phases.Get(obs::Phase::kTrain);
+  result->classify_seconds = phases.Get(obs::Phase::kClassify);
+  result->prune_seconds = phases.Get(obs::Phase::kPrune);
+  result->total_seconds = result->generate_seconds +
+                          result->feature_seconds + result->train_seconds +
+                          result->classify_seconds + result->prune_seconds;
+
+  // The per-run metric snapshot: counters from this run's own numbers and
+  // a `phase.<name>.seconds` gauge per canonical phase — built from job
+  // state only, so concurrent sweep variants never mix.
+  obs::MetricsSnapshot& t = result->telemetry;
+  t.counters["pairs.generated"] = result->num_candidates;
+  t.counters["pairs.retained"] = result->metrics.retained;
+  t.counters["pairs.true_positives"] = result->metrics.true_positives;
+  t.counters["blocks.kept"] = result->num_blocks;
+  t.counters["training.size"] = result->training_size;
+  t.gauges["phase.prepare.seconds"] = result->blocking_seconds;
+  for (int i = 0; i < obs::kPhaseCount; ++i) {
+    auto phase = static_cast<obs::Phase>(i);
+    t.gauges[std::string("phase.") + obs::PhaseName(phase) + ".seconds"] =
+        phase == obs::Phase::kBlocking ? result->blocking_seconds
+                                       : phases.Get(phase);
+  }
 }
 
 }  // namespace api
@@ -341,6 +378,7 @@ Result<PreparedHandle> Engine::Prepare(const JobSpec& spec) const {
       std::lock_guard<std::mutex> lock(cache_->mutex);
       ++cache_->misses;
     }
+    obs::CounterAdd("prepare.cache.miss");
     return api::BuildPreparedInputs(spec);
   }
 
@@ -364,6 +402,7 @@ Result<PreparedHandle> Engine::Prepare(const JobSpec& spec) const {
       cache_->slots.emplace(key, std::move(slot));
     }
   }
+  obs::CounterAdd(hit ? "prepare.cache.hit" : "prepare.cache.miss");
   // Wait outside the lock: a still-building preparation must not serialize
   // unrelated Prepare() calls. Racers of one build share ONE handle.
   if (hit) return pending.get();

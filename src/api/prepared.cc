@@ -1,6 +1,7 @@
 #include "gsmb/prepared.h"
 
 #include "blocking/entity_index.h"
+#include "gsmb/telemetry.h"
 #include "util/stopwatch.h"
 
 namespace gsmb {
@@ -12,6 +13,10 @@ const PreparedInputs::BatchArrays& PreparedInputs::Batch(
   // built exactly once. The winner's thread count shapes only the build's
   // wall clock — GenerateCandidatePairs is bit-identical for any value.
   std::call_once(batch_once_, [&] {
+    // The batch backend's pair-generation phase happens here, inside the
+    // handle — span it so a batch trace shows the same canonical phases
+    // as a streaming one.
+    GSMB_SPAN("pairs");
     Stopwatch watch;
     batch_.pairs = GenerateCandidatePairs(*stream.index, num_threads);
     batch_.is_positive.resize(batch_.pairs.size());

@@ -411,6 +411,16 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
     }
   });
 
+  // Merge in expansion order — deterministic however the variants were
+  // scheduled above.
+  for (const SweepVariant& variant : result.variants) {
+    if (variant.status.ok()) {
+      result.telemetry.MergeFrom(variant.result.telemetry);
+    }
+  }
+  result.telemetry.counters["prepare.cache.hit"] += result.cache_hits;
+  result.telemetry.counters["prepare.cache.miss"] += result.cache_misses;
+
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }

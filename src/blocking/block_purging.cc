@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "gsmb/telemetry.h"
+
 namespace gsmb {
 
 BlockCollection BlockPurging::Apply(const BlockCollection& input) const {
@@ -21,6 +23,7 @@ BlockCollection BlockPurging::Apply(const BlockCollection& input) const {
     out.Add(b);
   }
   last_purged_ = removed;
+  obs::CounterAdd("blocks.purged", removed);
   return out;
 }
 

@@ -6,9 +6,9 @@
 #include "blocking/block_filtering.h"
 #include "blocking/block_purging.h"
 #include "blocking/token_blocking.h"
+#include "gsmb/telemetry.h"
 #include "ml/sampler.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
 
 namespace gsmb {
 
@@ -132,13 +132,14 @@ MetaBlockingResult RunMetaBlocking(const PreparedDataset& dataset,
 
 MetaBlockingResult RunMetaBlocking(const PreparedRef& prepared,
                                    const MetaBlockingConfig& config) {
-  Stopwatch watch;
-  FeatureExtractor extractor(*prepared.index, *prepared.pairs);
-  Matrix features =
-      extractor.Compute(config.features, config.execution.num_threads);
-  double feature_seconds = watch.ElapsedSeconds();
+  obs::PhaseTimings timings;
+  Matrix features = [&] {
+    obs::ScopedPhase phase(&timings, obs::Phase::kFeatures);
+    FeatureExtractor extractor(*prepared.index, *prepared.pairs);
+    return extractor.Compute(config.features, config.execution.num_threads);
+  }();
   return RunMetaBlockingWithFeatures(prepared, config, features,
-                                     feature_seconds);
+                                     timings.Get(obs::Phase::kFeatures));
 }
 
 MetaBlockingResult RunMetaBlockingWithFeatures(
@@ -163,46 +164,55 @@ MetaBlockingResult RunMetaBlockingWithFeatures(
   }
 
   MetaBlockingResult result;
-  result.feature_seconds = feature_seconds_hint;
+  result.phases.Add(obs::Phase::kFeatures, feature_seconds_hint);
 
   // ---- Training: balanced undersample + fit. ----
-  Stopwatch watch;
-  Rng rng(config.seed);
-  TrainingSet training =
-      SampleBalanced(is_positive, config.train_per_class, &rng);
-  if (training.size() < 2) {
-    throw std::runtime_error(
-        "RunMetaBlocking: not enough labelled pairs to train (dataset '" +
-        *prepared.name + "')");
+  std::unique_ptr<ProbabilisticClassifier> model;
+  {
+    obs::ScopedPhase phase(&result.phases, obs::Phase::kTrain);
+    Rng rng(config.seed);
+    TrainingSet training =
+        SampleBalanced(is_positive, config.train_per_class, &rng);
+    if (training.size() < 2) {
+      throw std::runtime_error(
+          "RunMetaBlocking: not enough labelled pairs to train (dataset '" +
+          *prepared.name + "')");
+    }
+    Matrix train_x = features.SelectRows(training.row_indices);
+    model = MakeClassifier(config.classifier, config.seed);
+    model->Fit(train_x, training.labels);
+    result.training_size = training.size();
   }
-  Matrix train_x = features.SelectRows(training.row_indices);
-  std::unique_ptr<ProbabilisticClassifier> model =
-      MakeClassifier(config.classifier, config.seed);
-  model->Fit(train_x, training.labels);
-  result.train_seconds = watch.ElapsedSeconds();
-  result.training_size = training.size();
   result.model_coefficients = model->CoefficientsWithIntercept();
 
   // ---- Weighting: classification probability per candidate pair. ----
-  watch.Restart();
-  std::vector<double> probabilities =
-      model->PredictBatch(features, config.execution.num_threads);
-  result.classify_seconds = watch.ElapsedSeconds();
+  std::vector<double> probabilities;
+  {
+    obs::ScopedPhase phase(&result.phases, obs::Phase::kClassify);
+    probabilities = model->PredictBatch(features, config.execution.num_threads);
+  }
 
   // ---- Pruning. ----
-  watch.Restart();
-  PruningContext context =
-      PruningContext::FromIndex(*prepared.index, *prepared.stats);
-  context.blast_ratio = config.blast_ratio;
-  context.validity_threshold = config.validity_threshold;
-  context.execution = config.execution;
-  std::vector<uint32_t> retained =
-      MakePruningAlgorithm(config.pruning)
-          ->Prune(pairs, probabilities, context);
-  result.prune_seconds = watch.ElapsedSeconds();
+  std::vector<uint32_t> retained;
+  {
+    obs::ScopedPhase phase(&result.phases, obs::Phase::kPrune);
+    PruningContext context =
+        PruningContext::FromIndex(*prepared.index, *prepared.stats);
+    context.blast_ratio = config.blast_ratio;
+    context.validity_threshold = config.validity_threshold;
+    context.execution = config.execution;
+    retained = MakePruningAlgorithm(config.pruning)
+                   ->Prune(pairs, probabilities, context);
+  }
 
+  result.feature_seconds = result.phases.Get(obs::Phase::kFeatures);
+  result.train_seconds = result.phases.Get(obs::Phase::kTrain);
+  result.classify_seconds = result.phases.Get(obs::Phase::kClassify);
+  result.prune_seconds = result.phases.Get(obs::Phase::kPrune);
   result.total_seconds = result.feature_seconds + result.train_seconds +
                          result.classify_seconds + result.prune_seconds;
+  obs::CounterAdd("pairs.generated", pairs.size());
+  obs::CounterAdd("pairs.retained", retained.size());
   result.metrics =
       EvaluateRetained(retained, is_positive, prepared.num_ground_truth);
   if (config.keep_probabilities) result.probabilities = std::move(probabilities);

@@ -27,6 +27,7 @@
 #include "er/entity_collection.h"
 #include "er/ground_truth.h"
 #include "gsmb/execution.h"
+#include "gsmb/telemetry.h"
 #include "ml/classifier.h"
 #include "util/matrix.h"
 
@@ -139,6 +140,10 @@ EffectivenessMetrics MetricsFromCounts(size_t true_positives, size_t retained,
 
 struct MetaBlockingResult {
   EffectivenessMetrics metrics;
+  /// Phase-time breakdown from the telemetry clock (obs::ScopedPhase).
+  /// The legacy `*_seconds` fields below are views of this — one clock
+  /// source, no duplicated Stopwatches.
+  obs::PhaseTimings phases;
   /// RT components, seconds. `total_seconds` = features + train + classify
   /// + prune (the paper's RT definition for Generalized SM).
   double feature_seconds = 0.0;

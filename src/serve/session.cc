@@ -78,12 +78,14 @@ EntityId MetaBlockingSession::AddProfileLocked(const EntityProfile& profile) {
 }
 
 EntityId MetaBlockingSession::AddProfile(const EntityProfile& profile) {
+  GSMB_SPAN("serve.ingest", "serve.ingest.latency_us");
   std::unique_lock<std::shared_mutex> lock(sync_->mutex);
   return AddProfileLocked(profile);
 }
 
 std::vector<EntityId> MetaBlockingSession::AddProfiles(
     const std::vector<EntityProfile>& batch) {
+  GSMB_SPAN("serve.ingest", "serve.ingest.latency_us");
   std::unique_lock<std::shared_mutex> lock(sync_->mutex);
   std::vector<EntityId> ids;
   ids.reserve(batch.size());
@@ -98,13 +100,19 @@ void MetaBlockingSession::set_num_threads(size_t num_threads) {
   options_.execution.num_threads = num_threads;
 }
 
-void MetaBlockingSession::RefreshShard(Shard* shard) const {
+void MetaBlockingSession::RefreshShard(Shard* shard,
+                                       obs::PhaseTimings* phases) const {
   shard->retained.clear();
   shard->aggregates.clear();
   shard->num_blocks = 0;
   shard->total_comparisons = 0.0;
   shard->num_candidates = 0;
 
+  // One phase guard walks the shard pipeline; optional::emplace ends the
+  // previous phase before starting the next, and any early return ends the
+  // current one.
+  std::optional<obs::ScopedPhase> phase(std::in_place, phases,
+                                        obs::Phase::kBlocking);
   // ---- Shard-local id space. ----
   // The per-shard EntityIndex and pruning scratch are sized by the entity
   // count they are given; using global ids would cost O(|E|) per shard per
@@ -147,11 +155,13 @@ void MetaBlockingSession::RefreshShard(Shard* shard) const {
   // across shards, and shard outputs must not depend on inner threading
   // anyway (they do not — every stage is deterministic — but one level of
   // parallelism is the simple and fast choice). ----
+  phase.emplace(phases, obs::Phase::kPairs);
   const EntityIndex index(blocks);
   const std::vector<CandidatePair> pairs = GenerateCandidatePairs(index, 1);
   shard->total_comparisons = index.TotalComparisons();
   shard->num_candidates = pairs.size();
 
+  phase.emplace(phases, obs::Phase::kFeatures);
   // Aggregate cache for the query path (and the LCP tally below), keyed by
   // the *global* ids the query path sees.
   std::vector<double> lcp(index.num_entities(), 0.0);
@@ -177,11 +187,13 @@ void MetaBlockingSession::RefreshShard(Shard* shard) const {
   // ---- Weight + prune with the resident model. ----
   const FeatureExtractor extractor(index, pairs);
   const Matrix features = extractor.Compute(model_.features, 1);
+  phase.emplace(phases, obs::Phase::kClassify);
   std::vector<double> probabilities(pairs.size());
   for (size_t r = 0; r < pairs.size(); ++r) {
     probabilities[r] = model_.Predict(features.Row(r));
   }
 
+  phase.emplace(phases, obs::Phase::kPrune);
   const BlockCollectionStats stats = ComputeBlockStats(blocks);
   PruningContext context = PruningContext::FromIndex(index, stats);
   context.validity_threshold = options_.validity_threshold;
@@ -210,6 +222,7 @@ void MetaBlockingSession::RefreshShard(Shard* shard) const {
 }
 
 size_t MetaBlockingSession::Refresh() {
+  GSMB_SPAN("serve.refresh", "serve.refresh.latency_us");
   // Exclusive: the per-shard pipelines below mutate the shard caches. The
   // ParallelFor workers write on behalf of this lock holder; readers
   // observe the writes through the release/acquire pair of this mutex.
@@ -218,12 +231,19 @@ size_t MetaBlockingSession::Refresh() {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shards_[s].dirty) dirty.push_back(s);
   }
+  // Each worker times into its shard's own slot; the merge below runs in
+  // ascending shard order so the accumulated phase totals are
+  // deterministic for any thread count.
+  std::vector<obs::PhaseTimings> shard_phases(dirty.size());
   ParallelFor(dirty.size(), options_.execution.num_threads,
               [&](size_t begin, size_t end) {
                 for (size_t d = begin; d < end; ++d) {
-                  RefreshShard(&shards_[dirty[d]]);
+                  RefreshShard(&shards_[dirty[d]], &shard_phases[d]);
                 }
               });
+  for (const obs::PhaseTimings& timings : shard_phases) {
+    phases_.MergeFrom(timings);
+  }
   for (size_t s : dirty) shards_[s].dirty = false;
   if (!dirty.empty()) {
     sync_->retained_count.store(kRetainedCountUnknown, std::memory_order_relaxed);
@@ -259,6 +279,11 @@ size_t MetaBlockingSession::DirtyShardCount() const {
   size_t count = 0;
   for (const Shard& shard : shards_) count += shard.dirty ? 1 : 0;
   return count;
+}
+
+obs::PhaseTimings MetaBlockingSession::AccumulatedPhases() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->mutex);
+  return phases_;
 }
 
 SessionStats MetaBlockingSession::Stats() const {
@@ -450,6 +475,8 @@ void MetaBlockingSession::QueryShard(
 std::vector<QueryMatch> MetaBlockingSession::QueryCandidates(
     const EntityProfile& probe, size_t max_results,
     std::optional<EntityId> exclude) const {
+  // The latency histogram includes lock wait: that IS the serving tail.
+  GSMB_SPAN("serve.query", "serve.query.latency_us");
   std::shared_lock<std::shared_mutex> lock(sync_->mutex);
   // Group the probe's tokens by owning shard; std::map keeps the shard
   // visit order deterministic.

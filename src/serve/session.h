@@ -61,6 +61,7 @@
 #include "core/pruning.h"
 #include "er/entity_collection.h"
 #include "gsmb/execution.h"
+#include "gsmb/telemetry.h"
 #include "serve/serving_model.h"
 
 namespace gsmb {
@@ -156,6 +157,11 @@ class MetaBlockingSession {
 
   size_t DirtyShardCount() const;
   SessionStats Stats() const;
+  /// Cumulative per-phase pipeline time across every Refresh() so far,
+  /// merged in ascending shard order (deterministic for any thread count).
+  /// Phases: kBlocking (re-block), kPairs, kFeatures (aggregates +
+  /// feature rows), kClassify, kPrune.
+  obs::PhaseTimings AccumulatedPhases() const;
   const SessionOptions& options() const { return options_; }
   /// Worker threads for Refresh(); purely an execution knob (results are
   /// identical for any value), so a restored snapshot may override it.
@@ -205,8 +211,9 @@ class MetaBlockingSession {
   /// RetainedPairs body; the caller holds `mutex_` (shared suffices).
   std::vector<CandidatePair> RetainedPairsLocked() const;
   /// Recomputes one shard's caches from its key table (pure; thread-safe
-  /// across distinct shards).
-  void RefreshShard(Shard* shard) const;
+  /// across distinct shards). Phase times go to `phases`, owned by the
+  /// calling worker — Refresh() merges them in shard order afterwards.
+  void RefreshShard(Shard* shard, obs::PhaseTimings* phases) const;
   /// Scores the probe's `tokens` (all owned by `shard`) and folds the
   /// per-candidate best probability into `best`.
   void QueryShard(const Shard& shard, const std::vector<std::string>& tokens,
@@ -234,6 +241,9 @@ class MetaBlockingSession {
   ServingModel model_;
   EntityCollection profiles_;
   std::vector<Shard> shards_;
+  /// Guarded by sync_->mutex (written by Refresh, read by
+  /// AccumulatedPhases). Not part of snapshots: timing is not state.
+  obs::PhaseTimings phases_;
 };
 
 }  // namespace gsmb

@@ -7,9 +7,9 @@
 
 #include "core/features.h"
 #include "core/pruning_aggregates.h"
+#include "gsmb/telemetry.h"
 #include "ml/sampler.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace gsmb {
@@ -139,50 +139,53 @@ void StreamingExecutor::FillArena(const ShardSlice& shard,
   const std::vector<uint64_t>& offsets = dataset_.pivot_offsets;
 
   // ---- Regenerate the shard's slice of the global candidate order. ----
-  Stopwatch watch;
-  arena->pairs.resize(shard.end_index - shard.first_index);
-  const size_t pivot_begin = PivotOf(shard.first_index);
-  const size_t pivot_end = PivotOf(shard.end_index - 1) + 1;
-  const std::vector<ChunkRange> pivot_chunks =
-      DeterministicChunks(pivot_end - pivot_begin, kPivotChunkGrain);
-  ParallelFor(
-      pivot_chunks.size(), config.execution.num_threads,
-      [&](size_t chunks_begin, size_t chunks_end) {
-        PivotNeighbourGenerator generator(index);
-        std::vector<EntityId> neighbours;
-        for (size_t c = chunks_begin; c < chunks_end; ++c) {
-          for (size_t p = pivot_chunks[c].begin; p < pivot_chunks[c].end;
-               ++p) {
-            const size_t pivot = pivot_begin + p;
-            const uint64_t begin =
-                std::max<uint64_t>(offsets[pivot], shard.first_index);
-            const uint64_t end =
-                std::min<uint64_t>(offsets[pivot + 1], shard.end_index);
-            if (begin >= end) continue;  // empty pivot, or boundary overlap
-            generator.Generate(pivot, &neighbours);
-            for (uint64_t i = begin; i < end; ++i) {
-              arena->pairs[i - shard.first_index] = {
-                  static_cast<EntityId>(pivot),
-                  neighbours[i - offsets[pivot]]};
+  {
+    obs::ScopedPhase phase(&timings->phases, obs::Phase::kPairs);
+    arena->pairs.resize(shard.end_index - shard.first_index);
+    const size_t pivot_begin = PivotOf(shard.first_index);
+    const size_t pivot_end = PivotOf(shard.end_index - 1) + 1;
+    const std::vector<ChunkRange> pivot_chunks =
+        DeterministicChunks(pivot_end - pivot_begin, kPivotChunkGrain);
+    ParallelFor(
+        pivot_chunks.size(), config.execution.num_threads,
+        [&](size_t chunks_begin, size_t chunks_end) {
+          PivotNeighbourGenerator generator(index);
+          std::vector<EntityId> neighbours;
+          for (size_t c = chunks_begin; c < chunks_end; ++c) {
+            for (size_t p = pivot_chunks[c].begin; p < pivot_chunks[c].end;
+                 ++p) {
+              const size_t pivot = pivot_begin + p;
+              const uint64_t begin =
+                  std::max<uint64_t>(offsets[pivot], shard.first_index);
+              const uint64_t end =
+                  std::min<uint64_t>(offsets[pivot + 1], shard.end_index);
+              if (begin >= end) continue;  // empty pivot, or boundary overlap
+              generator.Generate(pivot, &neighbours);
+              for (uint64_t i = begin; i < end; ++i) {
+                arena->pairs[i - shard.first_index] = {
+                    static_cast<EntityId>(pivot),
+                    neighbours[i - offsets[pivot]]};
+              }
             }
           }
-        }
-      });
-  timings->generate_seconds += watch.ElapsedSeconds();
+        });
+  }
 
   // ---- Features (against the GLOBAL index: rows are bit-identical to the
   // corresponding rows of the batch path's full matrix). ----
-  watch.Restart();
-  FeatureExtractor extractor(index, arena->pairs);
-  arena->features = extractor.Compute(config.features, config.execution.num_threads,
-                                      lcp);
-  timings->feature_seconds += watch.ElapsedSeconds();
+  {
+    obs::ScopedPhase phase(&timings->phases, obs::Phase::kFeatures);
+    FeatureExtractor extractor(index, arena->pairs);
+    arena->features = extractor.Compute(config.features,
+                                        config.execution.num_threads, lcp);
+  }
 
   // ---- Classify. ----
-  watch.Restart();
-  arena->probabilities =
-      model.PredictBatch(arena->features, config.execution.num_threads);
-  timings->classify_seconds += watch.ElapsedSeconds();
+  {
+    obs::ScopedPhase phase(&timings->phases, obs::Phase::kClassify);
+    arena->probabilities =
+        model.PredictBatch(arena->features, config.execution.num_threads);
+  }
 }
 
 StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
@@ -205,21 +208,26 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
     result.max_shard_candidates = std::max(
         result.max_shard_candidates, shard.end_index - shard.first_index);
   }
+  obs::GaugeMax("arena.bytes.peak",
+                static_cast<double>(result.max_shard_candidates *
+                                    StreamingArenaBytesPerPair(
+                                        config.features.Dimensions())));
 
   // ---- LCP once, reused by every per-shard extraction. ----
-  Stopwatch watch;
   static const std::vector<CandidatePair> kNoPairs;
   std::vector<double> lcp;
   const std::vector<double>* lcp_ptr = nullptr;
   if (config.features.Contains(Feature::kLcp)) {
+    obs::ScopedPhase phase(&result.phases, obs::Phase::kFeatures);
     lcp = FeatureExtractor(index, kNoPairs)
               .ComputeLcpPerEntity(config.execution.num_threads);
     lcp_ptr = &lcp;
   }
-  result.feature_seconds += watch.ElapsedSeconds();
 
   // ---- Training: replay of the batch sample, rows and fit. ----
-  watch.Restart();
+  std::unique_ptr<ProbabilisticClassifier> model;
+  {
+  obs::ScopedPhase train_phase(&result.phases, obs::Phase::kTrain);
   Rng rng(config.seed);
   TrainingSet training = SampleBalancedFromPlan(
       dataset_.positive_indices, n64, config.train_per_class, &rng);
@@ -264,12 +272,11 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
     std::copy(src, src + sorted_features.cols(), train_x.Row(t));
   }
 
-  std::unique_ptr<ProbabilisticClassifier> model =
-      MakeClassifier(config.classifier, config.seed);
+  model = MakeClassifier(config.classifier, config.seed);
   model->Fit(train_x, training.labels);
-  result.train_seconds = watch.ElapsedSeconds();
   result.training_size = training.size();
   result.model_coefficients = model->CoefficientsWithIntercept();
+  }
 
   // ---- Pruning context, identical to the batch path's. ----
   PruningContext context =
@@ -288,7 +295,10 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
     ++result.sweeps;
     for (const ShardSlice& shard : shards) {
       FillArena(shard, config, *model, lcp_ptr, &arena, &result);
-      watch.Restart();
+      obs::ScopedPhase phase(&result.phases, obs::Phase::kPrune);
+      // Per-shard accumulate+fold latency feeds the fold-time histogram the
+      // streaming bench reports percentiles from.
+      GSMB_SPAN("shard.fold", "stream.shard.fold_us");
       const size_t shard_chunks = shard.chunk_end - shard.chunk_begin;
       ParallelFor(shard_chunks, config.execution.num_threads,
                   [&](size_t begin, size_t end) {
@@ -309,11 +319,11 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
                     }
                   });
       aggregator->FoldChunks(shard.chunk_begin, shard.chunk_end);
-      result.prune_seconds += watch.ElapsedSeconds();
     }
-    watch.Restart();
-    aggregator->Finalize();
-    result.prune_seconds += watch.ElapsedSeconds();
+    {
+      obs::ScopedPhase phase(&result.phases, obs::Phase::kPrune);
+      aggregator->Finalize();
+    }
   }
 
   // ---- Emit the retained set, ascending by global index. ----
@@ -332,7 +342,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
   if (aggregator->emits_from_aggregates()) {
     // Cardinality kinds: the folded top-k structures already hold the
     // retained indices and weights; only their pairs are regenerated.
-    watch.Restart();
+    obs::ScopedPhase phase(&result.phases, obs::Phase::kPrune);
     const std::vector<RetainedCandidate> retained =
         aggregator->TakeRetained();
     PivotNeighbourGenerator generator(index);
@@ -349,7 +359,6 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
           neighbours[candidate.index - dataset_.pivot_offsets[pivot]]};
       emit(candidate.index, pair, candidate.probability);
     }
-    result.prune_seconds += watch.ElapsedSeconds();
   } else {
     // Weight-based kinds: a second sweep re-scores each shard and applies
     // the finalized thresholds; per-chunk keeps merge in chunk order, so
@@ -357,7 +366,7 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
     ++result.sweeps;
     for (const ShardSlice& shard : shards) {
       FillArena(shard, config, *model, lcp_ptr, &arena, &result);
-      watch.Restart();
+      obs::ScopedPhase phase(&result.phases, obs::Phase::kPrune);
       const size_t shard_chunks = shard.chunk_end - shard.chunk_begin;
       std::vector<std::vector<uint32_t>> parts(shard_chunks);
       ParallelFor(shard_chunks, config.execution.num_threads,
@@ -380,12 +389,20 @@ StreamingResult StreamingExecutor::Run(const MetaBlockingConfig& config,
           emit(idx, arena.pairs[local], arena.probabilities[local]);
         }
       }
-      result.prune_seconds += watch.ElapsedSeconds();
     }
   }
 
+  obs::CounterAdd("pairs.generated", n64);
+  obs::CounterAdd("pairs.retained", retained_count);
+
   result.metrics = MetricsFromCounts(true_positives, retained_count,
                                      dataset_.ground_truth.size());
+  // The legacy *_seconds fields are views of the phase clock.
+  result.generate_seconds = result.phases.Get(obs::Phase::kPairs);
+  result.feature_seconds = result.phases.Get(obs::Phase::kFeatures);
+  result.train_seconds = result.phases.Get(obs::Phase::kTrain);
+  result.classify_seconds = result.phases.Get(obs::Phase::kClassify);
+  result.prune_seconds = result.phases.Get(obs::Phase::kPrune);
   result.total_seconds = result.generate_seconds + result.feature_seconds +
                          result.train_seconds + result.classify_seconds +
                          result.prune_seconds;

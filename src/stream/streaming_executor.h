@@ -75,6 +75,9 @@ struct StreamingOptions {
 
 struct StreamingResult {
   EffectivenessMetrics metrics;
+  /// Phase-time breakdown from the telemetry clock (obs::ScopedPhase);
+  /// the `*_seconds` fields below are views of it.
+  obs::PhaseTimings phases;
   /// RT components, seconds. `generate_seconds` (pair regeneration, a cost
   /// the batch path pays during preparation instead) is included in
   /// `total_seconds` so streaming-vs-batch wall-clock comparisons are fair.

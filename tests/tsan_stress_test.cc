@@ -27,6 +27,7 @@
 #include "gsmb/job_spec.h"
 #include "gsmb/prepared.h"
 #include "gsmb/sweep.h"
+#include "gsmb/telemetry.h"
 #include "datasets/dirty_generator.h"
 #include "serve/serving_model.h"
 #include "serve/session.h"
@@ -355,6 +356,7 @@ TEST(SessionStress, IngestRefreshAndQueryRaceToAConsistentEnd) {
           reader_errors.fetch_add(1);
         }
         (void)session.RetainedPairs();
+        // gsmb-lint: allow(raw-clock) — interleaving jitter, not a timer.
         std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
     });
@@ -421,6 +423,67 @@ TEST(SessionStress, ConcurrentWritersSerialise) {
   }
   cold.Refresh();
   EXPECT_EQ(session.RetainedPairs(), cold.RetainedPairs());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+TEST(TelemetryStress, SpansMetricsAndExportsRace) {
+  // Writers hammer every recording surface (spans with nesting, counters,
+  // gauges, histograms) while readers concurrently export snapshots and
+  // trace JSON. TSan must see no race between the per-thread slots and
+  // the merging exports, and the final counts must add up exactly.
+  obs::TelemetrySink sink;
+  obs::InstallSink(&sink);
+  constexpr size_t kWriters = 4;
+  constexpr size_t kReaders = 2;
+  constexpr size_t kRounds = 200;
+  std::atomic<bool> stop{false};
+  {
+    std::vector<std::thread> threads;  // gsmb-lint: allow(raw-thread)
+    for (size_t w = 0; w < kWriters; ++w) {
+      threads.emplace_back([w] {
+        for (size_t i = 0; i < kRounds; ++i) {
+          GSMB_SPAN("stress.outer", "stress.outer_us");
+          obs::CounterAdd("stress.rounds");
+          obs::CounterAdd("stress.bytes", w + 1);
+          obs::GaugeMax("stress.high_water", static_cast<double>(i));
+          {
+            GSMB_SPAN("stress.inner");
+            obs::HistogramRecord("stress.cost_us",
+                                 static_cast<double>(i % 50 + 1));
+          }
+        }
+      });
+    }
+    for (size_t r = 0; r < kReaders; ++r) {
+      threads.emplace_back([&sink, &stop] {
+        while (!stop.load()) {
+          const obs::MetricsSnapshot snapshot = sink.SnapshotMetrics();
+          // Monotone reads: a snapshot mid-run is any prefix of the work.
+          EXPECT_LE(snapshot.counters.count("stress.rounds")
+                        ? snapshot.counters.at("stress.rounds")
+                        : 0,
+                    kWriters * kRounds);
+          (void)sink.TraceJson();
+        }
+      });
+    }
+    // Writers are the first kWriters threads; join them, then stop readers.
+    for (size_t i = 0; i < kWriters; ++i) threads[i].join();
+    stop.store(true);
+    for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  }
+  obs::InstallSink(nullptr);
+
+  const obs::MetricsSnapshot final_snapshot = sink.SnapshotMetrics();
+  EXPECT_EQ(final_snapshot.counters.at("stress.rounds"), kWriters * kRounds);
+  // sum over writers of kRounds * (w + 1)
+  EXPECT_EQ(final_snapshot.counters.at("stress.bytes"),
+            kRounds * kWriters * (kWriters + 1) / 2);
+  EXPECT_EQ(final_snapshot.histograms.at("stress.cost_us").count,
+            kWriters * kRounds);
+  EXPECT_EQ(sink.Spans().size(), 2 * kWriters * kRounds);
 }
 
 }  // namespace

@@ -4,13 +4,17 @@
 Usage:
     bench_diff.py baseline.json current.json [--threshold 0.20] [--strict]
 
-Prints a per-benchmark delta table and flags every benchmark whose real_time
-— or peak RSS, for benchmarks that report a `peak_rss_mb` user counter —
-regressed by more than the threshold (default 20%). Benchmarks present in
-only one file are reported but never flagged. Emits GitHub Actions
-`::warning::` annotations so regressions surface on the workflow run page;
-with --strict the exit code is 1 when any regression is flagged (CI runs
-non-strict: shared runners are noisy, so the diff is advisory).
+Prints a per-benchmark delta table over every numeric field the two files
+share and flags benchmarks whose real_time — or peak RSS, for benchmarks
+that report a `peak_rss_mb` user counter — regressed by more than the
+threshold (default 20%). Other shared numeric fields (prep_ms, percentile
+counters like query_p99_us, ...) are diffed for information only.
+Benchmarks or fields present in only one file are reported but never
+flagged, so newly-added telemetry keys don't fail a diff against an older
+baseline. Emits GitHub Actions `::warning::` annotations so regressions
+surface on the workflow run page; with --strict the exit code is 1 when
+any regression is flagged (CI runs non-strict: shared runners are noisy,
+so the diff is advisory).
 """
 
 import argparse
@@ -23,9 +27,13 @@ import sys
 COUNTER_ONLY_BENCHMARKS = {"BM_ProcessPeakRss/iterations:1",
                            "BM_ProcessPeakRss"}
 
+# The only fields whose regression is flagged; everything else numeric is
+# informational.
+FLAGGED_FIELDS = ("real_time", "peak_rss_mb")
+
 
 def load_benchmarks(path):
-    """name -> (real_time, peak_rss_mb or None)."""
+    """name -> {field: float} over every numeric field of the row."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     out = {}
@@ -33,9 +41,12 @@ def load_benchmarks(path):
         # Skip aggregate rows (mean/median/stddev of repetitions).
         if bench.get("run_type") == "aggregate":
             continue
-        rss = bench.get("peak_rss_mb")
-        out[bench["name"]] = (float(bench["real_time"]),
-                              float(rss) if rss is not None else None)
+        fields = {}
+        for key, value in bench.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            fields[key] = float(value)
+        out[bench["name"]] = fields
     return out
 
 
@@ -44,7 +55,7 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="relative real_time regression to flag")
+                        help="relative regression to flag on flagged fields")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any regression exceeds threshold")
     args = parser.parse_args()
@@ -56,26 +67,37 @@ def main():
     print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
-            print(f"{name:50s} {'-':>12s} {current[name][0]:12.1f}     new")
+            real = current[name].get("real_time", 0.0)
+            print(f"{name:50s} {'-':>12s} {real:12.1f}     new")
             continue
         if name not in current:
-            print(f"{name:50s} {baseline[name][0]:12.1f} {'-':>12s} removed")
+            real = baseline[name].get("real_time", 0.0)
+            print(f"{name:50s} {real:12.1f} {'-':>12s} removed")
             continue
-        (base, base_rss), (cur, cur_rss) = baseline[name], current[name]
-        delta = (cur - base) / base if base > 0 else 0.0
-        marker = ""
-        if delta > args.threshold and name not in COUNTER_ONLY_BENCHMARKS:
-            marker = "  << REGRESSION"
-            regressions.append((name, "real_time", delta))
-        print(f"{name:50s} {base:12.1f} {cur:12.1f} {delta:+7.1%}{marker}")
-        if base_rss is not None and cur_rss is not None:
-            rss_delta = (cur_rss - base_rss) / base_rss if base_rss > 0 else 0.0
-            rss_marker = ""
-            if rss_delta > args.threshold:
-                rss_marker = "  << RSS REGRESSION"
-                regressions.append((name, "peak_rss_mb", rss_delta))
-            print(f"{'  peak_rss_mb':50s} {base_rss:12.1f} {cur_rss:12.1f} "
-                  f"{rss_delta:+7.1%}{rss_marker}")
+        base_fields, cur_fields = baseline[name], current[name]
+        # real_time leads the row; other shared fields indent under it.
+        ordered = ["real_time"] + sorted(
+            f for f in set(base_fields) | set(cur_fields) if f != "real_time")
+        for field in ordered:
+            base = base_fields.get(field)
+            cur = cur_fields.get(field)
+            label = name if field == "real_time" else "  " + field
+            if base is None or cur is None:
+                # A field only one side reports (e.g. a newly-added
+                # percentile counter): informational, never flagged.
+                side = "new field" if base is None else "removed field"
+                known = cur if base is None else base
+                print(f"{label:50s} {'-':>12s} {known:12.1f} {side:>13s}"
+                      if base is None else
+                      f"{label:50s} {known:12.1f} {'-':>12s} {side:>13s}")
+                continue
+            delta = (cur - base) / base if base > 0 else 0.0
+            marker = ""
+            if (field in FLAGGED_FIELDS and delta > args.threshold
+                    and name not in COUNTER_ONLY_BENCHMARKS):
+                marker = "  << REGRESSION"
+                regressions.append((name, field, delta))
+            print(f"{label:50s} {base:12.1f} {cur:12.1f} {delta:+7.1%}{marker}")
 
     if regressions:
         print()

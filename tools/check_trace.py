@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates gsmb_cli --trace-out / --metrics-out artifacts.
+
+Usage:
+    check_trace.py [--serving] trace.json [metrics.json]
+
+Asserts the trace is Chrome-trace JSON (chrome://tracing / Perfetto
+loadable): a `traceEvents` array of complete events (`ph == "X"`) each
+carrying name/ts/dur/pid/tid, whose span names cover every canonical
+pipeline phase (--serving drops the `prepare` span from the required
+set: a serving session blocks during its own refresh, so it has no
+prepared handle and no prepare span). With a metrics file, additionally
+asserts the registry export carries the pipeline counters as exact
+integers.
+
+Exit status: 0 and "trace OK" on success, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+CANONICAL_PHASES = {"prepare", "blocking", "pairs", "features", "train",
+                    "classify", "prune"}
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+REQUIRED_COUNTERS = ("pairs.generated", "pairs.retained")
+
+
+def fail(message):
+    print("check_trace: %s" % message)
+    return 1
+
+
+def check_trace(path, required_phases):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("%s: traceEvents missing or empty" % path)
+    names = set()
+    for event in events:
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                return fail("%s: event %r lacks %r" % (path, event, key))
+        if event["ph"] != "X":
+            return fail("%s: non-complete event %r" % (path, event))
+        if event["dur"] < 0 or event["ts"] < 0:
+            return fail("%s: negative time in %r" % (path, event))
+        names.add(event["name"])
+    missing = required_phases - names
+    if missing:
+        return fail("%s: canonical phase spans missing: %s"
+                    % (path, ", ".join(sorted(missing))))
+    print("trace OK: %d events, phases %s" % (
+        len(events), ", ".join(sorted(names & CANONICAL_PHASES))))
+    return 0
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        return fail("%s: counters object missing" % path)
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            return fail("%s: counter %r missing" % (path, name))
+        if not isinstance(counters[name], int):
+            return fail("%s: counter %r is not an exact integer"
+                        % (path, name))
+    print("metrics OK: %d counters" % len(counters))
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    required = set(CANONICAL_PHASES)
+    if args and args[0] == "--serving":
+        required.discard("prepare")
+        args = args[1:]
+    if len(args) not in (1, 2):
+        print(__doc__)
+        return 2
+    status = check_trace(args[0], required)
+    if status == 0 and len(args) == 2:
+        status = check_metrics(args[1])
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -76,6 +76,7 @@
 #include "gsmb/job_spec.h"
 #include "gsmb/status.h"
 #include "gsmb/sweep.h"
+#include "gsmb/telemetry.h"
 #include "serve/session.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -97,6 +98,7 @@ void PrintUsage(std::FILE* stream) {
       "            [--threads 1] [--out retained.csv]\n"
       "            [--mode batch|streaming|serving|auto]\n"
       "            [--streaming [--shards 16]] [--memory-budget-mb M]\n"
+      "            [--trace-out trace.json] [--metrics-out metrics.json]\n"
       "   or: gsmb explain [--config job.json] [--format text|json]\n"
       "            [flags as for run]\n"
       "   or: gsmb sweep --config sweep.json [--csv results.csv]\n"
@@ -261,12 +263,59 @@ bool WantsHelp(int argc, char** argv, int begin) {
   return false;
 }
 
+/// Telemetry output paths — CLI-level concerns, peeled off before the
+/// spec-flag parser (a JobSpec describes the job, not where its trace
+/// goes).
+struct TelemetryFlags {
+  std::string trace_path;
+  std::string metrics_path;
+
+  bool wanted() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+Status ExtractTelemetryFlags(std::vector<std::string>* raw,
+                             TelemetryFlags* out) {
+  for (size_t i = 0; i < raw->size();) {
+    std::string* target = nullptr;
+    if ((*raw)[i] == "--trace-out") target = &out->trace_path;
+    else if ((*raw)[i] == "--metrics-out") target = &out->metrics_path;
+    if (target == nullptr) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= raw->size()) {
+      return Status::InvalidArgument((*raw)[i] + " needs a file path");
+    }
+    *target = (*raw)[i + 1];
+    raw->erase(raw->begin() + i, raw->begin() + i + 2);
+  }
+  return Status::Ok();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content,
+                     const char* flag) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound(std::string("cannot write ") + flag +
+                            " file: " + path);
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    return Status::Internal(std::string("error writing ") + flag +
+                            " file: " + path);
+  }
+  return Status::Ok();
+}
+
 Result<JobSpec> SpecFromRunArgs(int argc, char** argv, int begin,
-                                RunFlagState* state) {
+                                RunFlagState* state, TelemetryFlags* telemetry) {
   JobSpec spec;
   cli::ArgStream scan(argc, argv, begin);
   std::vector<std::string> raw;
   while (!scan.Done()) raw.push_back(scan.Take());
+  Status peeled = ExtractTelemetryFlags(&raw, telemetry);
+  if (!peeled.ok()) return peeled;
   Result<std::vector<std::string>> rest = cli::ExtractConfig(raw, &spec);
   if (!rest.ok()) return rest.status();
   cli::ArgStream args(std::move(*rest));
@@ -329,16 +378,38 @@ int RunMain(int argc, char** argv, int begin) {
     return 0;
   }
   RunFlagState state;
-  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state);
+  TelemetryFlags telemetry;
+  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state, &telemetry);
   if (!spec.ok()) return Fail(spec.status(), /*with_usage=*/true);
 
   Status valid = spec->Validate();
   if (!valid.ok()) return Fail(valid, /*with_usage=*/true);
 
+  // The sink outlives the run and is uninstalled before export; without
+  // --trace-out/--metrics-out nothing is installed and every
+  // instrumentation site stays a relaxed load + branch.
+  obs::TelemetrySink sink;
+  if (telemetry.wanted()) obs::InstallSink(&sink);
+
   Engine engine;
   Result<JobResult> result = engine.Run(*spec);
+
+  if (telemetry.wanted()) obs::InstallSink(nullptr);
   if (!result.ok()) return Fail(result.status());
   PrintJobResult(*spec, *result);
+
+  if (!telemetry.trace_path.empty()) {
+    Status written =
+        WriteTextFile(telemetry.trace_path, sink.TraceJson(), "--trace-out");
+    if (!written.ok()) return Fail(written);
+    std::printf("Wrote Chrome trace to %s\n", telemetry.trace_path.c_str());
+  }
+  if (!telemetry.metrics_path.empty()) {
+    Status written = WriteTextFile(telemetry.metrics_path, sink.MetricsJson(),
+                                   "--metrics-out");
+    if (!written.ok()) return Fail(written);
+    std::printf("Wrote metrics to %s\n", telemetry.metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -729,18 +800,34 @@ void PrintServeHelp() {
       "  queryfile <csv>  query every profile of the CSV (top 3 each)\n"
       "  retained <csv>   write the retained pairs as CSV\n"
       "  save <path>      write a session snapshot\n"
-      "  stats            session counters\n"
+      "  stats            session counters + latency percentiles\n"
       "  help             this text\n"
       "  quit             exit\n");
 }
 
-void PrintStats(const MetaBlockingSession& session) {
+void PrintStats(const MetaBlockingSession& session,
+                const obs::TelemetrySink* sink = nullptr) {
   const SessionStats stats = session.Stats();
   std::printf(
       "profiles %zu | shards %zu (%zu dirty) | blocks %zu | candidates %zu "
       "| retained %zu\n",
       stats.num_profiles, stats.num_shards, stats.dirty_shards,
       stats.num_blocks, stats.num_candidates, stats.num_retained);
+  if (sink == nullptr) return;
+  // Latency lines from the registry's histograms — one per session verb
+  // that has been exercised since the REPL started.
+  const obs::MetricsSnapshot metrics = sink->SnapshotMetrics();
+  for (const char* name : {"serve.query.latency_us", "serve.refresh.latency_us",
+                           "serve.ingest.latency_us"}) {
+    auto it = metrics.histograms.find(name);
+    if (it == metrics.histograms.end() || it->second.count == 0) continue;
+    const obs::HistogramData& h = it->second;
+    std::printf(
+        "%-24s n %llu | p50 %.0f us | p95 %.0f us | p99 %.0f us | max %.0f "
+        "us\n",
+        name, static_cast<unsigned long long>(h.count), h.Percentile(0.50),
+        h.Percentile(0.95), h.Percentile(0.99), h.max);
+  }
 }
 
 void PrintQuery(const MetaBlockingSession& session, const EntityProfile& probe,
@@ -763,6 +850,10 @@ void PrintQuery(const MetaBlockingSession& session, const EntityProfile& probe,
 }
 
 int RunServeLoop(MetaBlockingSession& session) {
+  // Registry behind the `stats` command: the session records its
+  // ingest/refresh/query latency histograms while this sink is installed.
+  obs::TelemetrySink sink;
+  obs::InstallSink(&sink);
   PrintStats(session);
   std::printf("ready — type 'help' for commands\n");
 
@@ -795,7 +886,7 @@ int RunServeLoop(MetaBlockingSession& session) {
       } else if (command == "help") {
         PrintServeHelp();
       } else if (command == "stats") {
-        PrintStats(session);
+        PrintStats(session, &sink);
       } else if (command == "refresh") {
         Stopwatch watch;
         const size_t refreshed = session.Refresh();
@@ -864,6 +955,7 @@ int RunServeLoop(MetaBlockingSession& session) {
       std::printf("error: %s\n", e.what());
     }
   }
+  obs::InstallSink(nullptr);
   return 0;
 }
 

@@ -35,6 +35,15 @@ time instead of waiting for a flaky paper_shape run:
       write per-chunk slots and be folded in chunk order (see
       DeterministicChunks in util/thread_pool.h).
 
+  raw-clock
+      std::chrono (or clock_gettime/gettimeofday) outside the sanctioned
+      clock owners: src/obs/ (the telemetry subsystem), src/util/
+      (Stopwatch) and bench/ (benchmarks time themselves by design).
+      Scattered clock reads become scattered timing side channels that
+      leak into output ordering decisions and make perf numbers
+      incomparable; time pipeline phases with obs::ScopedPhase /
+      GSMB_SPAN or a util/stopwatch.h Stopwatch instead.
+
 Escape hatch: the marker
 
     // gsmb-lint: allow(<rule>)
@@ -61,6 +70,7 @@ RULES = (
     "raw-random",
     "raw-thread",
     "float-reduction",
+    "raw-clock",
 )
 
 # Directories scanned by default, relative to the repo root.
@@ -343,6 +353,46 @@ def check_float_reduction(path, raw_lines, allow_map, findings):
 
 
 # ---------------------------------------------------------------------------
+# Rule: raw-clock
+
+RAW_CLOCK_PATTERNS = (
+    (re.compile(r"\bstd::chrono\b"), "std::chrono"),
+    (re.compile(r"\b(?:steady|system|high_resolution)_clock\b"),
+     "standard clock type"),
+    (re.compile(r"\bclock_gettime\s*\(|\bgettimeofday\s*\("),
+     "POSIX clock call"),
+)
+
+
+def clock_exempt(path):
+    p = path.replace(os.sep, "/")
+    # The sanctioned clock owners: the telemetry subsystem, util/ (the
+    # Stopwatch), and benchmarks (which time themselves by design).
+    for d in ("obs", "util", "bench"):
+        if "/%s/" % d in p or p.startswith(d + "/"):
+            return True
+    return False
+
+
+def check_raw_clock(path, raw_lines, allow_map, findings):
+    rule = "raw-clock"
+    if clock_exempt(path):
+        return
+    for idx, line in enumerate(raw_lines, start=1):
+        code = strip_strings_and_comments(line)
+        for pattern, what in RAW_CLOCK_PATTERNS:
+            if pattern.search(code) and not is_allowed(allow_map, idx, rule):
+                findings.append(
+                    Finding(
+                        path, idx, rule,
+                        "%s outside src/obs//src/util//bench: time phases "
+                        "with obs::ScopedPhase or GSMB_SPAN (gsmb/"
+                        "telemetry.h), or a util/stopwatch.h Stopwatch"
+                        % what))
+                break
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 def lint_files(paths, root):
@@ -366,6 +416,7 @@ def lint_files(paths, root):
         check_raw_random(rel, raw_lines, allow_map, findings)
         check_raw_thread(rel, raw_lines, allow_map, findings)
         check_float_reduction(rel, raw_lines, allow_map, findings)
+        check_raw_clock(rel, raw_lines, allow_map, findings)
     return findings
 
 
@@ -408,6 +459,7 @@ def self_test(root):
     expect("bad_raw_random.cc", ["raw-random"])
     expect("bad_raw_thread.cc", ["raw-thread"])
     expect("bad_float_reduction.cc", ["float-reduction"])
+    expect("bad_raw_clock.cc", ["raw-clock"])
     expect("good.cc", [])
     expect("allowed.cc", [])
 
@@ -416,7 +468,7 @@ def self_test(root):
         for f in failures:
             print("  " + f)
         return 1
-    print("self-test passed: 4 bad fixtures tripped their rule, "
+    print("self-test passed: 5 bad fixtures tripped their rule, "
           "2 clean fixtures stayed clean")
     return 0
 

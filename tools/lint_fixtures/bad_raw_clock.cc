@@ -1,0 +1,13 @@
+// Lint fixture: a raw clock read outside src/obs//src/util//bench.
+// MUST trip raw-clock (and only that rule).
+#include <chrono>
+#include <ctime>
+
+double AdHocPhaseSeconds() {
+  const auto begin = std::chrono::steady_clock::now();
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count() +
+         static_cast<double>(ts.tv_sec);
+}

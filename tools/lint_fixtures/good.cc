@@ -1,5 +1,5 @@
 // Lint fixture: the sanctioned version of every banned pattern. MUST be
-// clean under all four rules.
+// clean under all five rules.
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
