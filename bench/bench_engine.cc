@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "gsmb/digest.h"
 #include "gsmb/engine.h"
 #include "gsmb/job_spec.h"
 #include "util/stopwatch.h"
@@ -54,6 +55,10 @@ size_t EnvThreads() {
 struct BenchRow {
   std::string name;
   double real_time_ms = 0.0;
+  /// Retained-set provenance digest (gsmb/digest.h), empty on rows that
+  /// time non-run work (prepare cold/cached). bench_diff.py hard-fails on
+  /// any digest change: timings drift, retained sets must not.
+  std::string retained_digest;
 };
 
 bool EmitBenchJson(const std::string& path, double scale, size_t threads,
@@ -73,8 +78,12 @@ bool EmitBenchJson(const std::string& path, double scale, size_t threads,
         << "      \"name\": \"" << rows[i].name << "\",\n"
         << "      \"run_type\": \"iteration\",\n"
         << "      \"real_time\": " << rows[i].real_time_ms << ",\n"
-        << "      \"time_unit\": \"ms\"\n"
-        << "    }" << (i + 1 == rows.size() ? "\n" : ",\n");
+        << "      \"time_unit\": \"ms\"";
+    if (!rows[i].retained_digest.empty()) {
+      out << ",\n      \"retained_digest\": \"" << rows[i].retained_digest
+          << "\"";
+    }
+    out << "\n    }" << (i + 1 == rows.size() ? "\n" : ",\n");
   }
   out << "  ]\n}\n";
   out.close();
@@ -124,6 +133,7 @@ int main(int argc, char** argv) {
   for (PruningKind pruning : {PruningKind::kBlast, PruningKind::kRcnp}) {
     spec.pruning.kind = pruning;
     size_t reference_retained = 0;
+    uint64_t reference_digest = 0;
     bool have_reference = false;
     for (const std::string& backend : engine.BackendNames()) {
       Stopwatch watch;
@@ -143,15 +153,21 @@ int main(int argc, char** argv) {
                     TablePrinter::Fixed(result->total_seconds * 1e3, 1)});
       bench_rows.push_back({"engine/" + backend + "/" +
                                 PruningKindName(pruning),
-                            engine_ms});
+                            engine_ms,
+                            obs::DigestHex(result->retained_digest)});
       if (!have_reference) {
         reference_retained = result->metrics.retained;
+        reference_digest = result->retained_digest;
         have_reference = true;
-      } else if (result->metrics.retained != reference_retained) {
+      } else if (result->metrics.retained != reference_retained ||
+                 result->retained_digest != reference_digest) {
         std::fprintf(stderr,
-                     "MISMATCH: %s retained %zu pairs, expected %zu\n",
+                     "MISMATCH: %s retained %zu pairs (digest %s), "
+                     "expected %zu (digest %s)\n",
                      backend.c_str(), result->metrics.retained,
-                     reference_retained);
+                     obs::DigestHex(result->retained_digest).c_str(),
+                     reference_retained,
+                     obs::DigestHex(reference_digest).c_str());
         consistent = false;
       }
     }
@@ -216,6 +232,7 @@ int main(int argc, char** argv) {
   }
 
   if (!consistent) return 1;
-  std::printf("ENGINE BENCH OK: all backends retained identical counts\n");
+  std::printf(
+      "ENGINE BENCH OK: all backends retained identical sets (digests)\n");
   return 0;
 }

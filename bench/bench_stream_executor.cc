@@ -27,6 +27,7 @@
 #include "core/pipeline.h"
 #include "datasets/dirty_generator.h"
 #include "datasets/specs.h"
+#include "gsmb/digest.h"
 #include "gsmb/telemetry.h"
 #include "stream/streaming_dataset.h"
 #include "stream/streaming_executor.h"
@@ -106,11 +107,20 @@ int RunChild(const std::string& mode, const std::string& props_path) {
     const PreparedDataset prep =
         PrepareDirty("bench", data.entities, std::move(gt), blocking);
     props["prep_ms"] = std::to_string(watch.ElapsedMillis());
+    MetaBlockingConfig digest_config = config;
+    digest_config.keep_retained = true;
     watch.Restart();
-    const MetaBlockingResult result = RunMetaBlocking(prep, config);
+    const MetaBlockingResult result = RunMetaBlocking(prep, digest_config);
     props["run_ms"] = std::to_string(watch.ElapsedMillis());
+    obs::PairSetDigest digest;
+    for (uint32_t index : result.retained_indices) {
+      const CandidatePair& pair = prep.pairs[index];
+      digest.AddPair(data.entities[pair.left].external_id(),
+                     data.entities[pair.right].external_id());
+    }
     props["pairs"] = std::to_string(prep.pairs.size());
     props["retained"] = std::to_string(result.metrics.retained);
+    props["retained_digest"] = digest.Hex();
   } else {
     Stopwatch watch;
     GroundTruth gt = data.ground_truth;
@@ -124,10 +134,17 @@ int RunChild(const std::string& mode, const std::string& props_path) {
     // stream.shard.fold_us histogram, recorded by the executor itself.
     obs::TelemetrySink sink;
     obs::InstallSink(&sink);
+    obs::PairSetDigest digest;
+    const StreamingExecutor::RetainedSink retained_sink =
+        [&](uint32_t, const CandidatePair& pair, double) {
+          digest.AddPair(data.entities[pair.left].external_id(),
+                         data.entities[pair.right].external_id());
+        };
     watch.Restart();
     const StreamingResult result =
-        StreamingExecutor(prep, options).Run(config);
+        StreamingExecutor(prep, options).Run(config, retained_sink);
     props["run_ms"] = std::to_string(watch.ElapsedMillis());
+    props["retained_digest"] = digest.Hex();
     obs::InstallSink(nullptr);
     const obs::MetricsSnapshot snapshot = sink.SnapshotMetrics();
     const auto fold = snapshot.histograms.find("stream.shard.fold_us");
@@ -178,6 +195,10 @@ void EmitBenchJson(const std::string& path, const Props& stream,
       if (props.count(key) != 0) {
         out << ",\n      \"" << key << "\": " << PropDouble(props, key);
       }
+    }
+    if (props.count("retained_digest") != 0) {
+      out << ",\n      \"retained_digest\": \""
+          << props.at("retained_digest") << "\"";
     }
     out << "\n    }" << (last ? "\n" : ",\n");
   };
@@ -241,11 +262,17 @@ int RunParent(const char* self, const std::string& json_path) {
   EmitBenchJson(json_path, stream, batch, ratio);
   std::printf("wrote %s\n", json_path.c_str());
 
+  const auto prop = [](const Props& props, const char* key) {
+    auto it = props.find(key);
+    return it == props.end() ? std::string() : it->second;
+  };
   if (PropDouble(stream, "retained") != PropDouble(batch, "retained") ||
-      PropDouble(stream, "pairs") != PropDouble(batch, "pairs")) {
+      PropDouble(stream, "pairs") != PropDouble(batch, "pairs") ||
+      prop(stream, "retained_digest") != prop(batch, "retained_digest") ||
+      prop(stream, "retained_digest").empty()) {
     std::fprintf(stderr,
                  "FAIL: streaming and batch disagree on candidate/retained "
-                 "counts\n");
+                 "counts or retained-set digests\n");
     return 1;
   }
   std::printf("STREAM BENCH OK\n");

@@ -113,6 +113,27 @@ struct JobResult {
   /// gauges. Built per job, never from global state, so concurrent sweep
   /// variants carry independent, deterministic snapshots.
   obs::MetricsSnapshot telemetry;
+
+  // -- Provenance (gsmb/digest.h, gsmb/report.h) ----------------------------
+
+  /// Content fingerprint of the inputs this run consumed
+  /// (obs::DatasetFingerprint over profiles + ground truth).
+  uint64_t dataset_fingerprint = 0;
+  /// Digest of the blocked preparation executed against
+  /// (obs::PreparedStreamDigest). 0 for backends that never build the
+  /// global blocked representation (serving builds per-shard sessions),
+  /// and treated as "not applicable" by report comparison.
+  uint64_t prepared_digest = 0;
+  /// Order-independent digest of the retained-pair set
+  /// (obs::PairSetDigest over external-id pairs). Computed by every
+  /// backend on every run — with or without keep_retained or a CSV path —
+  /// and bit-identical across backends, thread counts and shard counts
+  /// whenever the retained sets match. This is the semantic-drift signal
+  /// `gsmb_cli report diff` and bench_diff.py key on.
+  uint64_t retained_digest = 0;
+  /// Retained pairs behind `retained_digest` (|retained set|; also
+  /// pairs.retained in `telemetry`).
+  uint64_t retained_count = 0;
 };
 
 /// A registered execution backend. Implementations load the spec's dataset,

@@ -1,0 +1,184 @@
+// Structured event log: leveled, thread-safe, JSONL-exportable — the
+// second floor of src/obs/, sharing the telemetry subsystem's design
+// contract (gsmb/telemetry.h):
+//
+//   * Compiled in, but cheap when off. No sink installed means every
+//     GSMB_LOG site is one relaxed atomic load and a branch — the field
+//     list is never constructed, no clock read, no allocation, no lock.
+//   * Per-thread aggregation. Each thread appends records to its own
+//     slot inside the sink (its own uncontended mutex), so logging adds
+//     no cross-thread ordering and cannot perturb retained-pair
+//     determinism.
+//   * Deterministic flush ordering. Every record carries a logical
+//     thread id (registration order, mirroring MetricsSnapshot) and a
+//     per-thread sequence number; exports merge slots sorted by
+//     (tid, seq), so the record order of an export never depends on
+//     scheduling. Timestamps are carried for humans but never ordered
+//     on.
+//
+// Events are structured, not printf strings: a dotted event name
+// ("prepare.done", "sweep.variant.done") plus typed key/value fields,
+// exported one JSON object per line (JSONL). Diagnostics inside src/
+// go through this log — lint_determinism.py forbids direct std::cout /
+// std::cerr writes there.
+
+#ifndef GSMB_LOG_H_
+#define GSMB_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsmb {
+namespace obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+
+/// One typed key/value of a log record. The constructor set covers the
+/// integral types unambiguously on any platform (int64_t/uint64_t/size_t
+/// are typedefs of these), so call sites pass values as-is.
+struct LogField {
+  enum class Kind { kString, kU64, kI64, kF64, kBool };
+
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string str;   // kString
+  uint64_t u64 = 0;  // kU64, kBool (0/1)
+  int64_t i64 = 0;   // kI64
+  double f64 = 0.0;  // kF64
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), u64(v ? 1 : 0) {}
+  LogField(std::string_view k, double v) : key(k), kind(Kind::kF64), f64(v) {}
+  LogField(std::string_view k, int v)
+      : key(k), kind(Kind::kI64), i64(v) {}
+  LogField(std::string_view k, long v)
+      : key(k), kind(Kind::kI64), i64(v) {}
+  LogField(std::string_view k, long long v)
+      : key(k), kind(Kind::kI64), i64(v) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), kind(Kind::kU64), u64(v) {}
+  LogField(std::string_view k, unsigned long v)
+      : key(k), kind(Kind::kU64), u64(v) {}
+  LogField(std::string_view k, unsigned long long v)
+      : key(k), kind(Kind::kU64), u64(v) {}
+
+  bool operator==(const LogField& other) const = default;
+};
+
+/// One logged event. `tid` is the logical thread id (slot registration
+/// order inside the sink); `seq` the per-thread record index. (tid, seq)
+/// is the deterministic export order; `ts_us` (microseconds since the
+/// process telemetry epoch, shared with span timestamps) is informational.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string event;
+  std::vector<LogField> fields;
+  double ts_us = 0.0;
+  uint32_t tid = 0;
+  uint64_t seq = 0;
+};
+
+/// Collects log records from any number of threads. Same slot protocol
+/// as TelemetrySink: recording locks only the calling thread's own slot;
+/// exports lock the slot list and merge deterministically. A sink must
+/// outlive every thread that records into it while installed.
+class LogSink {
+ public:
+  explicit LogSink(LogLevel min_level = LogLevel::kDebug);
+  ~LogSink();
+  LogSink(const LogSink&) = delete;
+  LogSink& operator=(const LogSink&) = delete;
+
+  LogLevel min_level() const { return min_level_; }
+  bool Enabled(LogLevel level) const { return level >= min_level_; }
+
+  /// Appends one record to the calling thread's slot (thread-safe).
+  /// Levels below min_level are dropped (GSMB_LOG checks before building
+  /// the field list, so a dropped record costs two branches).
+  void Log(LogLevel level, std::string_view event,
+           std::vector<LogField> fields);
+
+  /// All records, merged across threads, sorted by (tid, seq) — the
+  /// deterministic flush order (thread-safe).
+  std::vector<LogRecord> Records() const;
+
+  /// JSONL export: one JSON object per record, in Records() order, each
+  /// line `{"ts_us":..,"tid":..,"seq":..,"level":..,"event":..,
+  /// "fields":{...}}`.
+  std::string JsonLines() const;
+
+ private:
+  struct ThreadState;
+  ThreadState* StateForThisThread();
+
+  LogLevel min_level_;
+  mutable std::mutex mu_;  // guards thread_states_ (slot list only)
+  std::vector<std::unique_ptr<ThreadState>> thread_states_;
+};
+
+// ---------------------------------------------------------------------------
+// Global installation — the one relaxed atomic the fast path reads.
+
+namespace detail {
+extern std::atomic<LogSink*> g_log_sink;
+}  // namespace detail
+
+/// The installed log sink, or nullptr. Relaxed load: GSMB_LOG sites
+/// branch on this and do nothing else when logging is off.
+inline LogSink* CurrentLogSink() {
+  return detail::g_log_sink.load(std::memory_order_relaxed);
+}
+
+/// Installs `sink` process-wide (nullptr uninstalls). The caller owns
+/// the sink and must uninstall before destroying it; threads logging
+/// concurrently with Install may attribute to either sink.
+void InstallLogSink(LogSink* sink);
+
+/// GSMB_LOG(level, "event.name", {"key", value}, ...): logs a structured
+/// event when a sink is installed and the level passes its floor. The
+/// field initializers are inside the sink-checked branch, so with no
+/// sink the whole statement is one relaxed load plus a branch.
+#define GSMB_LOG(level, event, ...)                                         \
+  do {                                                                      \
+    if (::gsmb::obs::LogSink* gsmb_log_sink_ =                              \
+            ::gsmb::obs::CurrentLogSink()) {                                \
+      if (gsmb_log_sink_->Enabled(level)) {                                 \
+        gsmb_log_sink_->Log(                                                \
+            level, event,                                                   \
+            std::vector<::gsmb::obs::LogField>{__VA_ARGS__});               \
+      }                                                                     \
+    }                                                                       \
+  } while (0)
+
+#define GSMB_LOG_DEBUG(event, ...) \
+  GSMB_LOG(::gsmb::obs::LogLevel::kDebug, event __VA_OPT__(, ) __VA_ARGS__)
+#define GSMB_LOG_INFO(event, ...) \
+  GSMB_LOG(::gsmb::obs::LogLevel::kInfo, event __VA_OPT__(, ) __VA_ARGS__)
+#define GSMB_LOG_WARN(event, ...) \
+  GSMB_LOG(::gsmb::obs::LogLevel::kWarn, event __VA_OPT__(, ) __VA_ARGS__)
+#define GSMB_LOG_ERROR(event, ...) \
+  GSMB_LOG(::gsmb::obs::LogLevel::kError, event __VA_OPT__(, ) __VA_ARGS__)
+
+}  // namespace obs
+}  // namespace gsmb
+
+#endif  // GSMB_LOG_H_

@@ -89,6 +89,15 @@ class PreparedInputs {
   /// materialize_seconds is reported as generate_seconds, the same phase
   /// that cost lands in when streaming regenerates pairs per shard.)
   double prepare_seconds = 0.0;
+  /// Content fingerprint of the loaded dataset (obs::DatasetFingerprint):
+  /// profiles + ground truth, independent of how they were loaded.
+  /// Flows into JobResult and run reports (gsmb/report.h).
+  uint64_t dataset_fingerprint = 0;
+  /// Digest of the blocked representation (obs::PreparedStreamDigest):
+  /// post-purge/filter blocks + candidate count. Equal digests imply the
+  /// same candidate space — the artifact ROADMAP item 1's prepared
+  /// snapshots and golden-preparation diffs verify against.
+  uint64_t prepared_digest = 0;
 
   uint64_t num_candidates() const { return stream.num_candidates(); }
 

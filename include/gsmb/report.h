@@ -1,0 +1,82 @@
+// gsmb::obs::RunReport — self-describing run provenance documents.
+//
+// A run report is the durable, comparable record of one Engine::Run (or
+// one RunSweep): the canonical spec that ran, content digests of what it
+// consumed and produced (gsmb/digest.h), effectiveness metrics, the
+// per-run MetricsSnapshot, and environment/build info. Two reports agree
+// on their SEMANTIC fields exactly when the runs computed the same
+// thing:
+//
+//   semantic   spec minus its execution/output sections, the dataset
+//              fingerprint, the prepared digest (when both runs built
+//              the global blocked representation), the retained-set
+//              digest and count, and PC/PQ/F1.
+//   perf-only  everything else: backend name, thread/shard counts,
+//              phase timings, telemetry, environment.
+//
+// That split is the point: the same spec run on a different backend, a
+// different thread count or a different machine must diff clean on the
+// semantic fields (`gsmb_cli report diff` exits 0), while a changed
+// retained set — even one pair — is semantic drift (exit 1). CI keeps a
+// committed golden report and fails on semantic drift against it.
+
+#ifndef GSMB_REPORT_H_
+#define GSMB_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "gsmb/engine.h"
+#include "gsmb/status.h"
+#include "gsmb/sweep.h"
+
+namespace gsmb {
+namespace obs {
+
+/// Schema tag + version written into every report document.
+inline constexpr const char* kRunReportSchema = "gsmb.run_report";
+inline constexpr const char* kSweepReportSchema = "gsmb.sweep_report";
+inline constexpr uint64_t kReportSchemaVersion = 1;
+
+/// The report of one Engine::Run/RunOn/Execute result, as indented JSON
+/// (trailing newline included). `spec` must be the spec that produced
+/// `result`.
+std::string RunReportJson(const JobSpec& spec, const JobResult& result);
+
+/// One document for a whole sweep: the sweep spec plus a per-variant
+/// fold of the run-report fields (label, spec, provenance, metrics,
+/// execution), in expansion order, with environment/telemetry reported
+/// once at the top level.
+std::string SweepReportJson(const SweepSpec& sweep,
+                            const SweepResult& result);
+
+/// How two reports differ.
+enum class DriftKind {
+  kNone,      ///< semantically and observationally identical
+  kPerfOnly,  ///< only timings/backend/environment fields differ
+  kSemantic,  ///< digests, metrics or the effective spec differ
+};
+
+const char* DriftKindName(DriftKind kind);
+
+struct ReportDiff {
+  DriftKind kind = DriftKind::kNone;
+  /// Human-readable "path: A-value != B-value" lines, one per drifted
+  /// semantic field.
+  std::vector<std::string> semantic;
+  /// Same, for perf/informational fields (advisory).
+  std::vector<std::string> perf;
+};
+
+/// Parses two report documents (both run reports or both sweep reports)
+/// and classifies their drift. Sweep reports are matched variant-by-
+/// variant on the label; a variant present on one side only is semantic
+/// drift. Fails with a diagnostic on malformed documents or mismatched
+/// schemas.
+Result<ReportDiff> DiffReports(const std::string& report_a,
+                               const std::string& report_b);
+
+}  // namespace obs
+}  // namespace gsmb
+
+#endif  // GSMB_REPORT_H_

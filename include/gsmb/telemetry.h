@@ -139,6 +139,11 @@ class TelemetrySink {
 
 namespace detail {
 extern std::atomic<TelemetrySink*> g_sink;
+/// Microseconds since the process telemetry epoch (the first clock read).
+/// Shared by spans and the event log (gsmb/log.h) so all observability
+/// timestamps sit on one timeline. Defined in src/obs/telemetry.cc — the
+/// sanctioned clock owner.
+double NowMicros();
 }  // namespace detail
 
 /// The installed sink, or nullptr. Relaxed load: instrumentation sites

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "api/backends.h"
+#include "gsmb/digest.h"
+#include "gsmb/log.h"
 
 namespace gsmb::api {
 
@@ -42,7 +44,10 @@ Result<JobResult> RunBatchOn(const JobSpec& spec,
 
   MetaBlockingConfig config = ConfigFromSpec(spec);
   const bool want_csv = !spec.output.retained_csv.empty();
-  config.keep_retained = want_csv || spec.output.keep_retained;
+  // The retained indices always survive the pipeline now: the provenance
+  // digest below folds every retained pair, CSV output or not. The cost is
+  // one uint32 per retained pair, dwarfed by the materialised batch arrays.
+  config.keep_retained = true;
 
   PreparedRef ref;
   ref.name = &prepared.stream.name;
@@ -69,6 +74,22 @@ Result<JobResult> RunBatchOn(const JobSpec& spec,
   phases.Add(obs::Phase::kPairs, batch.materialize_seconds);
   ApplyPhaseTimings(phases, prepared.prepare_seconds, &result);
   result.shards_used = 1;
+
+  // Provenance: always computed — with or without keep_retained/CSV — so
+  // every run carries the semantic-drift signal reports compare on.
+  result.dataset_fingerprint = prepared.dataset_fingerprint;
+  result.prepared_digest = prepared.prepared_digest;
+  obs::PairSetDigest digest;
+  for (uint32_t index : run.retained_indices) {
+    const CandidatePair& pair = batch.pairs[index];
+    digest.AddPair(inputs.ExternalLeftId(pair.left),
+                   inputs.ExternalRightId(pair.right));
+  }
+  result.retained_digest = digest.Value();
+  result.retained_count = digest.count;
+  GSMB_LOG_INFO("run.done", {"backend", "batch"},
+                {"retained", digest.count},
+                {"retained_digest", obs::DigestHex(result.retained_digest)});
 
   // Retained indices are ascending, and the candidate order is ascending
   // (left, right) — the same order the streaming sink and a serving cold

@@ -18,6 +18,8 @@
 #include <utility>
 
 #include "api/backends.h"
+#include "gsmb/digest.h"
+#include "gsmb/log.h"
 #include "serve/serving_model.h"
 
 namespace gsmb::api {
@@ -99,6 +101,22 @@ Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
   // A session blocks during its own refresh (no prepared handle), so the
   // prepare cost is zero and kBlocking carries the re-block time.
   ApplyPhaseTimings(phases, /*prepare_seconds=*/0.0, &result);
+
+  // Provenance: the dataset fingerprint covers the inputs this session
+  // ingested; prepared_digest stays 0 (a session never builds the global
+  // blocked representation — report diff treats 0 as "not applicable").
+  result.dataset_fingerprint = obs::DatasetFingerprint(inputs);
+  obs::PairSetDigest digest;
+  for (const CandidatePair& pair : retained) {
+    digest.AddPair(inputs.ExternalLeftId(pair.left),
+                   inputs.ExternalRightId(pair.right));
+  }
+  result.retained_digest = digest.Value();
+  result.retained_count = digest.count;
+  GSMB_LOG_INFO("run.done", {"backend", "serving"},
+                {"retained", digest.count},
+                {"shards", stats.num_shards},
+                {"retained_digest", obs::DigestHex(result.retained_digest)});
 
   // Session pairs are sorted ascending (left, right) — the same order the
   // batch indices and the streaming sink produce.

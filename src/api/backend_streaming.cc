@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "api/backends.h"
+#include "gsmb/digest.h"
+#include "gsmb/log.h"
 #include "stream/streaming_executor.h"
 
 namespace gsmb::api {
@@ -60,20 +62,24 @@ Result<JobResult> RunStreamingOn(const JobSpec& spec,
     if (!csv.ok()) return csv.status();
     csv_file = std::move(*csv);
   }
-  StreamingExecutor::RetainedSink sink;
-  if (want_csv || spec.output.keep_retained) {
-    sink = [&](uint32_t, const CandidatePair& pair, double) {
-      const std::string& left = inputs.ExternalLeftId(pair.left);
-      const std::string& right = inputs.ExternalRightId(pair.right);
-      if (want_csv) {
-        AppendRetainedCsvRow(csv_file, left, right);
-        ++result.retained_csv_rows;
-      }
-      if (spec.output.keep_retained) {
-        result.retained.push_back({left, right});
-      }
-    };
-  }
+  // The sink is always installed: the retained-set digest is part of every
+  // JobResult (the provenance contract), not only of CSV/keep runs. The
+  // executor invokes it serially, in ascending global-index order; the
+  // digest is order-free anyway.
+  obs::PairSetDigest digest;
+  StreamingExecutor::RetainedSink sink =
+      [&](uint32_t, const CandidatePair& pair, double) {
+        const std::string& left = inputs.ExternalLeftId(pair.left);
+        const std::string& right = inputs.ExternalRightId(pair.right);
+        digest.AddPair(left, right);
+        if (want_csv) {
+          AppendRetainedCsvRow(csv_file, left, right);
+          ++result.retained_csv_rows;
+        }
+        if (spec.output.keep_retained) {
+          result.retained.push_back({left, right});
+        }
+      };
 
   StreamingResult run = executor.Run(ConfigFromSpec(spec), sink);
   if (want_csv) {
@@ -90,6 +96,15 @@ Result<JobResult> RunStreamingOn(const JobSpec& spec,
   ApplyPhaseTimings(run.phases, prepared.prepare_seconds, &result);
   result.shards_used = run.num_shards_used;
   result.sweeps = run.sweeps;
+
+  result.dataset_fingerprint = prepared.dataset_fingerprint;
+  result.prepared_digest = prepared.prepared_digest;
+  result.retained_digest = digest.Value();
+  result.retained_count = digest.count;
+  GSMB_LOG_INFO("run.done", {"backend", "streaming"},
+                {"retained", digest.count},
+                {"shards", run.num_shards_used},
+                {"retained_digest", obs::DigestHex(result.retained_digest)});
   return result;
 }
 

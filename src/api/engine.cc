@@ -16,6 +16,8 @@
 #include "datasets/dirty_generator.h"
 #include "datasets/io.h"
 #include "datasets/specs.h"
+#include "gsmb/digest.h"
+#include "gsmb/log.h"
 #include "gsmb/telemetry.h"
 #include "stream/streaming_executor.h"
 #include "util/csv.h"
@@ -126,6 +128,20 @@ Result<PreparedHandle> BuildPreparedInputs(const JobSpec& spec) {
     }
     prepared->prepare_seconds = watch.ElapsedSeconds();
     prepared->cache_key = PrepareCacheKey(spec);
+    // Provenance: fingerprint the inputs and the blocked representation
+    // while both are hot. One-off per preparation, shared by every run
+    // and sweep variant through the cache.
+    prepared->dataset_fingerprint =
+        obs::DatasetFingerprint(prepared->inputs);
+    prepared->prepared_digest = obs::PreparedStreamDigest(prepared->stream);
+    GSMB_LOG_INFO("prepare.done",
+                  {"candidates", prepared->num_candidates()},
+                  {"blocks", prepared->stream.blocks.size()},
+                  {"seconds", prepared->prepare_seconds},
+                  {"dataset_fingerprint",
+                   obs::DigestHex(prepared->dataset_fingerprint)},
+                  {"prepared_digest",
+                   obs::DigestHex(prepared->prepared_digest)});
     return PreparedHandle(std::move(prepared));
   } catch (const std::exception& e) {
     return Status::Internal(std::string("preparation failed: ") + e.what());
@@ -403,6 +419,7 @@ Result<PreparedHandle> Engine::Prepare(const JobSpec& spec) const {
     }
   }
   obs::CounterAdd(hit ? "prepare.cache.hit" : "prepare.cache.miss");
+  GSMB_LOG_DEBUG("prepare.cache", {"hit", hit});
   // Wait outside the lock: a still-building preparation must not serialize
   // unrelated Prepare() calls. Racers of one build share ONE handle.
   if (hit) return pending.get();

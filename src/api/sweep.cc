@@ -9,6 +9,7 @@
 #include "api/backends.h"
 #include "api/json.h"
 #include "api/spec_json.h"
+#include "gsmb/log.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -382,6 +383,9 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
   }
 
   std::vector<JobSpec> variants = sweep.Expand();
+  GSMB_LOG_INFO("sweep.start", {"variants", variants.size()},
+                {"cache_hits", after.hits - before.hits},
+                {"cache_misses", after.misses - before.misses});
   SweepResult result;
   result.variants.resize(variants.size());
   result.cache_hits = after.hits - before.hits;
@@ -405,8 +409,12 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
       if (run.ok()) {
         out.result = std::move(*run);
         out.status = Status::Ok();
+        GSMB_LOG_INFO("sweep.variant.done", {"label", out.label},
+                      {"retained", out.result.retained_count});
       } else {
         out.status = run.status();
+        GSMB_LOG_WARN("sweep.variant.failed", {"label", out.label},
+                      {"error", run.status().message()});
       }
     }
   });

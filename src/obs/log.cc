@@ -1,0 +1,153 @@
+// Event-log sink implementation. Shares the telemetry subsystem's
+// per-thread slot protocol and its process clock epoch (via
+// obs::detail::NowMicros), so log timestamps and span timestamps sit on
+// one timeline and recording never takes a contended lock.
+
+#include "gsmb/log.h"
+
+#include <algorithm>
+
+#include "api/json.h"
+#include "gsmb/telemetry.h"
+
+namespace gsmb {
+namespace obs {
+
+namespace detail {
+std::atomic<LogSink*> g_log_sink{nullptr};
+// Bumped on every install so per-thread slot caches from a previous
+// installation are never reused against a new one.
+std::atomic<uint64_t> g_log_install_epoch{0};
+}  // namespace detail
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// LogSink
+
+struct LogSink::ThreadState {
+  std::mutex mu;  // uncontended except against a concurrent export
+  std::vector<LogRecord> records;
+  uint32_t tid = 0;
+  uint64_t next_seq = 0;  // only its owner writes
+};
+
+namespace {
+// Per-thread slot cache: valid while (sink, install epoch) both match.
+thread_local LogSink* t_cached_log_sink = nullptr;
+thread_local uint64_t t_cached_log_epoch = 0;
+thread_local void* t_cached_log_state = nullptr;
+}  // namespace
+
+LogSink::LogSink(LogLevel min_level) : min_level_(min_level) {}
+LogSink::~LogSink() = default;
+
+LogSink::ThreadState* LogSink::StateForThisThread() {
+  uint64_t epoch =
+      detail::g_log_install_epoch.load(std::memory_order_relaxed);
+  if (t_cached_log_sink == this && t_cached_log_epoch == epoch) {
+    return static_cast<ThreadState*>(t_cached_log_state);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_states_.push_back(std::make_unique<ThreadState>());
+  ThreadState* state = thread_states_.back().get();
+  state->tid = static_cast<uint32_t>(thread_states_.size() - 1);
+  t_cached_log_sink = this;
+  t_cached_log_epoch = epoch;
+  t_cached_log_state = state;
+  return state;
+}
+
+void LogSink::Log(LogLevel level, std::string_view event,
+                  std::vector<LogField> fields) {
+  if (!Enabled(level)) return;
+  double now_us = detail::NowMicros();
+  ThreadState* state = StateForThisThread();
+  std::lock_guard<std::mutex> lock(state->mu);
+  LogRecord record;
+  record.level = level;
+  record.event = std::string(event);
+  record.fields = std::move(fields);
+  record.ts_us = now_us;
+  record.tid = state->tid;
+  record.seq = state->next_seq++;
+  state->records.push_back(std::move(record));
+}
+
+std::vector<LogRecord> LogSink::Records() const {
+  std::vector<LogRecord> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& state : thread_states_) {
+      std::lock_guard<std::mutex> state_lock(state->mu);
+      all.insert(all.end(), state->records.begin(), state->records.end());
+    }
+  }
+  // The deterministic flush order: logical thread id (registration
+  // order), then the thread's own sequence. Never the timestamp.
+  std::sort(all.begin(), all.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+std::string LogSink::JsonLines() const {
+  std::string out;
+  for (const LogRecord& record : Records()) {
+    json::Object line;
+    line["ts_us"] = json::Value(record.ts_us);
+    line["tid"] = json::Value(static_cast<uint64_t>(record.tid));
+    line["seq"] = json::Value(record.seq);
+    line["level"] = json::Value(LogLevelName(record.level));
+    line["event"] = json::Value(record.event);
+    json::Object fields;
+    for (const LogField& field : record.fields) {
+      switch (field.kind) {
+        case LogField::Kind::kString:
+          fields[field.key] = json::Value(field.str);
+          break;
+        case LogField::Kind::kU64:
+          fields[field.key] = json::Value(field.u64);
+          break;
+        case LogField::Kind::kI64:
+          fields[field.key] = json::Value(field.i64);
+          break;
+        case LogField::Kind::kF64:
+          fields[field.key] = json::Value(field.f64);
+          break;
+        case LogField::Kind::kBool:
+          fields[field.key] = json::Value(field.u64 != 0);
+          break;
+      }
+    }
+    line["fields"] = json::Value(std::move(fields));
+    out += json::Dump(json::Value(std::move(line)), /*indent=*/0);
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Installation
+
+void InstallLogSink(LogSink* sink) {
+  detail::g_log_install_epoch.fetch_add(1, std::memory_order_relaxed);
+  detail::g_log_sink.store(sink, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace gsmb

@@ -1,0 +1,415 @@
+// Run-report generation and diff classification. Reports are built with
+// the same insertion-ordered JSON model the spec layer uses, so a report
+// is stable, diff-friendly text; comparison happens on parsed values, so
+// formatting (indentation, member order) never causes false drift.
+
+#include "gsmb/report.h"
+
+#include "api/json.h"
+#include "api/spec_json.h"
+#include "gsmb/digest.h"
+
+namespace gsmb {
+namespace obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Building blocks
+
+json::Object MetricsSection(const JobResult& result) {
+  json::Object metrics;
+  // The paper's vocabulary: PC (pairs completeness) = recall, PQ (pairs
+  // quality) = precision.
+  metrics["pc"] = json::Value(result.metrics.recall);
+  metrics["pq"] = json::Value(result.metrics.precision);
+  metrics["f1"] = json::Value(result.metrics.f1);
+  metrics["true_positives"] = json::Value(result.metrics.true_positives);
+  metrics["retained"] = json::Value(result.metrics.retained);
+  return metrics;
+}
+
+json::Object ProvenanceSection(const JobResult& result) {
+  json::Object provenance;
+  provenance["dataset_fingerprint"] =
+      json::Value(DigestHex(result.dataset_fingerprint));
+  // A backend that never builds the global blocked representation
+  // (serving) reports no prepared digest; the key is OMITTED rather than
+  // zeroed so cross-backend diffs treat it as not applicable.
+  if (result.prepared_digest != 0) {
+    provenance["prepared_digest"] =
+        json::Value(DigestHex(result.prepared_digest));
+  }
+  provenance["retained_digest"] =
+      json::Value(DigestHex(result.retained_digest));
+  provenance["retained_count"] = json::Value(result.retained_count);
+  return provenance;
+}
+
+json::Object ExecutionSection(const JobResult& result) {
+  json::Object execution;
+  execution["backend"] = json::Value(result.backend);
+  execution["shards_used"] = json::Value(result.shards_used);
+  execution["sweeps"] = json::Value(result.sweeps);
+  execution["num_blocks"] = json::Value(result.num_blocks);
+  execution["num_candidates"] = json::Value(result.num_candidates);
+  execution["training_size"] = json::Value(result.training_size);
+  execution["retained_csv_rows"] = json::Value(result.retained_csv_rows);
+  json::Object timings;
+  timings["blocking_seconds"] = json::Value(result.blocking_seconds);
+  timings["generate_seconds"] = json::Value(result.generate_seconds);
+  timings["feature_seconds"] = json::Value(result.feature_seconds);
+  timings["train_seconds"] = json::Value(result.train_seconds);
+  timings["classify_seconds"] = json::Value(result.classify_seconds);
+  timings["prune_seconds"] = json::Value(result.prune_seconds);
+  timings["total_seconds"] = json::Value(result.total_seconds);
+  execution["timings"] = json::Value(std::move(timings));
+  return execution;
+}
+
+json::Object TelemetrySection(const MetricsSnapshot& snapshot) {
+  // Re-parse the canonical metrics JSON rather than re-deriving the
+  // layout: one serializer, one schema.
+  Result<json::Value> parsed = json::Parse(MetricsJson(snapshot));
+  if (parsed.ok() && parsed->is_object()) return std::move(parsed->AsObject());
+  return json::Object();
+}
+
+json::Object EnvironmentSection() {
+  json::Object environment;
+#if defined(__clang__)
+  environment["compiler"] = json::Value("clang");
+  environment["compiler_version"] =
+      json::Value(std::to_string(__clang_major__) + "." +
+                  std::to_string(__clang_minor__));
+#elif defined(__GNUC__)
+  environment["compiler"] = json::Value("gcc");
+  environment["compiler_version"] =
+      json::Value(std::to_string(__GNUC__) + "." +
+                  std::to_string(__GNUC_MINOR__));
+#else
+  environment["compiler"] = json::Value("unknown");
+  environment["compiler_version"] = json::Value("unknown");
+#endif
+#if defined(__linux__)
+  environment["platform"] = json::Value("linux");
+#elif defined(__APPLE__)
+  environment["platform"] = json::Value("darwin");
+#elif defined(_WIN32)
+  environment["platform"] = json::Value("windows");
+#else
+  environment["platform"] = json::Value("unknown");
+#endif
+#if defined(__x86_64__)
+  environment["arch"] = json::Value("x86_64");
+#elif defined(__aarch64__)
+  environment["arch"] = json::Value("aarch64");
+#else
+  environment["arch"] = json::Value("unknown");
+#endif
+#if defined(NDEBUG)
+  environment["assertions"] = json::Value(false);
+#else
+  environment["assertions"] = json::Value(true);
+#endif
+  environment["spec_version"] = json::Value(kJobSpecVersion);
+  return environment;
+}
+
+json::Object RunReportObject(const JobSpec& spec, const JobResult& result) {
+  json::Object report;
+  report["schema"] = json::Value(kRunReportSchema);
+  report["schema_version"] = json::Value(kReportSchemaVersion);
+  report["spec"] = api::JobSpecToJsonValue(spec);
+  report["provenance"] = json::Value(ProvenanceSection(result));
+  report["metrics"] = json::Value(MetricsSection(result));
+  report["execution"] = json::Value(ExecutionSection(result));
+  report["telemetry"] = json::Value(TelemetrySection(result.telemetry));
+  report["environment"] = json::Value(EnvironmentSection());
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Diff machinery
+
+std::string ScalarText(const json::Value& value) {
+  return json::Dump(value, /*indent=*/0);
+}
+
+/// Appends "path: A != B" lines for every leaf difference between two
+/// parsed values. Object members are matched by key (order ignored);
+/// numbers compare exactly — semantic doubles (PC/PQ/F1) are computed
+/// from identical integer counts by every backend, so bit-equality is
+/// the contract, not an approximation.
+void DiffValues(const json::Value& a, const json::Value& b,
+                const std::string& path, std::vector<std::string>* out) {
+  if (a.kind() != b.kind()) {
+    out->push_back(path + ": " + ScalarText(a) + " != " + ScalarText(b));
+    return;
+  }
+  switch (a.kind()) {
+    case json::Value::Kind::kObject: {
+      const json::Object& oa = a.AsObject();
+      const json::Object& ob = b.AsObject();
+      for (const auto& [key, value] : oa.members()) {
+        const json::Value* other = ob.Find(key);
+        if (other == nullptr) {
+          out->push_back(path + "." + key + ": present only in A");
+        } else {
+          DiffValues(value, *other, path + "." + key, out);
+        }
+      }
+      for (const auto& [key, value] : ob.members()) {
+        (void)value;
+        if (!oa.Contains(key)) {
+          out->push_back(path + "." + key + ": present only in B");
+        }
+      }
+      return;
+    }
+    case json::Value::Kind::kArray: {
+      const json::Array& aa = a.AsArray();
+      const json::Array& ab = b.AsArray();
+      if (aa.size() != ab.size()) {
+        out->push_back(path + ": array sizes " + std::to_string(aa.size()) +
+                       " != " + std::to_string(ab.size()));
+        return;
+      }
+      for (size_t i = 0; i < aa.size(); ++i) {
+        DiffValues(aa[i], ab[i], path + "[" + std::to_string(i) + "]", out);
+      }
+      return;
+    }
+    case json::Value::Kind::kNumber:
+      if (a.is_u64() && b.is_u64()) {
+        if (a.AsU64() != b.AsU64()) {
+          out->push_back(path + ": " + ScalarText(a) + " != " +
+                         ScalarText(b));
+        }
+        return;
+      }
+      if (a.AsDouble() != b.AsDouble()) {
+        out->push_back(path + ": " + ScalarText(a) + " != " + ScalarText(b));
+      }
+      return;
+    case json::Value::Kind::kNull:
+      return;
+    case json::Value::Kind::kBool:
+      if (a.AsBool() != b.AsBool()) {
+        out->push_back(path + ": " + ScalarText(a) + " != " + ScalarText(b));
+      }
+      return;
+    case json::Value::Kind::kString:
+      if (a.AsString() != b.AsString()) {
+        out->push_back(path + ": " + ScalarText(a) + " != " + ScalarText(b));
+      }
+      return;
+  }
+}
+
+/// The semantic view of a run-report-shaped object: the spec minus its
+/// execution/output sections, provenance and metrics. prepared_digest is
+/// kept only when BOTH sides report one — a serving run (which never
+/// builds the global blocked representation) must diff clean against a
+/// batch run of the same spec.
+json::Object SemanticView(const json::Object& report,
+                          const json::Object& other) {
+  json::Object view;
+  if (const json::Value* spec = report.Find("spec")) {
+    if (spec->is_object()) {
+      json::Object effective;
+      for (const auto& [key, value] : spec->AsObject().members()) {
+        if (key == "execution" || key == "output") continue;
+        effective[key] = value;
+      }
+      view["spec"] = json::Value(std::move(effective));
+    }
+  }
+  if (const json::Value* provenance = report.Find("provenance")) {
+    if (provenance->is_object()) {
+      json::Object effective;
+      const json::Value* other_provenance = other.Find("provenance");
+      for (const auto& [key, value] : provenance->AsObject().members()) {
+        if (key == "prepared_digest" &&
+            (other_provenance == nullptr || !other_provenance->is_object() ||
+             !other_provenance->AsObject().Contains(key))) {
+          continue;
+        }
+        effective[key] = value;
+      }
+      view["provenance"] = json::Value(std::move(effective));
+    }
+  }
+  if (const json::Value* metrics = report.Find("metrics")) {
+    view["metrics"] = *metrics;
+  }
+  return view;
+}
+
+/// Perf/informational view: execution (timings, backend, shard shape).
+/// Environment and telemetry are deliberately excluded — two machines or
+/// two thread counts always differ there, and listing those lines would
+/// bury real timing drift.
+json::Object PerfView(const json::Object& report) {
+  json::Object view;
+  if (const json::Value* execution = report.Find("execution")) {
+    view["execution"] = *execution;
+  }
+  return view;
+}
+
+void DiffRunReports(const json::Object& a, const json::Object& b,
+                    const std::string& path, ReportDiff* diff) {
+  DiffValues(json::Value(SemanticView(a, b)), json::Value(SemanticView(b, a)),
+             path + "semantic", &diff->semantic);
+  DiffValues(json::Value(PerfView(a)), json::Value(PerfView(b)),
+             path + "perf", &diff->perf);
+}
+
+const json::Value* FindVariant(const json::Array& variants,
+                               const std::string& label) {
+  for (const json::Value& variant : variants) {
+    if (!variant.is_object()) continue;
+    const json::Value* candidate = variant.AsObject().Find("label");
+    if (candidate != nullptr && candidate->is_string() &&
+        candidate->AsString() == label) {
+      return &variant;
+    }
+  }
+  return nullptr;
+}
+
+Status DiffSweepReports(const json::Object& a, const json::Object& b,
+                        ReportDiff* diff) {
+  const json::Value* variants_a = a.Find("variants");
+  const json::Value* variants_b = b.Find("variants");
+  if (variants_a == nullptr || !variants_a->is_array() ||
+      variants_b == nullptr || !variants_b->is_array()) {
+    return Status::InvalidArgument("sweep report lacks a 'variants' array");
+  }
+  for (const json::Value& variant : variants_a->AsArray()) {
+    if (!variant.is_object()) continue;
+    const json::Value* label = variant.AsObject().Find("label");
+    const std::string name =
+        label != nullptr && label->is_string() ? label->AsString() : "";
+    const json::Value* other = FindVariant(variants_b->AsArray(), name);
+    if (other == nullptr) {
+      diff->semantic.push_back("variant '" + name + "': present only in A");
+      continue;
+    }
+    DiffRunReports(variant.AsObject(), other->AsObject(),
+                   "variant '" + name + "' ", diff);
+  }
+  for (const json::Value& variant : variants_b->AsArray()) {
+    if (!variant.is_object()) continue;
+    const json::Value* label = variant.AsObject().Find("label");
+    const std::string name =
+        label != nullptr && label->is_string() ? label->AsString() : "";
+    if (FindVariant(variants_a->AsArray(), name) == nullptr) {
+      diff->semantic.push_back("variant '" + name + "': present only in B");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kNone:
+      return "none";
+    case DriftKind::kPerfOnly:
+      return "perf-only";
+    case DriftKind::kSemantic:
+      return "semantic";
+  }
+  return "unknown";
+}
+
+std::string RunReportJson(const JobSpec& spec, const JobResult& result) {
+  return json::Dump(json::Value(RunReportObject(spec, result))) + "\n";
+}
+
+std::string SweepReportJson(const SweepSpec& sweep,
+                            const SweepResult& result) {
+  json::Object report;
+  report["schema"] = json::Value(kSweepReportSchema);
+  report["schema_version"] = json::Value(kReportSchemaVersion);
+  report["base_spec"] = api::JobSpecToJsonValue(sweep.base);
+
+  json::Array variants;
+  for (const SweepVariant& variant : result.variants) {
+    json::Object entry;
+    entry["label"] = json::Value(variant.label);
+    entry["ok"] = json::Value(variant.status.ok());
+    if (!variant.status.ok()) {
+      entry["error"] = json::Value(variant.status.message());
+      variants.push_back(json::Value(std::move(entry)));
+      continue;
+    }
+    entry["spec"] = api::JobSpecToJsonValue(variant.spec);
+    entry["provenance"] = json::Value(ProvenanceSection(variant.result));
+    entry["metrics"] = json::Value(MetricsSection(variant.result));
+    entry["execution"] = json::Value(ExecutionSection(variant.result));
+    variants.push_back(json::Value(std::move(entry)));
+  }
+  report["variants"] = json::Value(std::move(variants));
+
+  json::Object sweep_stats;
+  sweep_stats["grid_size"] = json::Value(result.variants.size());
+  sweep_stats["cache_hits"] = json::Value(result.cache_hits);
+  sweep_stats["cache_misses"] = json::Value(result.cache_misses);
+  sweep_stats["prepare_seconds"] = json::Value(result.prepare_seconds);
+  sweep_stats["total_seconds"] = json::Value(result.total_seconds);
+  report["sweep"] = json::Value(std::move(sweep_stats));
+  report["telemetry"] = json::Value(TelemetrySection(result.telemetry));
+  report["environment"] = json::Value(EnvironmentSection());
+  return json::Dump(json::Value(std::move(report))) + "\n";
+}
+
+Result<ReportDiff> DiffReports(const std::string& report_a,
+                               const std::string& report_b) {
+  Result<json::Value> parsed_a = json::Parse(report_a);
+  if (!parsed_a.ok()) {
+    return Status::InvalidArgument("report A: " + parsed_a.status().message());
+  }
+  Result<json::Value> parsed_b = json::Parse(report_b);
+  if (!parsed_b.ok()) {
+    return Status::InvalidArgument("report B: " + parsed_b.status().message());
+  }
+  if (!parsed_a->is_object() || !parsed_b->is_object()) {
+    return Status::InvalidArgument("a report must be a JSON object");
+  }
+  const json::Object& a = parsed_a->AsObject();
+  const json::Object& b = parsed_b->AsObject();
+
+  auto schema_of = [](const json::Object& report) -> std::string {
+    const json::Value* schema = report.Find("schema");
+    return schema != nullptr && schema->is_string() ? schema->AsString() : "";
+  };
+  const std::string schema_a = schema_of(a);
+  const std::string schema_b = schema_of(b);
+  if (schema_a != kRunReportSchema && schema_a != kSweepReportSchema) {
+    return Status::InvalidArgument("report A: unknown schema '" + schema_a +
+                                   "'");
+  }
+  if (schema_a != schema_b) {
+    return Status::InvalidArgument("cannot diff a '" + schema_a +
+                                   "' against a '" + schema_b + "'");
+  }
+
+  ReportDiff diff;
+  if (schema_a == kSweepReportSchema) {
+    Status ok = DiffSweepReports(a, b, &diff);
+    if (!ok.ok()) return ok;
+  } else {
+    DiffRunReports(a, b, "", &diff);
+  }
+  diff.kind = !diff.semantic.empty() ? DriftKind::kSemantic
+              : !diff.perf.empty()   ? DriftKind::kPerfOnly
+                                     : DriftKind::kNone;
+  return diff;
+}
+
+}  // namespace obs
+}  // namespace gsmb

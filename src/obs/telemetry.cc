@@ -18,19 +18,21 @@ std::atomic<TelemetrySink*> g_sink{nullptr};
 // Bumped on every Install so per-thread slot caches from a previous
 // installation are never reused against a new one.
 std::atomic<uint64_t> g_install_epoch{0};
-}  // namespace detail
 
-namespace {
-
-// Microseconds since the first telemetry clock read in this process.
-// One shared epoch keeps span timestamps from different sinks (and the
-// trace as a whole) on a single timeline.
-double NowUs() {
+double NowMicros() {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point epoch = Clock::now();
   return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
       .count();
 }
+}  // namespace detail
+
+namespace {
+
+// Microseconds since the first telemetry clock read in this process.
+// One shared epoch keeps span timestamps from different sinks, event-log
+// records (and the trace as a whole) on a single timeline.
+double NowUs() { return detail::NowMicros(); }
 
 std::vector<double> MakeDefaultBounds() {
   // 1-2-5 series over seven decades: wide enough for microsecond query

@@ -11,6 +11,7 @@
 #include "blocking/block_stats.h"
 #include "blocking/entity_index.h"
 #include "core/features.h"
+#include "gsmb/log.h"
 #include "util/thread_pool.h"
 
 namespace gsmb {
@@ -92,6 +93,8 @@ std::vector<EntityId> MetaBlockingSession::AddProfiles(
   for (const EntityProfile& profile : batch) {
     ids.push_back(AddProfileLocked(profile));
   }
+  GSMB_LOG_DEBUG("serve.ingest", {"profiles", batch.size()},
+                 {"resident", profiles_.size()});
   return ids;
 }
 
@@ -248,6 +251,8 @@ size_t MetaBlockingSession::Refresh() {
   if (!dirty.empty()) {
     sync_->retained_count.store(kRetainedCountUnknown, std::memory_order_relaxed);
   }
+  GSMB_LOG_DEBUG("serve.refresh", {"dirty_shards", dirty.size()},
+                 {"shards", shards_.size()});
   return dirty.size();
 }
 

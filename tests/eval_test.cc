@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -20,6 +21,51 @@ MetaBlockingResult FakeResult(double recall, double precision, double rt) {
   r.metrics.retained = 100;
   r.total_seconds = rt;
   return r;
+}
+
+// Division edges: every count combination must produce finite metrics —
+// zero retained pairs means PQ (precision) and F1 are 0 by definition,
+// never 0/0 = NaN. Run reports serialise these values, and NaN is not
+// valid JSON.
+TEST(Metrics, ZeroRetainedIsZeroNotNaN) {
+  EffectivenessMetrics m = MetricsFromCounts(0, 0, 100);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_TRUE(std::isfinite(m.precision) && std::isfinite(m.f1));
+}
+
+TEST(Metrics, ZeroGroundTruthIsZeroNotNaN) {
+  EffectivenessMetrics m = MetricsFromCounts(0, 50, 0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_TRUE(std::isfinite(m.recall));
+}
+
+TEST(Metrics, AllCountsZeroIsZeroNotNaN) {
+  EffectivenessMetrics m = MetricsFromCounts(0, 0, 0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, PerfectCounts) {
+  EffectivenessMetrics m = MetricsFromCounts(10, 10, 10);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, EmptyAccumulatorSummaryIsFinite) {
+  MetricsAccumulator acc;
+  AggregateMetrics agg = acc.Summary();
+  EXPECT_EQ(agg.runs, 0u);
+  EXPECT_DOUBLE_EQ(agg.recall, 0.0);
+  EXPECT_DOUBLE_EQ(agg.precision, 0.0);
+  EXPECT_DOUBLE_EQ(agg.f1, 0.0);
+  EXPECT_DOUBLE_EQ(agg.recall_std, 0.0);
+  EXPECT_TRUE(std::isfinite(agg.rt_seconds));
 }
 
 TEST(Metrics, AccumulatorMeans) {

@@ -1,0 +1,186 @@
+// Structured event log: the no-sink fast path, level filtering, the
+// deterministic (tid, seq) merge order, JSONL export shape, and the
+// acceptance guarantee that enabling logging never changes what a run
+// computes.
+
+#include "gsmb/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+
+namespace gsmb {
+namespace {
+
+/// Installs `sink` for the scope of one test; never leaks the install
+/// into the next test even on assertion failure.
+class LogInstallation {
+ public:
+  explicit LogInstallation(obs::LogSink* sink) { obs::InstallLogSink(sink); }
+  ~LogInstallation() { obs::InstallLogSink(nullptr); }
+};
+
+TEST(EventLog, NoSinkMeansNoWorkAndNoCrash) {
+  ASSERT_EQ(obs::CurrentLogSink(), nullptr);
+  // The field list must not even be constructed: if it were, the
+  // side-effecting expression below would bump the counter.
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("value");
+  };
+  GSMB_LOG_INFO("test.event", {"key", expensive()});
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(EventLog, RecordsCarryLevelEventAndFields) {
+  obs::LogSink sink;
+  LogInstallation install(&sink);
+  GSMB_LOG_INFO("alpha", {"count", uint64_t{7}}, {"name", "blast"});
+  GSMB_LOG_WARN("beta");
+  const std::vector<obs::LogRecord> records = sink.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "alpha");
+  EXPECT_EQ(records[0].level, obs::LogLevel::kInfo);
+  ASSERT_EQ(records[0].fields.size(), 2u);
+  EXPECT_EQ(records[0].fields[0].key, "count");
+  EXPECT_EQ(records[0].fields[0].u64, 7u);
+  EXPECT_EQ(records[0].fields[1].str, "blast");
+  EXPECT_EQ(records[1].event, "beta");
+  EXPECT_EQ(records[1].level, obs::LogLevel::kWarn);
+}
+
+TEST(EventLog, MinLevelFiltersBelow) {
+  obs::LogSink sink(obs::LogLevel::kWarn);
+  LogInstallation install(&sink);
+  GSMB_LOG_DEBUG("dropped.debug");
+  GSMB_LOG_INFO("dropped.info");
+  GSMB_LOG_WARN("kept.warn");
+  GSMB_LOG_ERROR("kept.error");
+  const std::vector<obs::LogRecord> records = sink.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "kept.warn");
+  EXPECT_EQ(records[1].event, "kept.error");
+}
+
+TEST(EventLog, MergeOrderIsTidThenSeqNeverTimestamp) {
+  obs::LogSink sink;
+  LogInstallation install(&sink);
+  // Several threads log interleaved; the merged order must be fully
+  // determined by (registration order, per-thread sequence), i.e. stable
+  // across reruns regardless of scheduling.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        GSMB_LOG_INFO("thread.event", {"thread", t}, {"i", i});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<obs::LogRecord> records = sink.Records();
+  ASSERT_EQ(records.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 1; i < records.size(); ++i) {
+    const bool ordered =
+        records[i - 1].tid < records[i].tid ||
+        (records[i - 1].tid == records[i].tid &&
+         records[i - 1].seq < records[i].seq);
+    ASSERT_TRUE(ordered) << "record " << i << " out of (tid, seq) order";
+  }
+  // Within one thread, seq is dense from 0.
+  uint64_t expected_seq = 0;
+  uint32_t current_tid = records[0].tid;
+  for (const obs::LogRecord& record : records) {
+    if (record.tid != current_tid) {
+      current_tid = record.tid;
+      expected_seq = 0;
+    }
+    EXPECT_EQ(record.seq, expected_seq);
+    ++expected_seq;
+  }
+}
+
+TEST(EventLog, JsonLinesParseAndRoundTripFieldKinds) {
+  obs::LogSink sink;
+  LogInstallation install(&sink);
+  GSMB_LOG_INFO("kinds", {"s", "text"}, {"u", uint64_t{42}},
+                {"i", int64_t{-3}}, {"f", 2.5}, {"b", true});
+  const std::string lines = sink.JsonLines();
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), '\n');
+  Result<json::Value> parsed =
+      json::Parse(lines.substr(0, lines.find('\n')));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const json::Object& record = parsed->AsObject();
+  EXPECT_EQ(record.Find("event")->AsString(), "kinds");
+  EXPECT_EQ(record.Find("level")->AsString(), "info");
+  ASSERT_NE(record.Find("fields"), nullptr);
+  const json::Object& fields = record.Find("fields")->AsObject();
+  EXPECT_EQ(fields.Find("s")->AsString(), "text");
+  EXPECT_EQ(fields.Find("u")->AsU64(), 42u);
+  EXPECT_DOUBLE_EQ(fields.Find("i")->AsDouble(), -3.0);
+  EXPECT_DOUBLE_EQ(fields.Find("f")->AsDouble(), 2.5);
+  EXPECT_TRUE(fields.Find("b")->AsBool());
+}
+
+TEST(EventLog, EngineRunEmitsPipelineEvents) {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = 0.02;
+  spec.training.labels_per_class = 10;
+
+  obs::LogSink sink;
+  LogInstallation install(&sink);
+  Engine engine;
+  Result<JobResult> result = engine.Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  bool saw_prepare = false, saw_run = false;
+  for (const obs::LogRecord& record : sink.Records()) {
+    if (record.event == "prepare.done") saw_prepare = true;
+    if (record.event == "run.done") saw_run = true;
+  }
+  EXPECT_TRUE(saw_prepare);
+  EXPECT_TRUE(saw_run);
+}
+
+TEST(EventLog, LoggingNeverChangesTheRetainedSet) {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = 0.02;
+  spec.training.labels_per_class = 10;
+
+  Engine quiet_engine;
+  Result<JobResult> quiet = quiet_engine.Run(spec);
+  ASSERT_TRUE(quiet.ok());
+
+  obs::LogSink sink;
+  JobResult logged;
+  {
+    LogInstallation install(&sink);
+    Engine logged_engine;
+    Result<JobResult> run = logged_engine.Run(spec);
+    ASSERT_TRUE(run.ok());
+    logged = *run;
+  }
+  EXPECT_FALSE(sink.Records().empty());
+  EXPECT_EQ(quiet->retained_digest, logged.retained_digest);
+  EXPECT_EQ(quiet->retained_count, logged.retained_count);
+  EXPECT_EQ(quiet->metrics.retained, logged.metrics.retained);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -1,0 +1,181 @@
+// Run reports and the diff gate: a report must be self-describing valid
+// JSON; two runs of the same spec must diff clean on the semantic fields
+// across backends and thread counts; a single changed digest must be
+// classified as semantic drift; malformed/mismatched documents must be
+// rejected with a diagnostic.
+
+#include "gsmb/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/json.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/sweep.h"
+
+namespace gsmb {
+namespace {
+
+JobSpec ServingCompatibleSpec() {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = 0.03;
+  spec.blocking.filter_ratio = 1.0;  // serving cannot filter
+  spec.training.labels_per_class = 15;
+  spec.training.seed = 3;
+  spec.execution.shards = 1;
+  return spec;
+}
+
+std::string MustReport(const JobSpec& spec) {
+  Engine engine;
+  Result<JobResult> result = engine.Run(spec);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return obs::RunReportJson(spec, *result);
+}
+
+obs::ReportDiff MustDiff(const std::string& a, const std::string& b) {
+  Result<obs::ReportDiff> diff = obs::DiffReports(a, b);
+  EXPECT_TRUE(diff.ok()) << diff.status().message();
+  return diff.ok() ? *diff : obs::ReportDiff{};
+}
+
+TEST(RunReport, IsValidSelfDescribingJson) {
+  const std::string report = MustReport(ServingCompatibleSpec());
+  Result<json::Value> parsed = json::Parse(report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const json::Object& doc = parsed->AsObject();
+  EXPECT_EQ(doc.Find("schema")->AsString(), obs::kRunReportSchema);
+  EXPECT_EQ(doc.Find("schema_version")->AsU64(), obs::kReportSchemaVersion);
+  for (const char* section :
+       {"spec", "provenance", "metrics", "execution", "telemetry",
+        "environment"}) {
+    EXPECT_NE(doc.Find(section), nullptr) << "missing section " << section;
+  }
+  const json::Object& provenance = doc.Find("provenance")->AsObject();
+  EXPECT_EQ(provenance.Find("retained_digest")->AsString().size(), 16u);
+  EXPECT_EQ(provenance.Find("dataset_fingerprint")->AsString().size(), 16u);
+  EXPECT_GT(provenance.Find("retained_count")->AsU64(), 0u);
+}
+
+TEST(ReportDiff, IdenticalReportIsNoDrift) {
+  const std::string report = MustReport(ServingCompatibleSpec());
+  const obs::ReportDiff diff = MustDiff(report, report);
+  EXPECT_EQ(diff.kind, obs::DriftKind::kNone);
+  EXPECT_TRUE(diff.semantic.empty());
+  EXPECT_TRUE(diff.perf.empty());
+}
+
+TEST(ReportDiff, ThreadCountIsNeverSemanticDrift) {
+  JobSpec one = ServingCompatibleSpec();
+  one.execution.options.num_threads = 1;
+  JobSpec eight = ServingCompatibleSpec();
+  eight.execution.options.num_threads = 8;
+  const obs::ReportDiff diff =
+      MustDiff(MustReport(one), MustReport(eight));
+  EXPECT_NE(diff.kind, obs::DriftKind::kSemantic);
+  EXPECT_TRUE(diff.semantic.empty())
+      << "first semantic line: " << diff.semantic.front();
+}
+
+TEST(ReportDiff, BackendIsNeverSemanticDrift) {
+  JobSpec batch = ServingCompatibleSpec();
+  batch.execution.mode = ExecutionMode::kBatch;
+  JobSpec streaming = ServingCompatibleSpec();
+  streaming.execution.mode = ExecutionMode::kStreaming;
+  streaming.execution.shards = 6;
+  JobSpec serving = ServingCompatibleSpec();
+  serving.execution.mode = ExecutionMode::kServing;
+
+  const std::string batch_report = MustReport(batch);
+  const std::string streaming_report = MustReport(streaming);
+  const std::string serving_report = MustReport(serving);
+
+  for (const auto& [a, b] :
+       {std::pair{&batch_report, &streaming_report},
+        std::pair{&batch_report, &serving_report},
+        std::pair{&streaming_report, &serving_report}}) {
+    const obs::ReportDiff diff = MustDiff(*a, *b);
+    EXPECT_NE(diff.kind, obs::DriftKind::kSemantic);
+    EXPECT_TRUE(diff.semantic.empty())
+        << "first semantic line: " << diff.semantic.front();
+    // Backend name at minimum differs, so the runs are distinguishable.
+    EXPECT_EQ(diff.kind, obs::DriftKind::kPerfOnly);
+  }
+}
+
+TEST(ReportDiff, ChangedDigestIsSemanticDrift) {
+  const std::string report = MustReport(ServingCompatibleSpec());
+  // Inject a single-pair difference the way it would manifest: the
+  // retained digest (and nothing else) changes.
+  Result<json::Value> parsed = json::Parse(report);
+  ASSERT_TRUE(parsed.ok());
+  json::Object& provenance =
+      parsed->AsObject().Find("provenance")->AsObject();
+  std::string digest = provenance.Find("retained_digest")->AsString();
+  digest[0] = digest[0] == '0' ? '1' : '0';
+  (*provenance.Find("retained_digest")) = json::Value(digest);
+  const std::string tampered = json::Dump(*parsed);
+
+  const obs::ReportDiff diff = MustDiff(report, tampered);
+  EXPECT_EQ(diff.kind, obs::DriftKind::kSemantic);
+  ASSERT_EQ(diff.semantic.size(), 1u);
+  EXPECT_NE(diff.semantic[0].find("retained_digest"), std::string::npos);
+}
+
+TEST(ReportDiff, ChangedSpecIsSemanticDrift) {
+  JobSpec base = ServingCompatibleSpec();
+  JobSpec different = ServingCompatibleSpec();
+  different.training.seed = base.training.seed + 1;
+  const obs::ReportDiff diff =
+      MustDiff(MustReport(base), MustReport(different));
+  EXPECT_EQ(diff.kind, obs::DriftKind::kSemantic);
+}
+
+TEST(ReportDiff, RejectsMalformedAndMismatchedDocuments) {
+  const std::string report = MustReport(ServingCompatibleSpec());
+  EXPECT_FALSE(obs::DiffReports("not json", report).ok());
+  EXPECT_FALSE(obs::DiffReports("{\"schema\": \"bogus\"}", report).ok());
+
+  SweepSpec sweep;
+  sweep.base = ServingCompatibleSpec();
+  sweep.axes.seeds = {3};
+  Engine engine;
+  Result<SweepResult> swept = engine.RunSweep(sweep);
+  ASSERT_TRUE(swept.ok()) << swept.status().message();
+  const std::string sweep_report = obs::SweepReportJson(sweep, *swept);
+  EXPECT_FALSE(obs::DiffReports(report, sweep_report).ok());
+}
+
+TEST(SweepReport, DiffsVariantByVariantOnLabel) {
+  SweepSpec sweep;
+  sweep.base = ServingCompatibleSpec();
+  sweep.axes.seeds = {3, 4};
+  Engine engine;
+  Result<SweepResult> first = engine.RunSweep(sweep);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  Result<SweepResult> second = engine.RunSweep(sweep);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+
+  const std::string report_a = obs::SweepReportJson(sweep, *first);
+  const std::string report_b = obs::SweepReportJson(sweep, *second);
+  const obs::ReportDiff same = MustDiff(report_a, report_b);
+  EXPECT_NE(same.kind, obs::DriftKind::kSemantic);
+  EXPECT_TRUE(same.semantic.empty());
+
+  // A variant missing on one side is semantic drift.
+  SweepSpec narrower = sweep;
+  narrower.axes.seeds = {3};
+  Result<SweepResult> partial = engine.RunSweep(narrower);
+  ASSERT_TRUE(partial.ok());
+  const std::string report_partial =
+      obs::SweepReportJson(narrower, *partial);
+  const obs::ReportDiff missing = MustDiff(report_a, report_partial);
+  EXPECT_EQ(missing.kind, obs::DriftKind::kSemantic);
+}
+
+}  // namespace
+}  // namespace gsmb

@@ -15,6 +15,12 @@ baseline. Emits GitHub Actions `::warning::` annotations so regressions
 surface on the workflow run page; with --strict the exit code is 1 when
 any regression is flagged (CI runs non-strict: shared runners are noisy,
 so the diff is advisory).
+
+One exception is never advisory: `retained_digest`, the provenance digest
+of the retained pair set (gsmb/digest.h). Timings may drift with the
+runner; the retained SET must not. A digest that changed between baseline
+and current — on any benchmark both files report it for — exits 1 with or
+without --strict.
 """
 
 import argparse
@@ -50,6 +56,20 @@ def load_benchmarks(path):
     return out
 
 
+def load_digests(path):
+    """name -> retained_digest hex string, for rows that carry one."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        digest = bench.get("retained_digest")
+        if isinstance(digest, str) and digest:
+            out[bench["name"]] = digest
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -62,6 +82,19 @@ def main():
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
+    baseline_digests = load_digests(args.baseline)
+    current_digests = load_digests(args.current)
+
+    # The semantic gate runs first and is never advisory: a changed
+    # retained-set digest is a correctness drift, not runner noise.
+    # Digests only one side reports stay informational (new benchmark, or
+    # a baseline predating digest emission).
+    digest_mismatches = []
+    for name in sorted(set(baseline_digests) & set(current_digests)):
+        if baseline_digests[name] != current_digests[name]:
+            digest_mismatches.append(name)
+            print(f"::error title=retained-set drift::{name} retained_digest "
+                  f"{baseline_digests[name]} -> {current_digests[name]}")
 
     regressions = []
     print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
@@ -107,10 +140,14 @@ def main():
                   f"{args.threshold:.0%})")
         print(f"{len(regressions)} benchmark metric(s) regressed more than "
               f"{args.threshold:.0%}")
-        if args.strict:
-            return 1
     else:
         print("\nno regressions above threshold")
+    if digest_mismatches:
+        print(f"{len(digest_mismatches)} benchmark(s) changed their "
+              f"retained-set digest: {', '.join(digest_mismatches)}")
+        return 1
+    if regressions and args.strict:
+        return 1
     return 0
 
 

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validates gsmb_cli --report-out provenance reports.
+
+Usage:
+    check_report.py report.json [more_reports.json ...]
+
+Asserts each document is a well-formed gsmb run report
+(schema "gsmb.run_report") or sweep report ("gsmb.sweep_report"):
+schema/schema_version tags, the canonical spec object, a provenance
+section whose digests are 16-char lowercase hex with a consistent
+retained count, effectiveness metrics in range, the execution section
+with its timing breakdown, and the environment stamp. Sweep reports are
+checked variant by variant (failed variants carry label/ok/error only).
+
+Exit status: 0 and "report OK" per file on success, 1 with a diagnostic
+otherwise, 2 on usage errors.
+"""
+
+import json
+import sys
+
+RUN_SCHEMA = "gsmb.run_report"
+SWEEP_SCHEMA = "gsmb.sweep_report"
+SCHEMA_VERSION = 1
+
+HEX_DIGEST_LEN = 16
+HEX_DIGITS = set("0123456789abcdef")
+
+SPEC_KEYS = ("version", "dataset", "blocking", "features", "classifier",
+             "pruning", "training", "execution")
+METRIC_KEYS = ("pc", "pq", "f1", "true_positives", "retained")
+EXECUTION_KEYS = ("backend", "shards_used", "num_blocks", "num_candidates",
+                  "training_size", "timings")
+TIMING_KEYS = ("blocking_seconds", "generate_seconds", "feature_seconds",
+               "train_seconds", "classify_seconds", "prune_seconds",
+               "total_seconds")
+ENVIRONMENT_KEYS = ("compiler", "platform", "arch", "assertions",
+                    "spec_version")
+
+
+def fail(message):
+    print("check_report: %s" % message)
+    return 1
+
+
+def is_hex_digest(value):
+    return (isinstance(value, str) and len(value) == HEX_DIGEST_LEN
+            and set(value) <= HEX_DIGITS)
+
+
+def check_spec(where, spec):
+    if not isinstance(spec, dict):
+        return fail("%s: spec is not an object" % where)
+    for key in SPEC_KEYS:
+        if key not in spec:
+            return fail("%s: spec lacks %r" % (where, key))
+    return 0
+
+
+def check_provenance(where, doc):
+    """Returns (status, retained_count); status != 0 means failed."""
+    prov = doc.get("provenance")
+    if not isinstance(prov, dict):
+        return fail("%s: provenance section missing" % where), None
+    for key in ("dataset_fingerprint", "retained_digest"):
+        if not is_hex_digest(prov.get(key)):
+            return fail("%s: provenance.%s is not a %d-char hex digest"
+                        % (where, key, HEX_DIGEST_LEN)), None
+    # prepared_digest is optional: the serving backend never builds the
+    # global blocked representation, so its reports omit the key.
+    if "prepared_digest" in prov and not is_hex_digest(
+            prov["prepared_digest"]):
+        return fail("%s: provenance.prepared_digest is not a %d-char hex "
+                    "digest" % (where, HEX_DIGEST_LEN)), None
+    count = prov.get("retained_count")
+    if not isinstance(count, int) or count < 0:
+        return fail("%s: provenance.retained_count is not a non-negative "
+                    "integer" % where), None
+    return 0, count
+
+
+def check_metrics(where, doc, retained_count):
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail("%s: metrics section missing" % where)
+    for key in METRIC_KEYS:
+        if key not in metrics:
+            return fail("%s: metrics lacks %r" % (where, key))
+    for key in ("pc", "pq", "f1"):
+        value = metrics[key]
+        if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+            return fail("%s: metrics.%s = %r out of [0, 1]"
+                        % (where, key, value))
+    if metrics["retained"] != retained_count:
+        return fail("%s: metrics.retained (%r) != provenance.retained_count "
+                    "(%r)" % (where, metrics["retained"], retained_count))
+    if metrics["true_positives"] > metrics["retained"]:
+        return fail("%s: more true positives than retained pairs" % where)
+    return 0
+
+
+def check_execution(where, doc):
+    execution = doc.get("execution")
+    if not isinstance(execution, dict):
+        return fail("%s: execution section missing" % where)
+    for key in EXECUTION_KEYS:
+        if key not in execution:
+            return fail("%s: execution lacks %r" % (where, key))
+    timings = execution["timings"]
+    if not isinstance(timings, dict):
+        return fail("%s: execution.timings is not an object" % where)
+    for key in TIMING_KEYS:
+        value = timings.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            return fail("%s: execution.timings.%s = %r is not a non-negative "
+                        "number" % (where, key, value))
+    return 0
+
+
+def check_environment(where, doc):
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        return fail("%s: environment section missing" % where)
+    for key in ENVIRONMENT_KEYS:
+        if key not in env:
+            return fail("%s: environment lacks %r" % (where, key))
+    return 0
+
+
+def check_run_body(where, doc):
+    """The sections a run report and a successful sweep variant share."""
+    status = check_spec(where, doc.get("spec"))
+    if status:
+        return status
+    status, count = check_provenance(where, doc)
+    if status:
+        return status
+    status = check_metrics(where, doc, count)
+    if status:
+        return status
+    return check_execution(where, doc)
+
+
+def check_run_report(path, doc):
+    status = check_run_body(path, doc)
+    if status:
+        return status
+    status = check_environment(path, doc)
+    if status:
+        return status
+    print("report OK: %s (run, retained %d)"
+          % (path, doc["provenance"]["retained_count"]))
+    return 0
+
+
+def check_sweep_report(path, doc):
+    status = check_spec("%s: base_spec" % path, doc.get("base_spec"))
+    if status:
+        return status
+    variants = doc.get("variants")
+    if not isinstance(variants, list) or not variants:
+        return fail("%s: variants missing or empty" % path)
+    ok_count = 0
+    for index, variant in enumerate(variants):
+        label = variant.get("label")
+        where = "%s: variant %r" % (path, label if label else index)
+        if not isinstance(label, str) or not label:
+            return fail("%s: label missing" % where)
+        if not isinstance(variant.get("ok"), bool):
+            return fail("%s: ok flag missing" % where)
+        if not variant["ok"]:
+            if not isinstance(variant.get("error"), str):
+                return fail("%s: failed variant lacks error" % where)
+            continue
+        status = check_run_body(where, variant)
+        if status:
+            return status
+        ok_count += 1
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, dict) or "grid_size" not in sweep:
+        return fail("%s: sweep stats section missing" % path)
+    status = check_environment(path, doc)
+    if status:
+        return status
+    print("report OK: %s (sweep, %d/%d variants ok)"
+          % (path, ok_count, len(variants)))
+    return 0
+
+
+def check_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as error:
+        return fail("%s: %s" % (path, error))
+    if not isinstance(doc, dict):
+        return fail("%s: document is not an object" % path)
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        return fail("%s: schema_version %r != %d"
+                    % (path, doc.get("schema_version"), SCHEMA_VERSION))
+    schema = doc.get("schema")
+    if schema == RUN_SCHEMA:
+        return check_run_report(path, doc)
+    if schema == SWEEP_SCHEMA:
+        return check_sweep_report(path, doc)
+    return fail("%s: unknown schema %r" % (path, schema))
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        print(__doc__)
+        return 2
+    for path in paths:
+        status = check_report(path)
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -74,6 +74,7 @@
 #include "datasets/io.h"
 #include "gsmb/engine.h"
 #include "gsmb/job_spec.h"
+#include "gsmb/report.h"
 #include "gsmb/status.h"
 #include "gsmb/sweep.h"
 #include "gsmb/telemetry.h"
@@ -99,11 +100,14 @@ void PrintUsage(std::FILE* stream) {
       "            [--mode batch|streaming|serving|auto]\n"
       "            [--streaming [--shards 16]] [--memory-budget-mb M]\n"
       "            [--trace-out trace.json] [--metrics-out metrics.json]\n"
+      "            [--report-out report.json]\n"
       "   or: gsmb explain [--config job.json] [--format text|json]\n"
       "            [flags as for run]\n"
       "   or: gsmb sweep --config sweep.json [--csv results.csv]\n"
       "            [--json results.json] [--retained-dir DIR]\n"
+      "            [--report-out report.json]\n"
       "            [flags as for run, applied to the sweep's base spec]\n"
+      "   or: gsmb report diff a_report.json b_report.json\n"
       "   or: gsmb migrate spec.json [more.json ...]\n"
       "   or: gsmb serve [--config job.json] --data a.csv --gt matches.csv\n"
       "            [--shards 16] [--threads 1] [--max-block-size 200]\n"
@@ -263,12 +267,13 @@ bool WantsHelp(int argc, char** argv, int begin) {
   return false;
 }
 
-/// Telemetry output paths — CLI-level concerns, peeled off before the
-/// spec-flag parser (a JobSpec describes the job, not where its trace
-/// goes).
+/// Telemetry/report output paths — CLI-level concerns, peeled off before
+/// the spec-flag parser (a JobSpec describes the job, not where its trace
+/// or provenance report goes).
 struct TelemetryFlags {
   std::string trace_path;
   std::string metrics_path;
+  std::string report_path;
 
   bool wanted() const { return !trace_path.empty() || !metrics_path.empty(); }
 };
@@ -279,6 +284,7 @@ Status ExtractTelemetryFlags(std::vector<std::string>* raw,
     std::string* target = nullptr;
     if ((*raw)[i] == "--trace-out") target = &out->trace_path;
     else if ((*raw)[i] == "--metrics-out") target = &out->metrics_path;
+    else if ((*raw)[i] == "--report-out") target = &out->report_path;
     if (target == nullptr) {
       ++i;
       continue;
@@ -409,6 +415,13 @@ int RunMain(int argc, char** argv, int begin) {
                                    "--metrics-out");
     if (!written.ok()) return Fail(written);
     std::printf("Wrote metrics to %s\n", telemetry.metrics_path.c_str());
+  }
+  if (!telemetry.report_path.empty()) {
+    Status written = WriteTextFile(telemetry.report_path,
+                                   obs::RunReportJson(*spec, *result),
+                                   "--report-out");
+    if (!written.ok()) return Fail(written);
+    std::printf("Wrote run report to %s\n", telemetry.report_path.c_str());
   }
   return 0;
 }
@@ -609,7 +622,7 @@ int SweepMain(int argc, char** argv, int begin) {
   // Peel off the sweep-only flags; the rest merge over the base spec.
   std::vector<std::string> raw;
   for (int i = begin; i < argc; ++i) raw.emplace_back(argv[i]);
-  std::string config_path, csv_path, json_path, retained_dir;
+  std::string config_path, csv_path, json_path, retained_dir, report_path;
   auto take_value = [&raw](size_t i, const char* flag,
                            std::string* out) -> Result<size_t> {
     if (i + 1 >= raw.size()) {
@@ -624,6 +637,7 @@ int SweepMain(int argc, char** argv, int begin) {
     else if (raw[i] == "--csv") target = &csv_path;
     else if (raw[i] == "--json") target = &json_path;
     else if (raw[i] == "--retained-dir") target = &retained_dir;
+    else if (raw[i] == "--report-out") target = &report_path;
     if (target == nullptr) {
       ++i;
       continue;
@@ -698,6 +712,12 @@ int SweepMain(int argc, char** argv, int begin) {
     if (!written.ok()) return Fail(written);
     std::printf("wrote sweep JSON to %s\n", json_path.c_str());
   }
+  if (!report_path.empty()) {
+    Status written = WriteTextFile(
+        report_path, obs::SweepReportJson(*sweep, *result), "--report-out");
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote sweep report to %s\n", report_path.c_str());
+  }
   if (!sweep->retained_dir.empty()) {
     std::printf("retained CSVs under %s/\n", sweep->retained_dir.c_str());
   }
@@ -707,6 +727,69 @@ int SweepMain(int argc, char** argv, int begin) {
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read report file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("error reading report file: " + path);
+  }
+  return buffer.str();
+}
+
+/// `gsmb report diff A B` — classify drift between two run (or sweep)
+/// reports. Exit 0 when the runs computed the same thing (identical or
+/// perf-only drift), 1 on semantic drift, 2 on usage/parse problems.
+int ReportMain(int argc, char** argv, int begin) {
+  if (WantsHelp(argc, argv, begin)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (begin >= argc) {
+    return UsageError("report needs a subcommand: report diff A B");
+  }
+  const std::string verb = argv[begin];
+  if (verb != "diff") {
+    return UsageError("unknown report subcommand '" + verb +
+                      "' (expected: diff)");
+  }
+  if (begin + 2 >= argc || argc - begin != 3) {
+    return UsageError("report diff needs exactly two report files");
+  }
+
+  Result<std::string> a = ReadTextFile(argv[begin + 1]);
+  if (!a.ok()) return Fail(a.status());
+  Result<std::string> b = ReadTextFile(argv[begin + 2]);
+  if (!b.ok()) return Fail(b.status());
+
+  Result<obs::ReportDiff> diff = obs::DiffReports(*a, *b);
+  if (!diff.ok()) {
+    // Malformed/mismatched documents are a usage-class failure (2), kept
+    // distinct from "parsed fine, semantically drifted" (1).
+    std::fprintf(stderr, "error: %s\n", diff.status().message().c_str());
+    return 2;
+  }
+
+  std::printf("drift: %s\n", obs::DriftKindName(diff->kind));
+  for (const std::string& line : diff->semantic) {
+    std::printf("  semantic  %s\n", line.c_str());
+  }
+  for (const std::string& line : diff->perf) {
+    std::printf("  perf      %s\n", line.c_str());
+  }
+  if (diff->kind == obs::DriftKind::kNone) {
+    std::printf("reports agree on all fields\n");
+  } else if (diff->kind == obs::DriftKind::kPerfOnly) {
+    std::printf("reports agree on all semantic fields\n");
+  }
+  return diff->kind == obs::DriftKind::kSemantic ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -1122,6 +1205,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
     return SweepMain(argc, argv, 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "report") == 0) {
+    return ReportMain(argc, argv, 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "migrate") == 0) {
     return MigrateMain(argc, argv, 2);

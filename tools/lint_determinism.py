@@ -44,6 +44,15 @@ time instead of waiting for a flaky paper_shape run:
       incomparable; time pipeline phases with obs::ScopedPhase /
       GSMB_SPAN or a util/stopwatch.h Stopwatch instead.
 
+  raw-console
+      std::cout/std::cerr/std::clog inside the library proper (src/ and
+      include/). Library code must not write to the process streams: ad
+      hoc prints interleave nondeterministically across threads, corrupt
+      machine-read stdout (reports, explain JSON, retained CSVs piped
+      through the CLI) and bypass the structured event log. Emit
+      GSMB_LOG_* events (gsmb/log.h) instead; tools, benchmarks,
+      examples and tests own their streams and are exempt.
+
 Escape hatch: the marker
 
     // gsmb-lint: allow(<rule>)
@@ -71,6 +80,7 @@ RULES = (
     "raw-thread",
     "float-reduction",
     "raw-clock",
+    "raw-console",
 )
 
 # Directories scanned by default, relative to the repo root.
@@ -393,6 +403,37 @@ def check_raw_clock(path, raw_lines, allow_map, findings):
 
 
 # ---------------------------------------------------------------------------
+# Rule: raw-console
+
+RAW_CONSOLE_RE = re.compile(r"\bstd::(?:cout|cerr|clog)\b")
+
+
+def console_scoped(path):
+    p = path.replace(os.sep, "/")
+    # Only the library proper: tools, benchmarks, examples and tests own
+    # their process streams by design. Fixtures pass through lint_files
+    # with a tools/-relative path, so scope by prefix, not substring.
+    return p.startswith(("src/", "include/")) or "/lint_fixtures/" in p \
+        or p.startswith("lint_fixtures/")
+
+
+def check_raw_console(path, raw_lines, allow_map, findings):
+    rule = "raw-console"
+    if not console_scoped(path):
+        return
+    for idx, line in enumerate(raw_lines, start=1):
+        code = strip_strings_and_comments(line)
+        if RAW_CONSOLE_RE.search(code) and not is_allowed(allow_map, idx,
+                                                          rule):
+            findings.append(
+                Finding(
+                    path, idx, rule,
+                    "std::cout/std::cerr in library code: process streams "
+                    "interleave across threads and corrupt machine-read "
+                    "stdout — emit a GSMB_LOG_* event (gsmb/log.h) instead"))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 def lint_files(paths, root):
@@ -417,6 +458,7 @@ def lint_files(paths, root):
         check_raw_thread(rel, raw_lines, allow_map, findings)
         check_float_reduction(rel, raw_lines, allow_map, findings)
         check_raw_clock(rel, raw_lines, allow_map, findings)
+        check_raw_console(rel, raw_lines, allow_map, findings)
     return findings
 
 
@@ -460,6 +502,7 @@ def self_test(root):
     expect("bad_raw_thread.cc", ["raw-thread"])
     expect("bad_float_reduction.cc", ["float-reduction"])
     expect("bad_raw_clock.cc", ["raw-clock"])
+    expect("bad_raw_console.cc", ["raw-console"])
     expect("good.cc", [])
     expect("allowed.cc", [])
 
@@ -468,7 +511,7 @@ def self_test(root):
         for f in failures:
             print("  " + f)
         return 1
-    print("self-test passed: 5 bad fixtures tripped their rule, "
+    print("self-test passed: 6 bad fixtures tripped their rule, "
           "2 clean fixtures stayed clean")
     return 0
 

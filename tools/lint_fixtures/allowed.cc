@@ -1,6 +1,7 @@
 // Lint fixture: banned patterns carrying the escape hatch. MUST be clean —
 // every hit is waived by a gsmb-lint marker.
 #include <cstdlib>
+#include <iostream>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
@@ -18,4 +19,6 @@ void Waived(std::ostream& out,
   // gsmb-lint: allow(raw-thread) — marker on the preceding line also works.
   std::thread t([] {});
   t.join();
+  // Rationale: a crash-path last-resort message may use the real stream.
+  std::cerr << "fatal\n";  // gsmb-lint: allow(raw-console)
 }

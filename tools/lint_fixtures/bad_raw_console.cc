@@ -1,0 +1,8 @@
+// Lint fixture: library code writing to the process streams.
+// MUST trip raw-console (and only that rule).
+#include <iostream>
+
+void ReportProgress(int done, int total) {
+  std::cout << "progress " << done << "/" << total << "\n";
+  if (done > total) std::cerr << "impossible progress\n";
+}

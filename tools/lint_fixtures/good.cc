@@ -1,5 +1,5 @@
 // Lint fixture: the sanctioned version of every banned pattern. MUST be
-// clean under all five rules.
+// clean under all six rules.
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
