@@ -1,0 +1,187 @@
+// Distributed-sweep benchmark: the SAME 16-variant sweep run three ways —
+// in-process RunSweep, and RunSweepRemote over 2 and 4 worker processes —
+// timing each and hard-failing on any retained-digest divergence between
+// them. This is the bench-side answer to "what does the process boundary
+// cost?": the remote tier adds one snapshot save, N snapshot loads and
+// the wire round-trips on top of the shared work queue, and this harness
+// shows where that overhead crosses over against per-variant compute.
+//
+//   GSMB_SCALE    dataset size multiplier (default 0.25)
+//   GSMB_THREADS  in-process worker threads (default: all hardware threads)
+//   --worker PATH worker binary (default: the gsmb_cli this build produced)
+//   --json PATH   benchmark-shaped JSON artifact (bench_diff.py diffs it
+//                 in CI next to the micro / streaming artifacts)
+//
+// Exits non-zero on any cross-tier digest mismatch, so CI can run it as a
+// smoke.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gsmb/digest.h"
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/remote.h"
+#include "gsmb/sweep.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace gsmb;
+
+double EnvScale() {
+  const char* value = std::getenv("GSMB_SCALE");
+  if (value == nullptr) return 0.25;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : 0.25;
+}
+
+size_t EnvThreads() {
+  const char* value = std::getenv("GSMB_THREADS");
+  if (value == nullptr) return HardwareThreads();
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : HardwareThreads();
+}
+
+struct BenchRow {
+  std::string name;
+  double real_time_ms = 0.0;
+};
+
+bool EmitBenchJson(const std::string& path, double scale, size_t threads,
+                   const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"bench_dist_sweep\",\n"
+      << "    \"scale\": " << scale << ",\n"
+      << "    \"threads\": " << threads << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\n"
+        << "      \"name\": \"" << rows[i].name << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"real_time\": " << rows[i].real_time_ms << ",\n"
+        << "      \"time_unit\": \"ms\"\n"
+        << "    }" << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+SweepSpec BenchSweep(double scale, size_t threads) {
+  SweepSpec sweep;
+  sweep.base.dataset.source = DatasetSource::kGeneratedDirty;
+  sweep.base.dataset.name = "D10K";
+  sweep.base.dataset.scale = scale;
+  sweep.base.training.labels_per_class = 25;
+  sweep.base.execution.options.num_threads = threads;
+  sweep.axes.pruning = {PruningKind::kWnp, PruningKind::kBlast,
+                        PruningKind::kCnp, PruningKind::kRcnp};
+  sweep.axes.labels_per_class = {15, 25};
+  sweep.axes.seeds = {0, 1};
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string worker = GSMB_CLI_PATH;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--worker") == 0 && i + 1 < argc) {
+      worker = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_dist_sweep [--worker gsmb_cli] "
+                   "[--json out.json]\n");
+      return 2;
+    }
+  }
+
+  const double scale = EnvScale();
+  const size_t threads = EnvThreads();
+  const SweepSpec sweep = BenchSweep(scale, threads);
+  std::printf(
+      "== Distributed sweep benchmark (scale %.3g, %zu threads, "
+      "16 variants) ==\n\n",
+      scale, threads);
+
+  TablePrinter table({"tier", "workers", "ok", "sweep ms", "ms/variant"});
+  std::vector<BenchRow> bench_rows;
+
+  Engine engine;
+  Stopwatch watch;
+  Result<SweepResult> local = engine.RunSweep(sweep);
+  const double local_ms = watch.ElapsedMillis();
+  if (!local.ok() || !local->all_ok()) {
+    std::fprintf(stderr, "in-process sweep failed: %s\n",
+                 local.ok() ? "variant error" : local.status().ToString().c_str());
+    return 1;
+  }
+  table.AddRow({"in-process", std::to_string(threads), "yes",
+                TablePrinter::Fixed(local_ms, 1),
+                TablePrinter::Fixed(local_ms / 16.0, 1)});
+  bench_rows.push_back({"sweep/in-process", local_ms});
+
+  bool consistent = true;
+  for (size_t workers : {size_t{2}, size_t{4}}) {
+    RemoteOptions options;
+    options.num_workers = workers;
+    options.worker_command = worker;
+    watch.Restart();
+    Result<SweepResult> remote = RunSweepRemote(sweep, options);
+    const double remote_ms = watch.ElapsedMillis();
+    if (!remote.ok() || !remote->all_ok()) {
+      std::fprintf(stderr, "remote sweep (%zu workers) failed: %s\n", workers,
+                   remote.ok() ? "variant error"
+                               : remote.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < local->variants.size(); ++i) {
+      if (remote->variants[i].result.retained_digest !=
+          local->variants[i].result.retained_digest) {
+        std::fprintf(
+            stderr, "MISMATCH: %s remote digest %s != in-process %s\n",
+            local->variants[i].label.c_str(),
+            obs::DigestHex(remote->variants[i].result.retained_digest).c_str(),
+            obs::DigestHex(local->variants[i].result.retained_digest).c_str());
+        consistent = false;
+      }
+    }
+    table.AddRow({"remote", std::to_string(workers), "yes",
+                  TablePrinter::Fixed(remote_ms, 1),
+                  TablePrinter::Fixed(remote_ms / 16.0, 1)});
+    bench_rows.push_back(
+        {"sweep/workers" + std::to_string(workers), remote_ms});
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  if (!consistent) {
+    std::fprintf(stderr, "\ndigest mismatch between tiers\n");
+    return 1;
+  }
+  std::printf("\nall tiers digest-identical across 16 variants\n");
+
+  if (!json_path.empty()) {
+    if (!EmitBenchJson(json_path, scale, threads, bench_rows)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

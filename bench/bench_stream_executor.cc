@@ -173,6 +173,9 @@ int RunChildProcess(const char* self, const std::string& mode,
   std::ostringstream cmd;
   cmd << '"' << self << "\" --mode " << mode << " --props \"" << props_path
       << '"';
+  // Each mode must run in a fresh process so peak-RSS numbers don't bleed
+  // into each other; this bench is its own coordinator by design.
+  // gsmb-lint: allow(raw-process)
   return std::system(cmd.str().c_str());
 }
 

@@ -232,6 +232,16 @@ class Engine {
   Result<JobResult> Execute(const JobSpec& spec,
                             const PreparedInputs& prepared) const;
 
+  /// Seeds the prepare cache with an externally built handle — e.g. one
+  /// loaded from a prepared snapshot (gsmb/snapshot.h) — under the
+  /// handle's own cache key, so later Run/Prepare/RunSweep calls over the
+  /// same dataset+blocking hit the cache instead of rebuilding. This is
+  /// how a distributed worker shares the coordinator's one preparation.
+  /// Counts neither a hit nor a miss; a no-op when the key is already
+  /// cached. Fails when the handle is null/keyless or the cache is
+  /// disabled (prepare_cache_max_entries == 0).
+  Status AdoptPrepared(PreparedHandle prepared) const;
+
   /// Expands the sweep's grid, prepares the shared dataset+blocking once
   /// (through the cache) and executes every variant in parallel against
   /// the shared handle. Per-variant failures are reported in the

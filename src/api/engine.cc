@@ -444,6 +444,39 @@ Result<PreparedHandle> Engine::Prepare(const JobSpec& spec) const {
   return built;
 }
 
+Status Engine::AdoptPrepared(PreparedHandle prepared) const {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("AdoptPrepared: handle is null");
+  }
+  if (prepared->cache_key.empty()) {
+    return Status::InvalidArgument(
+        "AdoptPrepared: the handle carries no cache key");
+  }
+  if (options_.prepare_cache_max_entries == 0) {
+    return Status::FailedPrecondition(
+        "AdoptPrepared: the prepare cache is disabled "
+        "(prepare_cache_max_entries is 0), so an adopted handle could "
+        "never be served");
+  }
+  const std::string key = prepared->cache_key;
+  std::promise<Result<PreparedHandle>> promise;
+  promise.set_value(Result<PreparedHandle>(std::move(prepared)));
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    // An existing slot (ready or in flight) wins: by the cache-key
+    // contract it holds a bit-identical preparation already.
+    if (cache_->slots.find(key) != cache_->slots.end()) return Status::Ok();
+    PrepareCache::Slot slot;
+    slot.future = promise.get_future().share();
+    slot.ready = true;
+    slot.last_used = ++cache_->clock;
+    cache_->slots.emplace(key, std::move(slot));
+    cache_->EvictLocked(options_, key);
+  }
+  GSMB_LOG_DEBUG("prepare.cache.adopt", {"key", key});
+  return Status::Ok();
+}
+
 std::string Engine::ResolveMode(const JobSpec& spec,
                                 const PreparedInputs& prepared) const {
   if (spec.execution.mode != ExecutionMode::kAuto) {

@@ -1,6 +1,7 @@
 #include "gsmb/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -393,11 +394,19 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
   result.prepare_seconds = (*prepared)->prepare_seconds;
 
   // Variants are independent, deterministic jobs; run them in parallel
-  // (nested-safe: each variant's own stages parallelise internally too).
-  // Results land in expansion order regardless of scheduling.
+  // with work stealing: every slot pulls the next unclaimed variant off a
+  // shared atomic counter, so a skewed grid (BLAST vs LCP-heavy variants
+  // differ >2x in cost) never stalls on a static stripe. Results still
+  // land in expansion order regardless of which slot ran which variant.
   const size_t threads = api::ResolvedExecution(sweep.base).num_threads;
-  ParallelFor(variants.size(), threads, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
+  const size_t slots = std::min(std::max<size_t>(threads, 1), variants.size());
+  std::atomic<size_t> next_variant{0};
+  ParallelFor(slots, slots, [&](size_t slot_begin, size_t slot_end) {
+    (void)slot_begin;
+    (void)slot_end;
+    for (;;) {
+      const size_t i = next_variant.fetch_add(1, std::memory_order_relaxed);
+      if (i >= variants.size()) break;
       SweepVariant& out = result.variants[i];
       out.spec = std::move(variants[i]);
       out.label = SweepVariantLabel(out.spec);

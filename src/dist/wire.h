@@ -1,0 +1,136 @@
+// The distributed tier's wire protocol: length-prefixed frames over pipe
+// (or local-socket) file descriptors, plus the JSON/binary codecs for the
+// messages the coordinator and workers exchange.
+//
+// Frame layout: u32 little-endian payload length | u8 frame type | payload.
+// Specs and results reuse the api/json model (the same serializer the
+// JobSpec layer uses, so doubles round-trip bit-exactly via shortest-
+// round-trip formatting); retained pairs travel in a compact binary frame
+// — they dominate the payload bytes and need no generality.
+//
+// Conversation (worker side is gsmb/remote.h RunWorker, coordinator side
+// src/dist/coordinator.cc):
+//
+//   worker -> coordinator   kHello     digests of the loaded preparation;
+//                                      the coordinator VERIFIES them
+//                                      against the shipped snapshot before
+//                                      dispatching any work
+//   coordinator -> worker   kJob       variant index + serialized JobSpec
+//   worker -> coordinator   kRetained  binary retained pairs (only when
+//                                      the spec keeps them)
+//   worker -> coordinator   kEvents    the job's structured event log as
+//                                      JSONL, batched per job
+//   worker -> coordinator   kResult    serialized JobResult (or a Status)
+//                                      — the per-variant completion marker
+//   coordinator -> worker   kShutdown  drain and exit 0
+
+#ifndef GSMB_DIST_WIRE_H_
+#define GSMB_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/json.h"
+#include "gsmb/engine.h"
+#include "gsmb/status.h"
+
+namespace gsmb::dist {
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kJob = 2,
+  kResult = 3,
+  kRetained = 4,
+  kEvents = 5,
+  kShutdown = 6,
+};
+
+struct Frame {
+  FrameType type = FrameType::kShutdown;
+  std::string payload;
+};
+
+/// Upper bound either side accepts for one payload; a length beyond it is
+/// treated as a corrupt stream, not an allocation request.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Writes one complete frame to `fd` (blocking, resumes short writes).
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Pops one complete frame off the front of `buffer` (bytes as read from
+/// the peer, in arrival order). Returns true and fills `out` when a full
+/// frame was available; false when more bytes are needed. A malformed
+/// header (unknown type, oversized length) is an error.
+Result<bool> ExtractFrame(std::string* buffer, Frame* out);
+
+// -- Message codecs ---------------------------------------------------------
+
+/// kHello payload. `ok == false` reports a worker that failed to
+/// initialise (e.g. its snapshot load failed); `error` carries why.
+struct HelloMessage {
+  bool ok = false;
+  std::string error;
+  std::string cache_key;
+  uint64_t dataset_fingerprint = 0;
+  uint64_t prepared_digest = 0;
+  bool snapshot_loaded = false;
+};
+
+std::string EncodeHello(const HelloMessage& hello);
+Result<HelloMessage> DecodeHello(const std::string& payload);
+
+/// kJob payload: which expanded variant this is, and its full spec.
+struct JobMessage {
+  uint64_t variant = 0;
+  JobSpec spec;
+};
+
+std::string EncodeJob(const JobMessage& job);
+Result<JobMessage> DecodeJob(const std::string& payload);
+
+/// kResult payload: the variant's Status and, when ok, its JobResult
+/// (minus the retained pairs, which travel in a kRetained frame) plus the
+/// worker's prepare-cache miss delta for this job — the coordinator folds
+/// those into `dist.worker.prepare.miss`, the "exactly one preparation
+/// total" witness.
+struct ResultMessage {
+  uint64_t variant = 0;
+  Status status;
+  JobResult result;
+  uint64_t prepare_misses = 0;
+};
+
+std::string EncodeResult(const ResultMessage& message);
+Result<ResultMessage> DecodeResult(const std::string& payload);
+
+/// kRetained payload: u64 variant | u64 pair count | per pair u32-length-
+/// prefixed left and right external ids.
+struct RetainedMessage {
+  uint64_t variant = 0;
+  std::vector<RetainedPair> pairs;
+};
+
+std::string EncodeRetained(const RetainedMessage& message);
+Result<RetainedMessage> DecodeRetained(const std::string& payload);
+
+/// kEvents payload: the job's event log as JSONL plus its record count.
+struct EventsMessage {
+  uint64_t variant = 0;
+  uint64_t records = 0;
+  std::string jsonl;
+};
+
+std::string EncodeEvents(const EventsMessage& message);
+Result<EventsMessage> DecodeEvents(const std::string& payload);
+
+/// JobResult <-> JSON, round-tripping every field a sweep report reads
+/// (metrics, provenance digests, timings, telemetry snapshot) except the
+/// retained pairs.
+json::Value JobResultToJsonValue(const JobResult& result);
+Result<JobResult> JobResultFromJsonValue(const json::Value& value);
+
+}  // namespace gsmb::dist
+
+#endif  // GSMB_DIST_WIRE_H_

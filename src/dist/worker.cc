@@ -1,0 +1,166 @@
+// The worker side of the distributed tier (gsmb/remote.h RunWorker).
+//
+// A worker is a plain protocol loop over stdin/stdout: load the shipped
+// snapshot into a private Engine's prepare cache, prove what was loaded
+// (hello frame with the preparation's digests), then serve kJob frames
+// with engine.Run until shutdown/EOF. stdout carries ONLY protocol frames
+// — a worker never prints; diagnostics travel inside frames.
+
+#include <cerrno>
+#include <csignal>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dist/wire.h"
+#include "gsmb/log.h"
+#include "gsmb/remote.h"
+#include "gsmb/snapshot.h"
+
+namespace gsmb {
+
+namespace {
+
+constexpr int kInFd = 0;
+constexpr int kOutFd = 1;
+
+/// Appends whatever is available on `fd` to `buffer`. Returns false on
+/// EOF or a hard read error (the coordinator went away).
+bool ReadSome(int fd, std::string* buffer) {
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+/// Runs one job and ships retained pairs, the event-log batch and the
+/// result frame. A false return means the coordinator pipe broke.
+bool ServeJob(const Engine& engine, const dist::JobMessage& job) {
+  obs::LogSink sink(obs::LogLevel::kInfo);
+  obs::InstallLogSink(&sink);
+  const PrepareCacheStats before = engine.prepare_cache_stats();
+  Result<JobResult> run = engine.Run(job.spec);
+  const PrepareCacheStats after = engine.prepare_cache_stats();
+  obs::InstallLogSink(nullptr);
+
+  dist::ResultMessage result;
+  result.variant = job.variant;
+  result.prepare_misses = after.misses - before.misses;
+  if (run.ok()) {
+    result.status = Status::Ok();
+    result.result = std::move(*run);
+  } else {
+    result.status = run.status();
+  }
+
+  if (result.status.ok() && job.spec.output.keep_retained) {
+    dist::RetainedMessage retained;
+    retained.variant = job.variant;
+    retained.pairs = std::move(result.result.retained);
+    result.result.retained.clear();
+    if (!dist::WriteFrame(kOutFd, dist::FrameType::kRetained,
+                          dist::EncodeRetained(retained))
+             .ok()) {
+      return false;
+    }
+  }
+
+  dist::EventsMessage events;
+  events.variant = job.variant;
+  events.records = sink.Records().size();
+  events.jsonl = sink.JsonLines();
+  if (!dist::WriteFrame(kOutFd, dist::FrameType::kEvents,
+                        dist::EncodeEvents(events))
+           .ok()) {
+    return false;
+  }
+
+  return dist::WriteFrame(kOutFd, dist::FrameType::kResult,
+                          dist::EncodeResult(result))
+      .ok();
+}
+
+}  // namespace
+
+int RunWorker(const WorkerOptions& options) {
+  // A dying coordinator must surface as a write error, not a SIGPIPE kill,
+  // so the worker can exit on its own terms.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Engine engine;
+  dist::HelloMessage hello;
+  if (!options.snapshot_path.empty()) {
+    Result<PreparedHandle> loaded =
+        LoadPreparedSnapshot(options.snapshot_path, options.num_threads);
+    if (loaded.ok()) {
+      hello.ok = true;
+      hello.snapshot_loaded = true;
+      hello.cache_key = (*loaded)->cache_key;
+      hello.dataset_fingerprint = (*loaded)->dataset_fingerprint;
+      hello.prepared_digest = (*loaded)->prepared_digest;
+      Status adopted = engine.AdoptPrepared(*loaded);
+      if (!adopted.ok()) {
+        hello.ok = false;
+        hello.error = adopted.message();
+      }
+    } else {
+      hello.error = loaded.status().message();
+    }
+  } else {
+    // No snapshot: serve jobs with on-demand preparation.
+    hello.ok = true;
+  }
+
+  if (!dist::WriteFrame(kOutFd, dist::FrameType::kHello,
+                        dist::EncodeHello(hello))
+           .ok()) {
+    return 1;
+  }
+  if (!hello.ok) return 1;
+
+  std::string buffer;
+  dist::Frame frame;
+  for (;;) {
+    Result<bool> extracted = dist::ExtractFrame(&buffer, &frame);
+    if (!extracted.ok()) return 1;  // corrupt stream
+    if (!*extracted) {
+      if (!ReadSome(kInFd, &buffer)) return 0;  // coordinator closed: done
+      continue;
+    }
+    switch (frame.type) {
+      case dist::FrameType::kJob: {
+        Result<dist::JobMessage> job = dist::DecodeJob(frame.payload);
+        if (!job.ok()) {
+          // A spec the worker cannot even parse: report it as this
+          // variant's failure rather than dying silently.
+          dist::ResultMessage result;
+          result.status = job.status();
+          if (!dist::WriteFrame(kOutFd, dist::FrameType::kResult,
+                                dist::EncodeResult(result))
+                   .ok()) {
+            return 1;
+          }
+          break;
+        }
+        if (!ServeJob(engine, *job)) return 1;
+        break;
+      }
+      case dist::FrameType::kShutdown:
+        return 0;
+      default:
+        return 1;  // protocol violation: only the coordinator-to-worker
+                   // frame types are valid here
+    }
+  }
+}
+
+}  // namespace gsmb

@@ -1,0 +1,273 @@
+// The distributed execution tier (gsmb/remote.h): a 16-variant sweep over
+// 4 worker processes is bit-identical to the in-process RunSweep —
+// retained sets AND digests — while paying exactly one preparation total
+// (the coordinator's one cache miss; zero worker prepare misses). Worker
+// death mid-sweep is healed by bounded retry without touching sibling
+// variants; with the retry budget at zero, exactly the lost work fails.
+//
+// The worker binary is the real gsmb_cli (GSMB_CLI_PATH, injected by the
+// build), so these tests cover the actual fork/exec + wire-protocol path,
+// not a mock.
+
+#include "gsmb/remote.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gsmb/engine.h"
+#include "gsmb/job_spec.h"
+#include "gsmb/snapshot.h"
+#include "gsmb/sweep.h"
+
+namespace gsmb {
+namespace {
+
+std::string WorkerCommand() { return GSMB_CLI_PATH; }
+
+JobSpec BaseSpec() {
+  JobSpec spec;
+  spec.dataset.source = DatasetSource::kGeneratedDirty;
+  spec.dataset.name = "D10K";
+  spec.dataset.scale = 0.05;
+  spec.training.labels_per_class = 25;
+  spec.execution.options.num_threads = 1;
+  spec.output.keep_retained = true;
+  return spec;
+}
+
+/// 4 pruning kinds x 2 label budgets x 2 seeds = 16 variants with real
+/// cost skew (BLAST vs cardinality pruning differ well over 2x).
+SweepSpec SixteenVariantSweep() {
+  SweepSpec sweep;
+  sweep.base = BaseSpec();
+  sweep.axes.pruning = {PruningKind::kWnp, PruningKind::kBlast,
+                        PruningKind::kCnp, PruningKind::kRcnp};
+  sweep.axes.labels_per_class = {15, 25};
+  sweep.axes.seeds = {0, 1};
+  return sweep;
+}
+
+uint64_t Counter(const SweepResult& result, const std::string& name) {
+  auto it = result.telemetry.counters.find(name);
+  return it == result.telemetry.counters.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity against the in-process sweep
+// ---------------------------------------------------------------------------
+
+TEST(RemoteSweep, SixteenVariantsOverFourWorkersMatchInProcessBitForBit) {
+  const SweepSpec sweep = SixteenVariantSweep();
+
+  Engine engine;
+  Result<SweepResult> local = engine.RunSweep(sweep);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  ASSERT_TRUE(local->all_ok());
+  ASSERT_EQ(local->variants.size(), 16u);
+
+  RemoteOptions options;
+  options.num_workers = 4;
+  options.worker_command = WorkerCommand();
+  Result<SweepResult> remote = RunSweepRemote(sweep, options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_TRUE(remote->all_ok());
+  ASSERT_EQ(remote->variants.size(), 16u);
+
+  for (size_t i = 0; i < 16; ++i) {
+    const SweepVariant& a = local->variants[i];
+    const SweepVariant& b = remote->variants[i];
+    EXPECT_EQ(a.label, b.label) << i;
+    // Bit-identical retained sets, and the digests that prove it without
+    // trusting the pair transfer.
+    EXPECT_EQ(a.result.retained, b.result.retained) << a.label;
+    EXPECT_EQ(a.result.retained_digest, b.result.retained_digest) << a.label;
+    EXPECT_EQ(a.result.retained_count, b.result.retained_count) << a.label;
+    EXPECT_EQ(a.result.dataset_fingerprint, b.result.dataset_fingerprint);
+    EXPECT_EQ(a.result.prepared_digest, b.result.prepared_digest) << a.label;
+    EXPECT_EQ(a.result.metrics.retained, b.result.metrics.retained);
+    EXPECT_EQ(a.result.metrics.recall, b.result.metrics.recall) << a.label;
+    EXPECT_EQ(a.result.metrics.precision, b.result.metrics.precision);
+    EXPECT_EQ(a.result.metrics.f1, b.result.metrics.f1) << a.label;
+    EXPECT_EQ(a.result.training_size, b.result.training_size) << a.label;
+    EXPECT_EQ(a.result.model_coefficients, b.result.model_coefficients)
+        << a.label;
+  }
+
+  // Exactly ONE preparation total: the coordinator's own (one cache miss,
+  // same as the in-process sweep) — and no worker ever prepared, proven by
+  // the per-result prepare-miss deltas the workers ship back.
+  EXPECT_EQ(local->cache_misses, 1u);
+  EXPECT_EQ(remote->cache_misses, 1u);
+  EXPECT_EQ(Counter(*remote, "dist.worker.prepare.miss"), 0u);
+  EXPECT_EQ(Counter(*remote, "dist.workers"), 4u);
+  EXPECT_EQ(Counter(*remote, "dist.worker.deaths"), 0u);
+  EXPECT_EQ(Counter(*remote, "dist.snapshot.loads"), 4u);
+}
+
+TEST(RemoteSweep, ReusesACallerSuppliedSnapshotWithoutPreparing) {
+  const SweepSpec sweep = SixteenVariantSweep();
+  const std::string path = ::testing::TempDir() + "/remote_shared.snapshot";
+  {
+    Engine engine;
+    Result<PreparedHandle> prepared = engine.Prepare(sweep.base);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ASSERT_TRUE(SavePreparedSnapshot(**prepared, path).ok());
+  }
+
+  RemoteOptions options;
+  options.num_workers = 2;
+  options.worker_command = WorkerCommand();
+  options.snapshot_path = path;
+  Result<SweepResult> remote = RunSweepRemote(sweep, options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_TRUE(remote->all_ok());
+  // Nobody prepared: not the coordinator (snapshot supplied), not the
+  // workers (loads, not builds).
+  EXPECT_EQ(remote->cache_misses, 0u);
+  EXPECT_EQ(Counter(*remote, "dist.worker.prepare.miss"), 0u);
+  EXPECT_EQ(Counter(*remote, "dist.snapshot.loads"), 2u);
+}
+
+TEST(RemoteSweep, RejectsASnapshotPreparedForADifferentDataset) {
+  SweepSpec sweep = SixteenVariantSweep();
+  const std::string path = ::testing::TempDir() + "/remote_mismatch.snapshot";
+  {
+    Engine engine;
+    JobSpec other = sweep.base;
+    other.dataset.scale = 0.03;  // a different dataset+blocking
+    Result<PreparedHandle> prepared = engine.Prepare(other);
+    ASSERT_TRUE(prepared.ok());
+    ASSERT_TRUE(SavePreparedSnapshot(**prepared, path).ok());
+  }
+
+  RemoteOptions options;
+  options.num_workers = 2;
+  options.worker_command = WorkerCommand();
+  options.snapshot_path = path;
+  Result<SweepResult> remote = RunSweepRemote(sweep, options);
+  ASSERT_FALSE(remote.ok());
+  EXPECT_EQ(remote.status().code(), StatusCode::kInvalidArgument);
+  // The contradiction names both sides.
+  EXPECT_NE(remote.status().message().find("different dataset"),
+            std::string::npos)
+      << remote.status().message();
+  EXPECT_NE(remote.status().message().find("dataset_fingerprint"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Failure semantics
+// ---------------------------------------------------------------------------
+
+TEST(RemoteSweep, SurvivesAWorkerDeathThroughRetry) {
+  const SweepSpec sweep = SixteenVariantSweep();
+
+  RemoteOptions options;
+  options.num_workers = 4;
+  options.worker_command = WorkerCommand();
+  options.fault.kill_worker = 0;  // SIGKILL worker 0 after its 1st result
+  options.fault.after_results = 1;
+  Result<SweepResult> remote = RunSweepRemote(sweep, options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  // The death cost one worker, not the sweep: the lost in-flight variant
+  // was re-dispatched to a survivor, so every variant completed.
+  EXPECT_TRUE(remote->all_ok());
+  EXPECT_EQ(Counter(*remote, "dist.worker.deaths"), 1u);
+  EXPECT_EQ(Counter(*remote, "dist.retries"), 1u);
+
+  // And its results are still the true ones.
+  Engine engine;
+  Result<SweepResult> local = engine.RunSweep(sweep);
+  ASSERT_TRUE(local.ok());
+  for (size_t i = 0; i < local->variants.size(); ++i) {
+    EXPECT_EQ(remote->variants[i].result.retained_digest,
+              local->variants[i].result.retained_digest)
+        << local->variants[i].label;
+  }
+}
+
+TEST(RemoteSweep, ZeroRetriesConfineTheErrorToTheLostVariant) {
+  const SweepSpec sweep = SixteenVariantSweep();
+
+  RemoteOptions options;
+  options.num_workers = 4;
+  options.worker_command = WorkerCommand();
+  options.max_retries = 0;
+  options.fault.kill_worker = 0;
+  options.fault.after_results = 1;
+  Result<SweepResult> remote = RunSweepRemote(sweep, options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  // Exactly one variant — the one in flight on the killed worker — fails,
+  // with a Status that says why; every sibling completes normally.
+  size_t failures = 0;
+  for (const SweepVariant& variant : remote->variants) {
+    if (variant.status.ok()) continue;
+    ++failures;
+    EXPECT_EQ(variant.status.code(), StatusCode::kInternal);
+    EXPECT_NE(variant.status.message().find("worker process died"),
+              std::string::npos)
+        << variant.status.message();
+  }
+  EXPECT_EQ(failures, 1u);
+  EXPECT_EQ(Counter(*remote, "dist.worker.deaths"), 1u);
+  EXPECT_EQ(Counter(*remote, "dist.retries"), 0u);
+}
+
+TEST(RemoteSweep, ReportsACleanErrorWhenTheWorkerCommandCannotStart) {
+  const SweepSpec sweep = SixteenVariantSweep();
+
+  RemoteOptions options;
+  options.num_workers = 2;
+  options.worker_command = "/nonexistent/not_a_worker_binary";
+  Result<SweepResult> remote = RunSweepRemote(sweep, options);
+  ASSERT_FALSE(remote.ok());
+  EXPECT_NE(remote.status().message().find("no worker became ready"),
+            std::string::npos)
+      << remote.status().message();
+  EXPECT_NE(remote.status().message().find(options.worker_command),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The `remote` executor backend
+// ---------------------------------------------------------------------------
+
+TEST(RemoteBackend, RegistersAndRunsASingleJobVerifiably) {
+  const JobSpec spec = BaseSpec();
+
+  Engine engine;
+  Result<JobResult> want = engine.Run(spec);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  RemoteOptions options;
+  options.worker_command = WorkerCommand();
+  ASSERT_TRUE(engine.Register(MakeRemoteBackend(options)).ok());
+  Result<JobResult> got = engine.RunOn("remote", spec);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  EXPECT_EQ(got->retained, want->retained);
+  EXPECT_EQ(got->retained_digest, want->retained_digest);
+  EXPECT_EQ(got->dataset_fingerprint, want->dataset_fingerprint);
+  EXPECT_EQ(got->prepared_digest, want->prepared_digest);
+  EXPECT_EQ(got->metrics.f1, want->metrics.f1);
+}
+
+TEST(RemoteBackend, RefusesServingMode) {
+  JobSpec spec = BaseSpec();
+  spec.execution.mode = ExecutionMode::kServing;
+
+  RemoteOptions options;
+  options.worker_command = WorkerCommand();
+  std::unique_ptr<Executor> backend = MakeRemoteBackend(options);
+  Status supports = backend->Supports(spec);
+  ASSERT_FALSE(supports.ok());
+  EXPECT_NE(supports.message().find("serving"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsmb

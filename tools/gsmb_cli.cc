@@ -72,9 +72,13 @@
 #include "api/json.h"
 #include "cli_parse.h"
 #include "datasets/io.h"
+#include "gsmb/digest.h"
 #include "gsmb/engine.h"
 #include "gsmb/job_spec.h"
+#include "gsmb/prepared.h"
+#include "gsmb/remote.h"
 #include "gsmb/report.h"
+#include "gsmb/snapshot.h"
 #include "gsmb/status.h"
 #include "gsmb/sweep.h"
 #include "gsmb/telemetry.h"
@@ -107,6 +111,16 @@ void PrintUsage(std::FILE* stream) {
       "            [--json results.json] [--retained-dir DIR]\n"
       "            [--report-out report.json]\n"
       "            [flags as for run, applied to the sweep's base spec]\n"
+      "   or: gsmb sweep --config sweep.json --workers N\n"
+      "            [--worker-cmd BIN] [--snapshot-in prepared.snapshot]\n"
+      "            (distributed: N local worker processes share ONE\n"
+      "             preparation; per-variant results are digest-verified)\n"
+      "   or: gsmb prepare [--config job.json] [dataset/blocking flags]\n"
+      "            --snapshot-out prepared.snapshot\n"
+      "   or: gsmb run|sweep ... --snapshot-in prepared.snapshot\n"
+      "   or: gsmb worker [--snapshot-in prepared.snapshot] [--threads N]\n"
+      "            (protocol worker over stdin/stdout; spawned by the\n"
+      "             sweep coordinator, rarely run by hand)\n"
       "   or: gsmb report diff a_report.json b_report.json\n"
       "   or: gsmb migrate spec.json [more.json ...]\n"
       "   or: gsmb serve [--config job.json] --data a.csv --gt matches.csv\n"
@@ -314,20 +328,72 @@ Status WriteTextFile(const std::string& path, const std::string& content,
   return Status::Ok();
 }
 
+/// Peels `flag` and its value out of `raw` into `out` (last one wins).
+Status ExtractValueFlag(std::vector<std::string>* raw, const std::string& flag,
+                        std::string* out) {
+  for (size_t i = 0; i < raw->size();) {
+    if ((*raw)[i] != flag) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= raw->size()) {
+      return Status::InvalidArgument(flag + " needs a file path");
+    }
+    *out = (*raw)[i + 1];
+    raw->erase(raw->begin() + i, raw->begin() + i + 2);
+  }
+  return Status::Ok();
+}
+
 Result<JobSpec> SpecFromRunArgs(int argc, char** argv, int begin,
-                                RunFlagState* state, TelemetryFlags* telemetry) {
+                                RunFlagState* state, TelemetryFlags* telemetry,
+                                std::string* snapshot_in = nullptr,
+                                std::string* snapshot_out = nullptr) {
   JobSpec spec;
   cli::ArgStream scan(argc, argv, begin);
   std::vector<std::string> raw;
   while (!scan.Done()) raw.push_back(scan.Take());
   Status peeled = ExtractTelemetryFlags(&raw, telemetry);
   if (!peeled.ok()) return peeled;
+  if (snapshot_in != nullptr) {
+    peeled = ExtractValueFlag(&raw, "--snapshot-in", snapshot_in);
+    if (!peeled.ok()) return peeled;
+  }
+  if (snapshot_out != nullptr) {
+    peeled = ExtractValueFlag(&raw, "--snapshot-out", snapshot_out);
+    if (!peeled.ok()) return peeled;
+  }
   Result<std::vector<std::string>> rest = cli::ExtractConfig(raw, &spec);
   if (!rest.ok()) return rest.status();
   cli::ArgStream args(std::move(*rest));
   Status parsed = ParseRunFlags(args, &spec, state);
   if (!parsed.ok()) return parsed;
   return spec;
+}
+
+/// Loads a prepared snapshot, proves it belongs to `spec` (same prepare
+/// cache key — the canonical dataset+blocking JSON), and seeds the
+/// engine's cache with it, so the following Run/RunSweep reports a cache
+/// hit instead of re-preparing. A mismatch is a contradiction error that
+/// names the snapshot's digests and both cache keys.
+Status AdoptSnapshotChecked(const Engine& engine, const std::string& path,
+                            const JobSpec& spec) {
+  Result<PreparedSnapshotInfo> info = ReadPreparedSnapshotInfo(path);
+  if (!info.ok()) return info.status();
+  const std::string spec_key = PrepareCacheKey(spec);
+  if (info->cache_key != spec_key) {
+    return Status::InvalidArgument(
+        "--snapshot-in: snapshot '" + path +
+        "' was prepared for a different dataset+blocking than this job: "
+        "snapshot dataset_fingerprint " +
+        obs::DigestHex(info->dataset_fingerprint) + ", prepared_digest " +
+        obs::DigestHex(info->prepared_digest) + "; snapshot cache key " +
+        info->cache_key + " vs this job's cache key " + spec_key);
+  }
+  Result<PreparedHandle> loaded =
+      LoadPreparedSnapshot(path, spec.execution.options.num_threads);
+  if (!loaded.ok()) return loaded.status();
+  return engine.AdoptPrepared(std::move(*loaded));
 }
 
 // ---------------------------------------------------------------------------
@@ -385,7 +451,9 @@ int RunMain(int argc, char** argv, int begin) {
   }
   RunFlagState state;
   TelemetryFlags telemetry;
-  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state, &telemetry);
+  std::string snapshot_in;
+  Result<JobSpec> spec =
+      SpecFromRunArgs(argc, argv, begin, &state, &telemetry, &snapshot_in);
   if (!spec.ok()) return Fail(spec.status(), /*with_usage=*/true);
 
   Status valid = spec->Validate();
@@ -398,6 +466,13 @@ int RunMain(int argc, char** argv, int begin) {
   if (telemetry.wanted()) obs::InstallSink(&sink);
 
   Engine engine;
+  if (!snapshot_in.empty()) {
+    Status adopted = AdoptSnapshotChecked(engine, snapshot_in, *spec);
+    if (!adopted.ok()) {
+      if (telemetry.wanted()) obs::InstallSink(nullptr);
+      return Fail(adopted);
+    }
+  }
   Result<JobResult> result = engine.Run(*spec);
 
   if (telemetry.wanted()) obs::InstallSink(nullptr);
@@ -623,6 +698,8 @@ int SweepMain(int argc, char** argv, int begin) {
   std::vector<std::string> raw;
   for (int i = begin; i < argc; ++i) raw.emplace_back(argv[i]);
   std::string config_path, csv_path, json_path, retained_dir, report_path;
+  std::string snapshot_in, workers_value, worker_cmd;
+  TelemetryFlags telemetry;
   auto take_value = [&raw](size_t i, const char* flag,
                            std::string* out) -> Result<size_t> {
     if (i + 1 >= raw.size()) {
@@ -638,6 +715,11 @@ int SweepMain(int argc, char** argv, int begin) {
     else if (raw[i] == "--json") target = &json_path;
     else if (raw[i] == "--retained-dir") target = &retained_dir;
     else if (raw[i] == "--report-out") target = &report_path;
+    else if (raw[i] == "--snapshot-in") target = &snapshot_in;
+    else if (raw[i] == "--workers") target = &workers_value;
+    else if (raw[i] == "--worker-cmd") target = &worker_cmd;
+    else if (raw[i] == "--trace-out") target = &telemetry.trace_path;
+    else if (raw[i] == "--metrics-out") target = &telemetry.metrics_path;
     if (target == nullptr) {
       ++i;
       continue;
@@ -665,9 +747,58 @@ int SweepMain(int argc, char** argv, int begin) {
   Status valid = sweep->Validate();
   if (!valid.ok()) return Fail(valid, /*with_usage=*/true);
 
-  Engine engine;
-  Result<SweepResult> result = engine.RunSweep(*sweep);
+  size_t workers = 0;
+  if (!workers_value.empty()) {
+    Result<uint64_t> count = cli::ParseCount("--workers", workers_value);
+    if (!count.ok()) return Fail(count.status(), /*with_usage=*/true);
+    if (*count == 0) {
+      return UsageError(
+          "--workers 0 is contradictory: a distributed sweep needs at "
+          "least one worker process (omit the flag to run in-process)");
+    }
+    workers = static_cast<size_t>(*count);
+  }
+  if (workers == 0 && !worker_cmd.empty()) {
+    return UsageError(
+        "--worker-cmd names the worker binary of a distributed sweep; "
+        "it needs --workers N");
+  }
+
+  // Coordinator-side telemetry (prepare span, pipeline counters); the
+  // distributed path additionally folds per-worker snapshots into the
+  // SweepResult's own telemetry field.
+  obs::TelemetrySink sink;
+  if (telemetry.wanted()) obs::InstallSink(&sink);
+  Result<SweepResult> result = [&]() -> Result<SweepResult> {
+    if (workers > 0) {
+      RemoteOptions options;
+      options.num_workers = workers;
+      options.worker_command = worker_cmd;  // empty = this binary
+      options.snapshot_path = snapshot_in;
+      return RunSweepRemote(*sweep, options);
+    }
+    Engine engine;
+    if (!snapshot_in.empty()) {
+      Status adopted = AdoptSnapshotChecked(engine, snapshot_in, sweep->base);
+      if (!adopted.ok()) return adopted;
+    }
+    return engine.RunSweep(*sweep);
+  }();
+  if (telemetry.wanted()) obs::InstallSink(nullptr);
   if (!result.ok()) return Fail(result.status());
+
+  if (!telemetry.trace_path.empty()) {
+    Status written =
+        WriteTextFile(telemetry.trace_path, sink.TraceJson(), "--trace-out");
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote Chrome trace to %s\n", telemetry.trace_path.c_str());
+  }
+  if (!telemetry.metrics_path.empty()) {
+    Status written = WriteTextFile(telemetry.metrics_path, sink.MetricsJson(),
+                                   "--metrics-out");
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote metrics to %s\n", telemetry.metrics_path.c_str());
+  }
 
   std::printf(
       "prepared blocking once in %.1f ms (cache: %zu miss%s, %zu hit%s); "
@@ -727,6 +858,78 @@ int SweepMain(int argc, char** argv, int begin) {
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// prepare / worker (the distributed tier's CLI surface)
+// ---------------------------------------------------------------------------
+
+/// `gsmb prepare ... --snapshot-out F` — run the preparation (dataset +
+/// blocking) once and persist it as a prepared snapshot that `run`,
+/// `sweep` and distributed workers load instead of re-preparing.
+int PrepareMain(int argc, char** argv, int begin) {
+  if (WantsHelp(argc, argv, begin)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  RunFlagState state;
+  TelemetryFlags telemetry;
+  std::string snapshot_in, snapshot_out;
+  Result<JobSpec> spec = SpecFromRunArgs(argc, argv, begin, &state, &telemetry,
+                                         &snapshot_in, &snapshot_out);
+  if (!spec.ok()) return Fail(spec.status(), /*with_usage=*/true);
+  if (!snapshot_in.empty()) {
+    return UsageError(
+        "--snapshot-in contradicts prepare, which CREATES a snapshot; "
+        "use --snapshot-out");
+  }
+  if (snapshot_out.empty()) {
+    return UsageError("prepare needs --snapshot-out FILE");
+  }
+  Status valid = spec->Validate();
+  if (!valid.ok()) return Fail(valid, /*with_usage=*/true);
+
+  Engine engine;
+  Result<PreparedHandle> prepared = engine.Prepare(*spec);
+  if (!prepared.ok()) return Fail(prepared.status());
+  Status saved = SavePreparedSnapshot(**prepared, snapshot_out);
+  if (!saved.ok()) return Fail(saved);
+
+  Result<PreparedSnapshotInfo> info = ReadPreparedSnapshotInfo(snapshot_out);
+  if (!info.ok()) return Fail(info.status());
+  std::printf(
+      "prepared in %.1f ms; wrote %llu-byte snapshot to %s\n"
+      "  dataset_fingerprint %s\n  prepared_digest     %s\n",
+      (*prepared)->prepare_seconds * 1e3,
+      static_cast<unsigned long long>(info->file_bytes), snapshot_out.c_str(),
+      obs::DigestHex(info->dataset_fingerprint).c_str(),
+      obs::DigestHex(info->prepared_digest).c_str());
+  return 0;
+}
+
+/// `gsmb worker` — the coordinator-spawned protocol worker. stdout is the
+/// protocol channel, so every diagnostic here goes to stderr and the
+/// usage text is never printed to stdout.
+int WorkerMain(int argc, char** argv, int begin) {
+  WorkerOptions options;
+  cli::ArgStream args(argc, argv, begin);
+  while (!args.Done()) {
+    const std::string flag = args.Take();
+    if (flag == "--snapshot-in") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status());
+      options.snapshot_path = *value;
+    } else if (flag == "--threads") {
+      Result<std::string> value = args.Value(flag);
+      if (!value.ok()) return Fail(value.status());
+      Result<uint64_t> count = cli::ParseCount(flag, *value);
+      if (!count.ok()) return Fail(count.status());
+      options.num_threads = static_cast<size_t>(*count);
+    } else {
+      return Fail(Status::InvalidArgument("unknown worker flag " + flag));
+    }
+  }
+  return RunWorker(options);
 }
 
 // ---------------------------------------------------------------------------
@@ -1205,6 +1408,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
     return SweepMain(argc, argv, 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "prepare") == 0) {
+    return PrepareMain(argc, argv, 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "worker") == 0) {
+    return WorkerMain(argc, argv, 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "report") == 0) {
     return ReportMain(argc, argv, 2);

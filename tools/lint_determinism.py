@@ -53,6 +53,15 @@ time instead of waiting for a flaky paper_shape run:
       GSMB_LOG_* events (gsmb/log.h) instead; tools, benchmarks,
       examples and tests own their streams and are exempt.
 
+  raw-process
+      fork()/exec*/system()/popen()/posix_spawn()/socket() outside the
+      sanctioned process owners: src/dist/ (the distributed execution
+      tier), tools/ and tests/. A library that silently spawns processes
+      or opens sockets is impossible to reason about for determinism
+      (child scheduling, environment inheritance, network timing) and
+      for sandboxing; all process fan-out must flow through the
+      coordinator in src/dist/.
+
 Escape hatch: the marker
 
     // gsmb-lint: allow(<rule>)
@@ -81,6 +90,7 @@ RULES = (
     "float-reduction",
     "raw-clock",
     "raw-console",
+    "raw-process",
 )
 
 # Directories scanned by default, relative to the repo root.
@@ -434,6 +444,50 @@ def check_raw_console(path, raw_lines, allow_map, findings):
 
 
 # ---------------------------------------------------------------------------
+# Rule: raw-process
+
+RAW_PROCESS_PATTERNS = (
+    (re.compile(r"(?<![\w:])v?fork\s*\("), "fork()"),
+    (re.compile(r"(?<![\w:])exec[lv][pe]{0,2}\s*\("), "exec*()"),
+    (re.compile(r"\bstd::system\s*\(|(?<![\w.:])system\s*\("), "system()"),
+    (re.compile(r"(?<![\w:])popen\s*\("), "popen()"),
+    (re.compile(r"\bposix_spawnp?\s*\("), "posix_spawn()"),
+    (re.compile(r"(?<![\w:])socket\s*\("), "socket()"),
+)
+
+
+def process_exempt(path):
+    p = path.replace(os.sep, "/")
+    # The sanctioned process owners: the distributed tier, the CLI /
+    # developer tools, and tests (which exercise the fork paths). Lint
+    # fixtures stay in scope so the self-test can trip the rule.
+    if "/lint_fixtures/" in p or p.startswith("lint_fixtures/"):
+        return False
+    for d in ("src/dist", "tools", "tests"):
+        if "/%s/" % d in p or p.startswith(d + "/"):
+            return True
+    return False
+
+
+def check_raw_process(path, raw_lines, allow_map, findings):
+    rule = "raw-process"
+    if process_exempt(path):
+        return
+    for idx, line in enumerate(raw_lines, start=1):
+        code = strip_strings_and_comments(line)
+        for pattern, what in RAW_PROCESS_PATTERNS:
+            if pattern.search(code) and not is_allowed(allow_map, idx, rule):
+                findings.append(
+                    Finding(
+                        path, idx, rule,
+                        "%s outside src/dist//tools//tests: library code "
+                        "must not spawn processes or open sockets — route "
+                        "process fan-out through the coordinator in "
+                        "src/dist/ (gsmb/remote.h)" % what))
+                break
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 def lint_files(paths, root):
@@ -459,6 +513,7 @@ def lint_files(paths, root):
         check_float_reduction(rel, raw_lines, allow_map, findings)
         check_raw_clock(rel, raw_lines, allow_map, findings)
         check_raw_console(rel, raw_lines, allow_map, findings)
+        check_raw_process(rel, raw_lines, allow_map, findings)
     return findings
 
 
@@ -503,6 +558,7 @@ def self_test(root):
     expect("bad_float_reduction.cc", ["float-reduction"])
     expect("bad_raw_clock.cc", ["raw-clock"])
     expect("bad_raw_console.cc", ["raw-console"])
+    expect("bad_raw_process.cc", ["raw-process"])
     expect("good.cc", [])
     expect("allowed.cc", [])
 
@@ -511,7 +567,7 @@ def self_test(root):
         for f in failures:
             print("  " + f)
         return 1
-    print("self-test passed: 6 bad fixtures tripped their rule, "
+    print("self-test passed: 7 bad fixtures tripped their rule, "
           "2 clean fixtures stayed clean")
     return 0
 
