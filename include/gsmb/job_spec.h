@@ -22,6 +22,13 @@
 //   1  PR 4 — the original facade schema.
 //   2  adds pruning.validity_threshold (the paper's 0.5 floor, previously
 //      fixed; <= 0 disables it for unsupervised-style weighting).
+//   3  opens blocking.scheme to the scheme registry (src/schemes/):
+//      sorted-neighborhood, dynamic-sorted-neighborhood,
+//      attribute-clustering and minhash-lsh join token/qgram/suffix, with
+//      per-scheme keys (blocking.window, min_window, key_similarity,
+//      attribute_similarity, lsh_bands, lsh_rows, minhash_seed). A
+//      version-1/2 file may only name the legacy schemes and none of the
+//      new keys.
 
 #ifndef GSMB_API_JOB_SPEC_H_
 #define GSMB_API_JOB_SPEC_H_
@@ -39,7 +46,7 @@ namespace gsmb {
 
 /// Version written by ToJson(). FromJson() reads every version in
 /// [kJobSpecMinVersion, kJobSpecVersion] and upgrades in memory.
-inline constexpr uint64_t kJobSpecVersion = 2;
+inline constexpr uint64_t kJobSpecVersion = 3;
 inline constexpr uint64_t kJobSpecMinVersion = 1;
 
 // ---------------------------------------------------------------------------
@@ -70,17 +77,49 @@ struct DatasetSpec {
   }
 };
 
-enum class BlockingScheme { kToken, kQGram, kSuffix };
+/// Names of the built-in blocking schemes (see src/schemes/). Spec fields
+/// and CLI flags refer to schemes by registry name; schemes::FindBlocker()
+/// resolves a name to its implementation.
+inline constexpr char kSchemeToken[] = "token";
+inline constexpr char kSchemeQGram[] = "qgram";
+inline constexpr char kSchemeSuffix[] = "suffix";
+inline constexpr char kSchemeSortedNeighborhood[] = "sorted-neighborhood";
+inline constexpr char kSchemeDynamicSortedNeighborhood[] =
+    "dynamic-sorted-neighborhood";
+inline constexpr char kSchemeAttributeClustering[] = "attribute-clustering";
+inline constexpr char kSchemeMinHashLsh[] = "minhash-lsh";
 
 struct BlockingSpec {
-  BlockingScheme scheme = BlockingScheme::kToken;
-  /// Token scheme: minimum token length used as a key.
+  /// Registry name of the blocking scheme (schemes::FindBlocker()).
+  /// Version 1/2 specs may only name token | qgram | suffix.
+  std::string scheme = kSchemeToken;
+  /// Token / attribute-clustering / minhash schemes: minimum token length
+  /// used as (part of) a key.
   size_t min_token_length = 1;
   /// Q-gram scheme: gram length.
   size_t qgram = 3;
   /// Suffix scheme: minimum suffix length and per-source block cap.
   size_t suffix_min_length = 4;
   size_t suffix_max_block_size = 64;
+  /// Sorted-neighborhood schemes: window size (the fixed window, and the
+  /// maximum window of the dynamic variant). Version 3.
+  size_t window = 4;
+  /// Dynamic sorted neighborhood: minimum window size. Version 3.
+  size_t min_window = 2;
+  /// Dynamic sorted neighborhood: the window keeps extending while
+  /// adjacent sort keys are at least this similar (normalized common
+  /// prefix, in (0, 1]). Version 3.
+  double key_similarity = 0.5;
+  /// Attribute clustering: attributes link when the Jaccard similarity of
+  /// their value token sets reaches this threshold (in (0, 1]). Version 3.
+  double attribute_similarity = 0.3;
+  /// MinHash-LSH: band count and rows (minhashes) per band; the signature
+  /// length is bands * rows. Version 3.
+  size_t lsh_bands = 8;
+  size_t lsh_rows = 4;
+  /// MinHash-LSH: seed of the hash family, routed through util/random.
+  /// Version 3.
+  uint64_t minhash_seed = 7;
   /// Block Purging: drop blocks larger than this fraction of all profiles.
   /// Values >= 1 disable purging (only zero-comparison blocks drop).
   double purge_size_fraction = 0.5;
@@ -190,7 +229,6 @@ struct JobSpec {
 // ---------------------------------------------------------------------------
 
 const char* DatasetSourceName(DatasetSource source);
-const char* BlockingSchemeName(BlockingScheme scheme);
 const char* ExecutionModeName(ExecutionMode mode);
 /// Short CLI-style classifier name: logreg | svc | nb.
 const char* ClassifierShortName(ClassifierKind kind);
@@ -201,7 +239,9 @@ std::string PruningShortName(PruningKind kind);
 std::string FeatureSetSpecName(const FeatureSet& features);
 
 Result<DatasetSource> ParseDatasetSource(const std::string& name);
-Result<BlockingScheme> ParseBlockingScheme(const std::string& name);
+/// Resolves `name` against the scheme registry; NotFound (listing the
+/// registered names) when unknown.
+Result<std::string> ParseBlockingScheme(const std::string& name);
 Result<ExecutionMode> ParseExecutionMode(const std::string& name);
 Result<ClassifierKind> ParseClassifierName(const std::string& name);
 Result<PruningKind> ParsePruningName(const std::string& name);

@@ -4,9 +4,10 @@
 // training size x seed over one dataset) were previously caller-side loops,
 // each Run() re-preparing blocking from scratch. A SweepSpec names the grid
 // once — a base JobSpec plus per-axis value lists — and Engine::RunSweep
-// expands it, prepares the shared dataset+blocking exactly once (through
-// the engine's prepare cache), executes the variants in parallel against
-// the shared PreparedInputs, and reports one structured SweepResult.
+// expands it, prepares each distinct dataset+blocking exactly once (through
+// the engine's prepare cache; without a scheme axis that is ONE shared
+// preparation), executes the variants in parallel against the shared
+// PreparedInputs, and reports one structured SweepResult.
 //
 // Like JobSpec, a SweepSpec serializes to versioned JSON with
 // reject-don't-ignore validation:
@@ -15,6 +16,7 @@
 //     "version": 1,
 //     "base": { ...JobSpec object, version and all... },
 //     "axes": {
+//       "scheme":   ["token", "minhash-lsh", ...],
 //       "pruning":  ["bcl", "wep", ...],
 //       "features": ["blast", "2014"],
 //       "classifier": ["logreg"],
@@ -25,7 +27,7 @@
 //   }
 //
 // An empty (or absent) axis contributes the base spec's value, so the grid
-// size is the product of max(1, |axis|) over the five axes.
+// size is the product of max(1, |axis|) over the six axes.
 
 #ifndef GSMB_API_SWEEP_H_
 #define GSMB_API_SWEEP_H_
@@ -45,6 +47,10 @@ inline constexpr uint64_t kSweepSpecVersion = 1;
 
 /// The swept axes. Empty axis = the base spec's single value.
 struct SweepAxes {
+  /// Blocking-scheme names from the scheme registry. The one axis that
+  /// changes the preparation itself: each distinct scheme gets its own
+  /// prepared handle (one preparation per scheme, held for the sweep).
+  std::vector<std::string> schemes;
   std::vector<PruningKind> pruning;
   std::vector<FeatureSet> features;
   std::vector<ClassifierKind> classifiers;
@@ -76,16 +82,16 @@ struct SweepSpec {
   /// Product of max(1, |axis|) over the axes.
   size_t GridSize() const;
 
-  /// The expanded grid, deterministic order: pruning outermost, then
-  /// features, classifier, labels_per_class, seeds innermost.
+  /// The expanded grid, deterministic order: scheme outermost, then
+  /// pruning, features, classifier, labels_per_class, seeds innermost.
   std::vector<JobSpec> Expand() const;
 
   bool operator==(const SweepSpec& other) const;
 };
 
 /// Deterministic, filesystem-safe label of one expanded variant:
-/// "<pruning>_<features>_<classifier>_l<labels>_s<seed>" (commas of a
-/// custom feature list become '+').
+/// "<scheme>_<pruning>_<features>_<classifier>_l<labels>_s<seed>" (commas
+/// of a custom feature list become '+').
 std::string SweepVariantLabel(const JobSpec& variant);
 
 /// One executed grid point.
@@ -102,12 +108,13 @@ struct SweepResult {
   /// Expansion order (see SweepSpec::Expand) — independent of the parallel
   /// execution order.
   std::vector<SweepVariant> variants;
-  /// Prepare-cache activity of this sweep: a cold sweep reports
-  /// misses == 1 (the one shared preparation); a sweep over an
-  /// already-cached dataset reports hits == 1, misses == 0.
+  /// Prepare-cache activity of this sweep: a cold sweep reports one miss
+  /// per distinct dataset+blocking (without a scheme axis, exactly 1); a
+  /// sweep over already-cached preparations reports hits instead.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
-  /// One-off preparation cost of the shared handle, seconds.
+  /// One-off preparation cost, seconds, summed over the sweep's distinct
+  /// prepared handles.
   double prepare_seconds = 0.0;
   /// Whole-sweep wall clock (prepare + all variants), seconds.
   double total_seconds = 0.0;

@@ -1,6 +1,7 @@
 // The serving backend: a cold-built MetaBlockingSession behind the Executor
-// interface. One-shot Run() trains the spec's classifier exactly like the
-// batch backend (same preparation, same sample replay), folds it into the
+// interface. One-shot Run() trains the spec's classifier from the shared
+// prepared handle (same preparation and sample replay as the batch
+// backend, without re-blocking inside the trainer), folds it into the
 // raw-space serving model, ingests the collection, refreshes every shard
 // and reports the session's retained set.
 //
@@ -37,7 +38,7 @@ class ServingBackend : public Executor {
           "dataset: a session holds one resident collection (drop "
           "dataset.e2 or use a generated-dirty source)");
     }
-    if (spec.blocking.scheme != BlockingScheme::kToken) {
+    if (spec.blocking.scheme != kSchemeToken) {
       return Status::FailedPrecondition(
           "the serving backend blocks by tokens (a session tokenizes every "
           "ingest itself); set blocking.scheme to token");
@@ -56,26 +57,37 @@ class ServingBackend : public Executor {
     return Status::Ok();
   }
 
-  // Deliberately NOT AcceptsPrepared(): a session blocks (tokenizes) its
-  // own ingests, so nothing of a PreparedInputs handle beyond the raw
-  // profiles is usable here — taking the staged path would build (and
-  // cache) a whole blocks+index+counting preparation just to throw it
-  // away. The Engine falls back to this legacy path instead, which loads
-  // the inputs and nothing else, exactly the pre-staged cost.
+  // The staged path: the handle's blocked, labelled candidate view feeds
+  // model training directly (TrainServingModelFromPrepared), so a cold
+  // build no longer re-blocks inside the trainer — and a cached handle
+  // makes repeat cold builds skip preparation entirely. The session still
+  // tokenizes its own ingests; only the bootstrap training reuses the
+  // preparation.
+  bool AcceptsPrepared() const override { return true; }
+
+  Result<JobResult> ExecutePrepared(
+      const JobSpec& spec, const PreparedInputs& prepared) const override {
+    return RunServingOn(spec, prepared);
+  }
+
+  // Legacy path (direct Execute callers): a private preparation, same code.
   Result<JobResult> Execute(const JobSpec& spec) const override {
-    Result<JobInputs> inputs = LoadJobInputs(spec);
-    if (!inputs.ok()) return inputs.status();
-    return RunServingOn(spec, *inputs);
+    Result<PreparedHandle> prepared = BuildPreparedInputs(spec);
+    if (!prepared.ok()) return prepared.status();
+    return RunServingOn(spec, **prepared);
   }
 };
 
 }  // namespace
 
-Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
+Result<JobResult> RunServingOn(const JobSpec& spec,
+                               const PreparedInputs& prepared) {
+  const JobInputs& inputs = prepared.inputs;
   size_t training_size = 0;
   obs::PhaseTimings phases;
-  Result<MetaBlockingSession> session = BuildServingSession(
-      spec, inputs, /*cold_build_universe=*/true, &training_size, &phases);
+  Result<MetaBlockingSession> session =
+      BuildServingSession(spec, inputs, /*cold_build_universe=*/true,
+                          &training_size, &phases, &prepared);
   if (!session.ok()) return session.status();
 
   JobResult result;
@@ -98,14 +110,15 @@ Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs) {
   result.shards_used = stats.num_shards;
   result.model_coefficients = session->model().weights;
   result.model_coefficients.push_back(session->model().intercept);
-  // A session blocks during its own refresh (no prepared handle), so the
-  // prepare cost is zero and kBlocking carries the re-block time.
-  ApplyPhaseTimings(phases, /*prepare_seconds=*/0.0, &result);
+  // The handle's one-off preparation cost is the prepare phase; the
+  // session's own refresh re-block lands in kBlocking as before.
+  ApplyPhaseTimings(phases, prepared.prepare_seconds, &result);
 
-  // Provenance: the dataset fingerprint covers the inputs this session
-  // ingested; prepared_digest stays 0 (a session never builds the global
-  // blocked representation — report diff treats 0 as "not applicable").
-  result.dataset_fingerprint = obs::DatasetFingerprint(inputs);
+  // Provenance: the cold build trains from the prepared handle, so it
+  // carries the handle's fingerprint and digest exactly like batch and
+  // streaming — report diff compares all three backends on equal terms.
+  result.dataset_fingerprint = prepared.dataset_fingerprint;
+  result.prepared_digest = prepared.prepared_digest;
   obs::PairSetDigest digest;
   for (const CandidatePair& pair : retained) {
     digest.AddPair(inputs.ExternalLeftId(pair.left),
@@ -145,11 +158,14 @@ Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
                                                 const JobInputs& inputs,
                                                 bool cold_build_universe,
                                                 size_t* training_size,
-                                                obs::PhaseTimings* phases) {
+                                                obs::PhaseTimings* phases,
+                                                const PreparedInputs* prepared) {
   // Train exactly like the batch backend trains: same blocking options,
-  // same balanced-sample seed, same classifier. TrainServingModel folds
-  // the standardisation into raw-space weights, the one representation a
-  // snapshot can carry.
+  // same balanced-sample seed, same classifier. The trainer folds the
+  // standardisation into raw-space weights, the one representation a
+  // snapshot can carry. With a prepared handle the trainer consumes its
+  // blocked, labelled candidate view (the same arrays batch executes
+  // against) instead of re-blocking the collection itself.
   ServingModelTraining training;
   training.classifier = spec.classifier;
   training.train_per_class = spec.training.labels_per_class;
@@ -159,6 +175,19 @@ Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
   obs::PhaseTimings build_phases;
   ServingModel model = [&] {
     obs::ScopedPhase phase(&build_phases, obs::Phase::kTrain);
+    if (prepared != nullptr) {
+      const PreparedInputs::BatchArrays& batch =
+          prepared->Batch(ResolvedExecution(spec).num_threads);
+      PreparedRef ref;
+      ref.name = &prepared->stream.name;
+      ref.index = prepared->stream.index.get();
+      ref.stats = &prepared->stream.stats;
+      ref.pairs = &batch.pairs;
+      ref.is_positive = &batch.is_positive;
+      ref.num_ground_truth = prepared->stream.ground_truth.size();
+      return TrainServingModelFromPrepared(ref, spec.features, training,
+                                           training_size);
+    }
     return TrainServingModel(inputs.e1, inputs.ground_truth, spec.features,
                              training, training_size);
   }();

@@ -76,15 +76,15 @@ void ApplyPhaseTimings(const obs::PhaseTimings& phases,
 // The ExecutePrepared() bodies: per-configuration execution against a
 // shared preparation. The batch path materialises the handle's lazy O(|C|)
 // arrays on first use; the streaming path runs straight off the counting
-// preparation. Serving does NOT take the staged path (a session tokenizes
-// its own ingests, so a blocked preparation would be dead weight): its
-// Execute loads the inputs and builds the session directly.
+// preparation; the serving path trains its resident model from the
+// handle's batch arrays (the session still tokenizes its own ingests).
 
 Result<JobResult> RunBatchOn(const JobSpec& spec,
                              const PreparedInputs& prepared);
 Result<JobResult> RunStreamingOn(const JobSpec& spec,
                                  const PreparedInputs& prepared);
-Result<JobResult> RunServingOn(const JobSpec& spec, const JobInputs& inputs);
+Result<JobResult> RunServingOn(const JobSpec& spec,
+                               const PreparedInputs& prepared);
 
 std::unique_ptr<Executor> MakeBatchBackend();
 std::unique_ptr<Executor> MakeStreamingBackend();
@@ -97,12 +97,13 @@ std::unique_ptr<Executor> MakeServingBackend();
 /// semantics. `training_size` (optional) receives the balanced training
 /// sample's actual size; `phases` (optional) receives the cold build's
 /// phase breakdown — kTrain for the model fit plus the session's
-/// accumulated refresh phases.
-Result<MetaBlockingSession> BuildServingSession(const JobSpec& spec,
-                                                const JobInputs& inputs,
-                                                bool cold_build_universe,
-                                                size_t* training_size = nullptr,
-                                                obs::PhaseTimings* phases = nullptr);
+/// accumulated refresh phases. `prepared` (optional) is an existing
+/// preparation of the SAME spec: when given, model training consumes its
+/// batch arrays instead of re-blocking (inputs must be prepared->inputs).
+Result<MetaBlockingSession> BuildServingSession(
+    const JobSpec& spec, const JobInputs& inputs, bool cold_build_universe,
+    size_t* training_size = nullptr, obs::PhaseTimings* phases = nullptr,
+    const PreparedInputs* prepared = nullptr);
 
 }  // namespace gsmb::api
 

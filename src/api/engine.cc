@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <filesystem>
+#include <stdexcept>
 #include <future>
 #include <list>
 #include <mutex>
@@ -9,9 +10,6 @@
 #include <utility>
 
 #include "api/backends.h"
-#include "blocking/qgram_blocking.h"
-#include "blocking/suffix_blocking.h"
-#include "blocking/token_blocking.h"
 #include "datasets/clean_clean_generator.h"
 #include "datasets/dirty_generator.h"
 #include "datasets/io.h"
@@ -19,6 +17,7 @@
 #include "gsmb/digest.h"
 #include "gsmb/log.h"
 #include "gsmb/telemetry.h"
+#include "schemes/scheme_registry.h"
 #include "stream/streaming_executor.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -151,28 +150,15 @@ Result<PreparedHandle> BuildPreparedInputs(const JobSpec& spec) {
 BlockCollection BuildPreprocessedBlocks(const JobSpec& spec,
                                         const JobInputs& inputs) {
   const size_t threads = ResolvedExecution(spec).num_threads;
-  BlockCollection raw;
-  switch (spec.blocking.scheme) {
-    case BlockingScheme::kToken: {
-      TokenBlocking blocking(spec.blocking.min_token_length);
-      raw = inputs.dirty ? blocking.Build(inputs.e1, threads)
-                         : blocking.Build(inputs.e1, inputs.e2, threads);
-      break;
-    }
-    case BlockingScheme::kQGram: {
-      QGramBlocking blocking(spec.blocking.qgram);
-      raw = inputs.dirty ? blocking.Build(inputs.e1, threads)
-                         : blocking.Build(inputs.e1, inputs.e2, threads);
-      break;
-    }
-    case BlockingScheme::kSuffix: {
-      SuffixBlocking blocking(spec.blocking.suffix_min_length,
-                              spec.blocking.suffix_max_block_size);
-      raw = inputs.dirty ? blocking.Build(inputs.e1, threads)
-                         : blocking.Build(inputs.e1, inputs.e2, threads);
-      break;
-    }
+  // Every engine path validates the spec before preparing, so the lookup
+  // cannot miss; the throw converts to a Status in BuildPreparedInputs.
+  const schemes::Blocker* blocker =
+      schemes::FindBlocker(spec.blocking.scheme);
+  if (blocker == nullptr) {
+    throw std::runtime_error("blocking scheme '" + spec.blocking.scheme +
+                             "' is not registered");
   }
+  BlockCollection raw = blocker->Build(inputs, spec.blocking, threads);
   return PreprocessBlocks(std::move(raw), BlockingOptionsFromSpec(spec));
 }
 
@@ -510,8 +496,8 @@ Result<JobResult> Engine::Execute(const JobSpec& spec,
   if (!supported.ok()) return supported;
   try {
     if (!executor->AcceptsPrepared()) {
-      // Backends that load their own inputs (serving, custom executors)
-      // run their legacy path; the handle stays untouched.
+      // Executors that load their own inputs (custom registrations) run
+      // their legacy path; the handle stays untouched.
       return executor->Execute(spec);
     }
     Result<JobResult> result = executor->ExecutePrepared(spec, prepared);
@@ -556,7 +542,7 @@ Result<JobResult> Engine::Dispatch(const Executor& executor,
       EnforcePrepareBudget();
       return result;
     }
-    // Backends that load their own inputs (serving, custom executors).
+    // Executors that load their own inputs (custom registrations).
     return executor.Execute(spec);
   } catch (const std::exception& e) {
     return Status::Internal("backend '" + executor.name() +
@@ -615,10 +601,15 @@ Result<MetaBlockingSession> Engine::OpenSession(const JobSpec& spec) const {
   Status supported = serving->Supports(spec);
   if (!supported.ok()) return supported;
   try {
-    Result<JobInputs> inputs = api::LoadJobInputs(spec);
-    if (!inputs.ok()) return inputs.status();
-    return api::BuildServingSession(spec, *inputs,
-                                    /*cold_build_universe=*/false);
+    // Prepare through the cache: the session's bootstrap training consumes
+    // the handle's batch arrays, and a later Run() of the same spec reuses
+    // the same preparation.
+    Result<PreparedHandle> prepared = Prepare(spec);
+    if (!prepared.ok()) return prepared.status();
+    return api::BuildServingSession(spec, (*prepared)->inputs,
+                                    /*cold_build_universe=*/false,
+                                    /*training_size=*/nullptr,
+                                    /*phases=*/nullptr, (*prepared).get());
   } catch (const std::exception& e) {
     return Status::Internal(std::string("OpenSession failed: ") + e.what());
   }

@@ -8,6 +8,7 @@
 #include "api/json.h"
 #include "api/spec_json.h"
 #include "gsmb/prepared.h"
+#include "schemes/scheme_registry.h"
 
 namespace gsmb {
 
@@ -173,18 +174,6 @@ const char* DatasetSourceName(DatasetSource source) {
   return "unknown";
 }
 
-const char* BlockingSchemeName(BlockingScheme scheme) {
-  switch (scheme) {
-    case BlockingScheme::kToken:
-      return "token";
-    case BlockingScheme::kQGram:
-      return "qgram";
-    case BlockingScheme::kSuffix:
-      return "suffix";
-  }
-  return "unknown";
-}
-
 const char* ExecutionModeName(ExecutionMode mode) {
   switch (mode) {
     case ExecutionMode::kBatch:
@@ -237,13 +226,14 @@ Result<DatasetSource> ParseDatasetSource(const std::string& name) {
       "' (expected csv, generated-clean-clean or generated-dirty)");
 }
 
-Result<BlockingScheme> ParseBlockingScheme(const std::string& name) {
+Result<std::string> ParseBlockingScheme(const std::string& name) {
   const std::string n = Lower(name);
-  if (n == "token") return BlockingScheme::kToken;
-  if (n == "qgram") return BlockingScheme::kQGram;
-  if (n == "suffix") return BlockingScheme::kSuffix;
-  return Status::NotFound("unknown blocking scheme '" + name +
-                          "' (expected token, qgram or suffix)");
+  if (schemes::FindBlocker(n) == nullptr) {
+    return Status::NotFound("unknown blocking scheme '" + name +
+                            "' (registered: " +
+                            schemes::BlockerNamesJoined() + ")");
+  }
+  return n;
 }
 
 Result<ExecutionMode> ParseExecutionMode(const std::string& name) {
@@ -336,12 +326,20 @@ json::Object BlockingSectionJson(const BlockingSpec& blocking) {
   // Every member is serialized regardless of the active scheme, so a
   // round-trip is lossless and `explain` shows the complete state.
   json::Object blocking_obj;
-  blocking_obj["scheme"] = json::Value(BlockingSchemeName(blocking.scheme));
+  blocking_obj["scheme"] = json::Value(blocking.scheme);
   blocking_obj["min_token_length"] = json::Value(blocking.min_token_length);
   blocking_obj["qgram"] = json::Value(blocking.qgram);
   blocking_obj["suffix_min_length"] = json::Value(blocking.suffix_min_length);
   blocking_obj["suffix_max_block_size"] =
       json::Value(blocking.suffix_max_block_size);
+  blocking_obj["window"] = json::Value(blocking.window);
+  blocking_obj["min_window"] = json::Value(blocking.min_window);
+  blocking_obj["key_similarity"] = json::Value(blocking.key_similarity);
+  blocking_obj["attribute_similarity"] =
+      json::Value(blocking.attribute_similarity);
+  blocking_obj["lsh_bands"] = json::Value(blocking.lsh_bands);
+  blocking_obj["lsh_rows"] = json::Value(blocking.lsh_rows);
+  blocking_obj["minhash_seed"] = json::Value(blocking.minhash_seed);
   blocking_obj["purge_size_fraction"] =
       json::Value(blocking.purge_size_fraction);
   blocking_obj["filter_ratio"] = json::Value(blocking.filter_ratio);
@@ -469,6 +467,16 @@ Result<JobSpec> JobSpecFromJsonValue(const json::Value& parsed,
   GSMB_RETURN_IF_ERROR(root.GetSection("blocking", [&](Section& s) {
     GSMB_RETURN_IF_ERROR(
         s.GetEnum("scheme", ParseBlockingScheme, &spec.blocking.scheme));
+    if (read_version < 3 && spec.blocking.scheme != kSchemeToken &&
+        spec.blocking.scheme != kSchemeQGram &&
+        spec.blocking.scheme != kSchemeSuffix) {
+      // Like the version-2 key below: a pre-version-3 document naming a
+      // registry scheme is a versioning bug in the producer; name the fix.
+      return Status::InvalidArgument(
+          path + ".blocking.scheme '" + spec.blocking.scheme +
+          "' is a version-3 scheme; declare \"version\": 3 (or run "
+          "`gsmb_cli migrate`)");
+    }
     GSMB_RETURN_IF_ERROR(
         s.GetSize("min_token_length", &spec.blocking.min_token_length));
     GSMB_RETURN_IF_ERROR(s.GetSize("qgram", &spec.blocking.qgram));
@@ -476,6 +484,30 @@ Result<JobSpec> JobSpecFromJsonValue(const json::Value& parsed,
         s.GetSize("suffix_min_length", &spec.blocking.suffix_min_length));
     GSMB_RETURN_IF_ERROR(s.GetSize("suffix_max_block_size",
                                    &spec.blocking.suffix_max_block_size));
+    if (read_version >= 3) {
+      GSMB_RETURN_IF_ERROR(s.GetSize("window", &spec.blocking.window));
+      GSMB_RETURN_IF_ERROR(
+          s.GetSize("min_window", &spec.blocking.min_window));
+      GSMB_RETURN_IF_ERROR(
+          s.GetDouble("key_similarity", &spec.blocking.key_similarity));
+      GSMB_RETURN_IF_ERROR(s.GetDouble("attribute_similarity",
+                                       &spec.blocking.attribute_similarity));
+      GSMB_RETURN_IF_ERROR(s.GetSize("lsh_bands", &spec.blocking.lsh_bands));
+      GSMB_RETURN_IF_ERROR(s.GetSize("lsh_rows", &spec.blocking.lsh_rows));
+      GSMB_RETURN_IF_ERROR(
+          s.GetU64("minhash_seed", &spec.blocking.minhash_seed));
+    } else {
+      for (const char* key :
+           {"window", "min_window", "key_similarity", "attribute_similarity",
+            "lsh_bands", "lsh_rows", "minhash_seed"}) {
+        if (s.Raw(key) != nullptr) {
+          return Status::InvalidArgument(
+              path + ".blocking." + key +
+              " is a version-3 key; declare \"version\": 3 (or run "
+              "`gsmb_cli migrate`)");
+        }
+      }
+    }
     GSMB_RETURN_IF_ERROR(s.GetDouble("purge_size_fraction",
                                      &spec.blocking.purge_size_fraction));
     GSMB_RETURN_IF_ERROR(
@@ -615,19 +647,18 @@ Status JobSpec::Validate() const {
   if (blocking.min_token_length < 1) {
     return Status::InvalidArgument("blocking.min_token_length must be >= 1");
   }
-  if (blocking.scheme == BlockingScheme::kQGram && blocking.qgram < 1) {
-    return Status::InvalidArgument("blocking.qgram must be >= 1");
-  }
-  if (blocking.scheme == BlockingScheme::kSuffix) {
-    if (blocking.suffix_min_length < 1) {
+  {
+    // Reject-don't-ignore: an unregistered scheme name fails here, and the
+    // scheme's own ValidateParams checks its parameter ranges.
+    const schemes::Blocker* blocker = schemes::FindBlocker(blocking.scheme);
+    if (blocker == nullptr) {
       return Status::InvalidArgument(
-          "blocking.suffix_min_length must be >= 1");
+          "blocking.scheme '" + blocking.scheme +
+          "' is not a registered scheme (registered: " +
+          schemes::BlockerNamesJoined() + ")");
     }
-    if (blocking.suffix_max_block_size < 2) {
-      return Status::InvalidArgument(
-          "blocking.suffix_max_block_size must be >= 2 (a block needs two "
-          "members to imply a comparison)");
-    }
+    Status params = blocker->ValidateParams(blocking);
+    if (!params.ok()) return params;
   }
   if (!(blocking.purge_size_fraction > 0.0)) {
     return Status::InvalidArgument(
@@ -675,6 +706,14 @@ bool JobSpec::operator==(const JobSpec& other) const {
          blocking.suffix_min_length == other.blocking.suffix_min_length &&
          blocking.suffix_max_block_size ==
              other.blocking.suffix_max_block_size &&
+         blocking.window == other.blocking.window &&
+         blocking.min_window == other.blocking.min_window &&
+         blocking.key_similarity == other.blocking.key_similarity &&
+         blocking.attribute_similarity ==
+             other.blocking.attribute_similarity &&
+         blocking.lsh_bands == other.blocking.lsh_bands &&
+         blocking.lsh_rows == other.blocking.lsh_rows &&
+         blocking.minhash_seed == other.blocking.minhash_seed &&
          blocking.purge_size_fraction == other.blocking.purge_size_fraction &&
          blocking.filter_ratio == other.blocking.filter_ratio &&
          features == other.features && classifier == other.classifier &&

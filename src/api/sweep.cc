@@ -4,6 +4,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -103,6 +104,13 @@ std::string SweepSpec::ToJson(int indent) const {
   root["base"] = api::JobSpecToJsonValue(base);
 
   json::Object axes_obj;
+  if (!axes.schemes.empty()) {
+    json::Array schemes;
+    for (const std::string& scheme : axes.schemes) {
+      schemes.emplace_back(scheme);
+    }
+    axes_obj["scheme"] = json::Value(std::move(schemes));
+  }
   if (!axes.pruning.empty()) {
     axes_obj["pruning"] = json::Value(NamesArray(axes.pruning,
                                                  &PruningAxisName));
@@ -180,7 +188,11 @@ Result<SweepSpec> SweepSpec::FromJson(const std::string& text) {
       }
       for (const auto& [axis, axis_value] : value.AsObject().members()) {
         Status parsed_axis = Status::Ok();
-        if (axis == "pruning") {
+        if (axis == "scheme") {
+          parsed_axis = ParseNameAxis(axis_value, "sweep.axes.scheme",
+                                      ParseBlockingScheme,
+                                      &sweep.axes.schemes);
+        } else if (axis == "pruning") {
           parsed_axis = ParseNameAxis(axis_value, "sweep.axes.pruning",
                                       ParsePruningName, &sweep.axes.pruning);
         } else if (axis == "features") {
@@ -255,10 +267,25 @@ Status SweepSpec::Validate() const {
         "sweep.base.output.retained_csv must be empty: one path cannot "
         "hold a grid of results (use retained_dir for per-variant CSVs)");
   }
-  Status unique = RejectDuplicates(axes.pruning, "sweep.axes.pruning",
-                                   [](PruningKind k) {
-                                     return PruningShortName(k);
-                                   });
+  Status unique = RejectDuplicates(axes.schemes, "sweep.axes.scheme",
+                                   [](const std::string& s) { return s; });
+  if (!unique.ok()) return unique;
+  // The scheme axis changes the preparation itself, so each value must
+  // yield a spec this build can prepare: registry membership AND the
+  // base's per-scheme params, checked the same way a plain Run would.
+  for (const std::string& scheme : axes.schemes) {
+    JobSpec variant = base;
+    variant.blocking.scheme = scheme;
+    Status scheme_valid = variant.Validate();
+    if (!scheme_valid.ok()) {
+      return Status(scheme_valid.code(), "sweep.axes.scheme '" + scheme +
+                                             "': " + scheme_valid.message());
+    }
+  }
+  unique = RejectDuplicates(axes.pruning, "sweep.axes.pruning",
+                            [](PruningKind k) {
+                              return PruningShortName(k);
+                            });
   if (!unique.ok()) return unique;
   unique = RejectDuplicates(axes.features, "sweep.axes.features",
                             [](const FeatureSet& s) {
@@ -288,15 +315,19 @@ Status SweepSpec::Validate() const {
 
 size_t SweepSpec::GridSize() const {
   auto dim = [](size_t n) { return n == 0 ? size_t{1} : n; };
-  return dim(axes.pruning.size()) * dim(axes.features.size()) *
-         dim(axes.classifiers.size()) * dim(axes.labels_per_class.size()) *
-         dim(axes.seeds.size());
+  return dim(axes.schemes.size()) * dim(axes.pruning.size()) *
+         dim(axes.features.size()) * dim(axes.classifiers.size()) *
+         dim(axes.labels_per_class.size()) * dim(axes.seeds.size());
 }
 
 std::vector<JobSpec> SweepSpec::Expand() const {
   // An empty axis contributes the base's single value, so every loop below
   // runs at least once and the expansion order is exactly the documented
-  // pruning -> features -> classifier -> labels -> seeds nesting.
+  // scheme -> pruning -> features -> classifier -> labels -> seeds nesting.
+  // Scheme is outermost so variants sharing a preparation are contiguous.
+  const std::vector<std::string> schemes =
+      axes.schemes.empty() ? std::vector<std::string>{base.blocking.scheme}
+                           : axes.schemes;
   const std::vector<PruningKind> prunings =
       axes.pruning.empty() ? std::vector<PruningKind>{base.pruning.kind}
                            : axes.pruning;
@@ -316,18 +347,21 @@ std::vector<JobSpec> SweepSpec::Expand() const {
 
   std::vector<JobSpec> variants;
   variants.reserve(GridSize());
-  for (PruningKind pruning : prunings) {
-    for (const FeatureSet& feature_set : features) {
-      for (ClassifierKind classifier : classifiers) {
-        for (size_t labels_per_class : labels) {
-          for (uint64_t seed : seeds) {
-            JobSpec variant = base;
-            variant.pruning.kind = pruning;
-            variant.features = feature_set;
-            variant.classifier = classifier;
-            variant.training.labels_per_class = labels_per_class;
-            variant.training.seed = seed;
-            variants.push_back(std::move(variant));
+  for (const std::string& scheme : schemes) {
+    for (PruningKind pruning : prunings) {
+      for (const FeatureSet& feature_set : features) {
+        for (ClassifierKind classifier : classifiers) {
+          for (size_t labels_per_class : labels) {
+            for (uint64_t seed : seeds) {
+              JobSpec variant = base;
+              variant.blocking.scheme = scheme;
+              variant.pruning.kind = pruning;
+              variant.features = feature_set;
+              variant.classifier = classifier;
+              variant.training.labels_per_class = labels_per_class;
+              variant.training.seed = seed;
+              variants.push_back(std::move(variant));
+            }
           }
         }
       }
@@ -338,6 +372,7 @@ std::vector<JobSpec> SweepSpec::Expand() const {
 
 bool SweepSpec::operator==(const SweepSpec& other) const {
   return version == other.version && base == other.base &&
+         axes.schemes == other.axes.schemes &&
          axes.pruning == other.axes.pruning &&
          axes.features == other.axes.features &&
          axes.classifiers == other.axes.classifiers &&
@@ -349,9 +384,11 @@ bool SweepSpec::operator==(const SweepSpec& other) const {
 std::string SweepVariantLabel(const JobSpec& variant) {
   std::string features = FeatureSetSpecName(variant.features);
   // A custom feature list serializes with commas; '+' keeps the label one
-  // filesystem-safe token.
+  // filesystem-safe token. Scheme names are already filesystem-safe
+  // (lowercase words joined by '-').
   std::replace(features.begin(), features.end(), ',', '+');
-  return PruningShortName(variant.pruning.kind) + "_" + features + "_" +
+  return variant.blocking.scheme + "_" +
+         PruningShortName(variant.pruning.kind) + "_" + features + "_" +
          ClassifierShortName(variant.classifier) + "_l" +
          std::to_string(variant.training.labels_per_class) + "_s" +
          std::to_string(variant.training.seed);
@@ -367,11 +404,31 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
 
   Stopwatch total_watch;
 
-  // One preparation for the whole grid: every variant shares the base's
-  // dataset+blocking sections, so every variant shares this handle.
+  std::vector<JobSpec> variants = sweep.Expand();
+
+  // One preparation per distinct dataset+blocking section — without a
+  // scheme axis that is the single shared base preparation. The handles
+  // live in this map for the whole sweep, so the cache's LRU can never
+  // evict (and force a re-preparation of) a scheme mid-sweep.
   const PrepareCacheStats before = prepare_cache_stats();
-  Result<PreparedHandle> prepared = Prepare(sweep.base);
-  if (!prepared.ok()) return prepared.status();
+  std::vector<std::string> variant_keys;
+  variant_keys.reserve(variants.size());
+  std::map<std::string, PreparedHandle> handles;
+  double prepare_seconds = 0.0;
+  for (const JobSpec& variant : variants) {
+    std::string key = PrepareCacheKey(variant);
+    if (handles.find(key) == handles.end()) {
+      Result<PreparedHandle> prepared = Prepare(variant);
+      if (!prepared.ok()) {
+        return Status(prepared.status().code(),
+                      "sweep: preparing scheme '" + variant.blocking.scheme +
+                          "': " + prepared.status().message());
+      }
+      prepare_seconds += (*prepared)->prepare_seconds;
+      handles.emplace(key, *prepared);
+    }
+    variant_keys.push_back(std::move(key));
+  }
   const PrepareCacheStats after = prepare_cache_stats();
 
   if (!sweep.retained_dir.empty()) {
@@ -383,15 +440,15 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
     }
   }
 
-  std::vector<JobSpec> variants = sweep.Expand();
   GSMB_LOG_INFO("sweep.start", {"variants", variants.size()},
+                {"preparations", handles.size()},
                 {"cache_hits", after.hits - before.hits},
                 {"cache_misses", after.misses - before.misses});
   SweepResult result;
   result.variants.resize(variants.size());
   result.cache_hits = after.hits - before.hits;
   result.cache_misses = after.misses - before.misses;
-  result.prepare_seconds = (*prepared)->prepare_seconds;
+  result.prepare_seconds = prepare_seconds;
 
   // Variants are independent, deterministic jobs; run them in parallel
   // with work stealing: every slot pulls the next unclaimed variant off a
@@ -414,7 +471,7 @@ Result<SweepResult> Engine::RunSweep(const SweepSpec& sweep) const {
         out.spec.output.retained_csv =
             sweep.retained_dir + "/" + out.label + ".csv";
       }
-      Result<JobResult> run = Execute(out.spec, **prepared);
+      Result<JobResult> run = Execute(out.spec, *handles.at(variant_keys[i]));
       if (run.ok()) {
         out.result = std::move(*run);
         out.status = Status::Ok();

@@ -65,9 +65,17 @@ BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
                                          const EntityCollection& e2,
                                          const KeyFunction& keys,
                                          size_t num_threads) {
+  return BuildKeyBlocksCleanClean(e1, e2, keys, keys, num_threads);
+}
+
+BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
+                                         const EntityCollection& e2,
+                                         const KeyFunction& keys1,
+                                         const KeyFunction& keys2,
+                                         size_t num_threads) {
   KeyTable table;
-  Accumulate(e1, /*into_left=*/true, keys, num_threads, &table);
-  Accumulate(e2, /*into_left=*/false, keys, num_threads, &table);
+  Accumulate(e1, /*into_left=*/true, keys1, num_threads, &table);
+  Accumulate(e2, /*into_left=*/false, keys2, num_threads, &table);
 
   BlockCollection out(/*clean_clean=*/true, e1.size(), e2.size());
   for (auto& [key, members] : table) {

@@ -33,6 +33,15 @@ BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
                                          const KeyFunction& keys,
                                          size_t num_threads = 1);
 
+/// As above, with a distinct key function per source. Attribute-clustering
+/// blocking needs this: the cluster of an attribute name depends on which
+/// collection it comes from.
+BlockCollection BuildKeyBlocksCleanClean(const EntityCollection& e1,
+                                         const EntityCollection& e2,
+                                         const KeyFunction& keys1,
+                                         const KeyFunction& keys2,
+                                         size_t num_threads = 1);
+
 /// Builds a Dirty block collection: one block per key shared by at least two
 /// profiles of the single input collection.
 BlockCollection BuildKeyBlocksDirty(const EntityCollection& e,

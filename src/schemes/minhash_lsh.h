@@ -1,0 +1,41 @@
+// MinHash-LSH blocking: banded locality-sensitive hashing over per-entity
+// minhash signatures.
+//
+// Each profile's distinct value tokens form a set; a family of
+// lsh_bands * lsh_rows minwise hash functions condenses that set into a
+// signature whose per-position collision probability equals the Jaccard
+// similarity of the token sets. The signature splits into lsh_bands bands
+// of lsh_rows values, and entities agreeing on an entire band land in the
+// same bucket — each non-trivial bucket becomes a block. Bands/rows tune
+// the usual S-curve: more rows per band demand higher similarity, more
+// bands raise recall.
+//
+// This is the first similarity-driven (rather than key-equality) blocker
+// in the repo — the in-repo stepping stone toward the embedding/ANN family
+// (AutoBlock, SC-Block) that ROADMAP item 3 points at.
+//
+// Determinism: the hash family derives from blocking.minhash_seed through
+// util/random (never from global state), token hashing is FNV-1a (no
+// platform-dependent std::hash), and bucket emission reuses the sorted
+// key-table machinery of blocking/key_blocking. Bit-identical for any
+// thread count.
+
+#ifndef GSMB_SCHEMES_MINHASH_LSH_H_
+#define GSMB_SCHEMES_MINHASH_LSH_H_
+
+#include "schemes/scheme_registry.h"
+
+namespace gsmb::schemes {
+
+class MinHashLshBlocker : public Blocker {
+ public:
+  const char* name() const override;
+  const char* description() const override;
+  Status ValidateParams(const BlockingSpec& blocking) const override;
+  BlockCollection Build(const JobInputs& inputs, const BlockingSpec& blocking,
+                        size_t num_threads) const override;
+};
+
+}  // namespace gsmb::schemes
+
+#endif  // GSMB_SCHEMES_MINHASH_LSH_H_

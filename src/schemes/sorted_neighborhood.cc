@@ -1,0 +1,227 @@
+#include "schemes/sorted_neighborhood.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gsmb/job_spec.h"
+#include "util/thread_pool.h"
+
+namespace gsmb::schemes {
+
+namespace {
+
+// Matches key_blocking.cc: key extraction (tokenising every value)
+// dominates, so entities chunk finely enough to load-balance.
+constexpr size_t kExtractChunkGrain = 256;
+
+// Window emission is cheap per window (a handful of id copies), so windows
+// chunk coarsely.
+constexpr size_t kWindowChunkGrain = 4096;
+
+// One entry of the sorted key sequence. The comparison is a total order —
+// ties between equal keys break on (source, id) — so the sort result is
+// independent of the (stable or not) sort algorithm and of how the rows
+// were produced.
+struct SortRow {
+  std::string key;
+  uint8_t source;  // 0 = e1, 1 = e2 (always 0 for Dirty ER)
+  EntityId id;
+
+  bool operator<(const SortRow& other) const {
+    if (key != other.key) return key < other.key;
+    if (source != other.source) return source < other.source;
+    return id < other.id;
+  }
+};
+
+void AppendRows(const EntityCollection& collection, uint8_t source,
+                size_t min_token_length, size_t num_threads,
+                std::vector<SortRow>* rows) {
+  const std::vector<ChunkRange> chunks =
+      DeterministicChunks(collection.size(), kExtractChunkGrain);
+  std::vector<std::vector<SortRow>> parts(chunks.size());
+  ParallelFor(chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+                for (size_t c = chunks_begin; c < chunks_end; ++c) {
+                  std::vector<SortRow>& out = parts[c];
+                  for (size_t e = chunks[c].begin; e < chunks[c].end; ++e) {
+                    const auto id = static_cast<EntityId>(e);
+                    for (std::string& token :
+                         collection[id].DistinctValueTokens()) {
+                      if (token.size() < min_token_length) continue;
+                      out.push_back(SortRow{std::move(token), source, id});
+                    }
+                  }
+                }
+              });
+  std::vector<SortRow> merged = MergeChunkParts(&parts, num_threads);
+  rows->insert(rows->end(), std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()));
+}
+
+/// Normalized common-prefix similarity in [0, 1]: 1 for identical keys,
+/// 0 for keys that differ in the first character.
+double KeySimilarity(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  const size_t limit = std::min(a.size(), b.size());
+  size_t common = 0;
+  while (common < limit && a[common] == b[common]) ++common;
+  return static_cast<double>(common) / static_cast<double>(longest);
+}
+
+/// Turns the window rows[begin, end) into a block: member ids dedupe per
+/// source (an entity may appear under several keys inside one window), and
+/// windows that imply no comparison are dropped.
+bool WindowBlock(const std::vector<SortRow>& rows, size_t begin, size_t end,
+                 bool clean_clean, Block* block) {
+  block->key = rows[begin].key + "@" + std::to_string(begin);
+  block->left.clear();
+  block->right.clear();
+  for (size_t r = begin; r < end; ++r) {
+    (rows[r].source == 0 ? block->left : block->right).push_back(rows[r].id);
+  }
+  for (std::vector<EntityId>* side : {&block->left, &block->right}) {
+    std::sort(side->begin(), side->end());
+    side->erase(std::unique(side->begin(), side->end()), side->end());
+  }
+  if (clean_clean) {
+    return !block->left.empty() && !block->right.empty();
+  }
+  return block->left.size() >= 2;
+}
+
+struct WindowParams {
+  size_t max_window;
+  // Dynamic variant only (min_window == max_window for the fixed scheme).
+  size_t min_window;
+  double key_similarity;
+};
+
+/// End of the window starting at `begin`: grows from min_window up to
+/// max_window while adjacent keys stay similar enough. Depends only on the
+/// rows and `begin`, so window emission parallelises embarrassingly.
+size_t WindowEnd(const std::vector<SortRow>& rows, size_t begin,
+                 const WindowParams& params) {
+  size_t end = std::min(begin + params.min_window, rows.size());
+  const size_t limit = std::min(begin + params.max_window, rows.size());
+  while (end < limit &&
+         KeySimilarity(rows[end - 1].key, rows[end].key) >=
+             params.key_similarity) {
+    ++end;
+  }
+  return end;
+}
+
+BlockCollection BuildWindows(const JobInputs& inputs,
+                             const BlockingSpec& blocking,
+                             const WindowParams& params, size_t num_threads) {
+  std::vector<SortRow> rows;
+  AppendRows(inputs.e1, /*source=*/0, blocking.min_token_length, num_threads,
+             &rows);
+  if (!inputs.dirty) {
+    AppendRows(inputs.e2, /*source=*/1, blocking.min_token_length,
+               num_threads, &rows);
+  }
+  std::sort(rows.begin(), rows.end());
+
+  BlockCollection out(!inputs.dirty, inputs.e1.size(),
+                      inputs.dirty ? 0 : inputs.e2.size());
+  if (rows.empty()) return out;
+
+  // One window per start position; the last max_window-1 starts yield
+  // shrinking suffix windows, which WindowEnd clamps naturally.
+  const size_t num_windows = rows.size();
+  const std::vector<ChunkRange> chunks =
+      DeterministicChunks(num_windows, kWindowChunkGrain);
+  std::vector<std::vector<Block>> parts(chunks.size());
+  ParallelFor(chunks.size(), num_threads,
+              [&](size_t chunks_begin, size_t chunks_end) {
+                for (size_t c = chunks_begin; c < chunks_end; ++c) {
+                  Block block;
+                  for (size_t w = chunks[c].begin; w < chunks[c].end; ++w) {
+                    const size_t end = WindowEnd(rows, w, params);
+                    if (end - w < 2) continue;
+                    if (WindowBlock(rows, w, end, !inputs.dirty, &block)) {
+                      parts[c].push_back(std::move(block));
+                      block = Block();
+                    }
+                  }
+                }
+              });
+  std::vector<Block> blocks = MergeChunkParts(&parts, num_threads);
+  out.Reserve(blocks.size());
+  for (Block& block : blocks) out.Add(std::move(block));
+  return out;
+}
+
+}  // namespace
+
+const char* SortedNeighborhoodBlocker::name() const {
+  return kSchemeSortedNeighborhood;
+}
+
+const char* SortedNeighborhoodBlocker::description() const {
+  return "sorts value tokens and blocks each fixed-size window of the "
+         "sorted sequence (blocking.window)";
+}
+
+Status SortedNeighborhoodBlocker::ValidateParams(
+    const BlockingSpec& blocking) const {
+  if (blocking.window < 2) {
+    return Status::InvalidArgument(
+        "blocking.window must be >= 2 (a window of one entity implies no "
+        "comparison)");
+  }
+  return Status::Ok();
+}
+
+BlockCollection SortedNeighborhoodBlocker::Build(const JobInputs& inputs,
+                                                 const BlockingSpec& blocking,
+                                                 size_t num_threads) const {
+  // A fixed window is the dynamic rule with min == max (the similarity
+  // threshold never gets consulted).
+  const WindowParams params{blocking.window, blocking.window, 0.0};
+  return BuildWindows(inputs, blocking, params, num_threads);
+}
+
+const char* DynamicSortedNeighborhoodBlocker::name() const {
+  return kSchemeDynamicSortedNeighborhood;
+}
+
+const char* DynamicSortedNeighborhoodBlocker::description() const {
+  return "sorted neighborhood with an adaptive window: grows from "
+         "blocking.min_window to blocking.window while adjacent keys stay "
+         ">= blocking.key_similarity";
+}
+
+Status DynamicSortedNeighborhoodBlocker::ValidateParams(
+    const BlockingSpec& blocking) const {
+  if (blocking.min_window < 2) {
+    return Status::InvalidArgument(
+        "blocking.min_window must be >= 2 (a window of one entity implies "
+        "no comparison)");
+  }
+  if (blocking.window < blocking.min_window) {
+    return Status::InvalidArgument(
+        "blocking.window (the maximum window) must be >= "
+        "blocking.min_window");
+  }
+  if (!(blocking.key_similarity > 0.0) || blocking.key_similarity > 1.0) {
+    return Status::InvalidArgument(
+        "blocking.key_similarity must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
+BlockCollection DynamicSortedNeighborhoodBlocker::Build(
+    const JobInputs& inputs, const BlockingSpec& blocking,
+    size_t num_threads) const {
+  const WindowParams params{blocking.window, blocking.min_window,
+                            blocking.key_similarity};
+  return BuildWindows(inputs, blocking, params, num_threads);
+}
+
+}  // namespace gsmb::schemes

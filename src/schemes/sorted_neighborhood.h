@@ -1,0 +1,50 @@
+// Sorted Neighborhood blocking and its dynamic-window variant.
+//
+// Classic Sorted Neighborhood (Hernandez & Stolfo) sorts the records by a
+// blocking key and compares each record against the w-1 records around it.
+// The schema-agnostic formulation used here (and by JedAI) takes EVERY
+// distinct value token of a profile as a sort key: the (key, entity) rows
+// are sorted lexicographically and a window of size `blocking.window`
+// slides over the sorted sequence, emitting one block per window position.
+// Entities with similar keys land near each other, so typos that Token
+// Blocking misses (no shared token) can still be caught by adjacency.
+//
+// The dynamic variant (cf. adaptive sorted neighborhood, Yan et al.) grows
+// each window from `blocking.min_window` up to `blocking.window` while
+// adjacent sort keys stay similar — dense key regions get wide windows,
+// sparse regions stay narrow. Key similarity is the normalized common
+// prefix length, and the growth rule is deterministic (no sampling).
+//
+// Determinism: row extraction parallelises over fixed-grain entity chunks
+// folded in chunk order; the row sort is a total order over
+// (key, source, id); window emission parallelises over fixed-grain window
+// chunks folded in window order. Bit-identical for any thread count.
+
+#ifndef GSMB_SCHEMES_SORTED_NEIGHBORHOOD_H_
+#define GSMB_SCHEMES_SORTED_NEIGHBORHOOD_H_
+
+#include "schemes/scheme_registry.h"
+
+namespace gsmb::schemes {
+
+class SortedNeighborhoodBlocker : public Blocker {
+ public:
+  const char* name() const override;
+  const char* description() const override;
+  Status ValidateParams(const BlockingSpec& blocking) const override;
+  BlockCollection Build(const JobInputs& inputs, const BlockingSpec& blocking,
+                        size_t num_threads) const override;
+};
+
+class DynamicSortedNeighborhoodBlocker : public Blocker {
+ public:
+  const char* name() const override;
+  const char* description() const override;
+  Status ValidateParams(const BlockingSpec& blocking) const override;
+  BlockCollection Build(const JobInputs& inputs, const BlockingSpec& blocking,
+                        size_t num_threads) const override;
+};
+
+}  // namespace gsmb::schemes
+
+#endif  // GSMB_SCHEMES_SORTED_NEIGHBORHOOD_H_

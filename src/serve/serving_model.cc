@@ -23,6 +23,38 @@ std::vector<double> ServingModel::PredictRows(const Matrix& x) const {
   return out;
 }
 
+namespace {
+
+MetaBlockingConfig TrainingConfig(const FeatureSet& features,
+                                  const ServingModelTraining& options) {
+  MetaBlockingConfig config;
+  config.features = features;
+  config.classifier = options.classifier;
+  config.train_per_class = options.train_per_class;
+  config.seed = options.seed;
+  config.execution = options.execution;
+  return config;
+}
+
+ServingModel ModelFromCoefficients(const MetaBlockingResult& result,
+                                   const FeatureSet& features,
+                                   size_t* training_size) {
+  if (training_size != nullptr) *training_size = result.training_size;
+  if (result.model_coefficients.size() != features.Dimensions() + 1) {
+    throw std::runtime_error(
+        "TrainServingModel: classifier has no raw-space linear form (use "
+        "logistic regression or linear SVC)");
+  }
+  ServingModel model;
+  model.features = features;
+  model.weights.assign(result.model_coefficients.begin(),
+                       result.model_coefficients.end() - 1);
+  model.intercept = result.model_coefficients.back();
+  return model;
+}
+
+}  // namespace
+
 ServingModel TrainServingModel(const EntityCollection& labelled,
                                const GroundTruth& ground_truth,
                                const FeatureSet& features,
@@ -36,27 +68,23 @@ ServingModel TrainServingModel(const EntityCollection& labelled,
   blocking.execution = options.execution;
   PreparedDataset prep =
       PrepareDirty("serving-bootstrap", labelled, ground_truth, blocking);
+  MetaBlockingResult result =
+      RunMetaBlocking(prep, TrainingConfig(features, options));
+  return ModelFromCoefficients(result, features, training_size);
+}
 
-  MetaBlockingConfig config;
-  config.features = features;
-  config.classifier = options.classifier;
-  config.train_per_class = options.train_per_class;
-  config.seed = options.seed;
-  config.execution = options.execution;
-  MetaBlockingResult result = RunMetaBlocking(prep, config);
-  if (training_size != nullptr) *training_size = result.training_size;
-  if (result.model_coefficients.size() != features.Dimensions() + 1) {
-    throw std::runtime_error(
-        "TrainServingModel: classifier has no raw-space linear form (use "
-        "logistic regression or linear SVC)");
+ServingModel TrainServingModelFromPrepared(const PreparedRef& prepared,
+                                           const FeatureSet& features,
+                                           const ServingModelTraining& options,
+                                           size_t* training_size) {
+  if (prepared.num_ground_truth == 0) {
+    throw std::invalid_argument(
+        "TrainServingModelFromPrepared: ground truth has no labelled "
+        "matches");
   }
-
-  ServingModel model;
-  model.features = features;
-  model.weights.assign(result.model_coefficients.begin(),
-                       result.model_coefficients.end() - 1);
-  model.intercept = result.model_coefficients.back();
-  return model;
+  MetaBlockingResult result =
+      RunMetaBlocking(prepared, TrainingConfig(features, options));
+  return ModelFromCoefficients(result, features, training_size);
 }
 
 }  // namespace gsmb

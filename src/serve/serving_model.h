@@ -73,6 +73,18 @@ ServingModel TrainServingModel(const EntityCollection& labelled,
                                const ServingModelTraining& options = {},
                                size_t* training_size = nullptr);
 
+/// Trains from an existing preparation instead of re-blocking inside the
+/// trainer: the caller supplies the blocked, labelled candidate view (an
+/// Engine prepared handle's batch arrays, or RefOf() over an owning
+/// PreparedDataset) and only the per-configuration stages run. With the
+/// same blocking options the fitted model is bit-identical to
+/// TrainServingModel's — same pipeline, same balanced-sample replay —
+/// minus the redundant blocking pass. `options.blocking` is ignored (the
+/// preparation already applied it).
+ServingModel TrainServingModelFromPrepared(
+    const PreparedRef& prepared, const FeatureSet& features,
+    const ServingModelTraining& options = {}, size_t* training_size = nullptr);
+
 }  // namespace gsmb
 
 #endif  // GSMB_SERVE_SERVING_MODEL_H_

@@ -145,14 +145,10 @@ TEST(DigestInvariance, AcrossBackendsThreadsAndShards) {
         << variant.label << ": retained count diverged";
     EXPECT_EQ(run.dataset_fingerprint, reference.dataset_fingerprint)
         << variant.label << ": dataset fingerprint diverged";
-    if (variant.mode != ExecutionMode::kServing) {
-      // Serving never builds the global blocked representation and
-      // reports prepared_digest == 0 ("not applicable").
-      EXPECT_EQ(run.prepared_digest, reference.prepared_digest)
-          << variant.label << ": prepared digest diverged";
-    } else {
-      EXPECT_EQ(run.prepared_digest, 0u) << variant.label;
-    }
+    // Every backend — serving included, since its cold build trains from
+    // the prepared handle — reports the same preparation digest.
+    EXPECT_EQ(run.prepared_digest, reference.prepared_digest)
+        << variant.label << ": prepared digest diverged";
   }
 }
 

@@ -17,11 +17,18 @@ JobSpec EveryFieldExplicit() {
   spec.dataset.e1 = "left.csv";
   spec.dataset.e2 = "right.csv";
   spec.dataset.ground_truth = "gt.csv";
-  spec.blocking.scheme = BlockingScheme::kSuffix;
+  spec.blocking.scheme = kSchemeSuffix;
   spec.blocking.min_token_length = 2;
   spec.blocking.qgram = 4;
   spec.blocking.suffix_min_length = 5;
   spec.blocking.suffix_max_block_size = 48;
+  spec.blocking.window = 6;
+  spec.blocking.min_window = 3;
+  spec.blocking.key_similarity = 0.75;
+  spec.blocking.attribute_similarity = 0.4;
+  spec.blocking.lsh_bands = 16;
+  spec.blocking.lsh_rows = 2;
+  spec.blocking.minhash_seed = 99;
   spec.blocking.purge_size_fraction = 0.25;
   spec.blocking.filter_ratio = 0.9;
   spec.features = FeatureSet::RcnpOptimal();
@@ -108,7 +115,7 @@ TEST(JobSpecVersions, V1SpecIsReadAndUpgradedInMemory) {
   // The v2-only field keeps its default — v1 semantics are unchanged.
   EXPECT_EQ(spec->pruning.validity_threshold, 0.5);
   // Re-serialization is canonical current-version JSON.
-  EXPECT_NE(spec->ToJson().find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(spec->ToJson().find("\"version\": 3"), std::string::npos);
   EXPECT_NE(spec->ToJson().find("\"validity_threshold\": 0.5"),
             std::string::npos);
 }
@@ -129,6 +136,49 @@ TEST(JobSpecVersions, V1RejectsVersion2Keys) {
   ASSERT_FALSE(spec.ok());
   EXPECT_NE(spec.status().message().find("version-2 key"), std::string::npos)
       << spec.status().message();
+}
+
+TEST(JobSpecVersions, V2RejectsVersion3SchemesAndKeys) {
+  // Legacy versions may only name the legacy schemes; the new registry
+  // schemes are a version-3 surface.
+  Result<JobSpec> spec = JobSpec::FromJson(
+      R"({"version": 2, "blocking": {"scheme": "minhash-lsh"}})");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("version-3 scheme"),
+            std::string::npos)
+      << spec.status().message();
+
+  // ... and the per-scheme parameter keys are version-3 keys.
+  for (const char* key : {"window", "min_window", "key_similarity",
+                          "attribute_similarity", "lsh_bands", "lsh_rows",
+                          "minhash_seed"}) {
+    const std::string text = std::string(R"({"version": 2, "blocking": {")") +
+                             key + R"(": 4}})";
+    Result<JobSpec> rejected = JobSpec::FromJson(text);
+    ASSERT_FALSE(rejected.ok()) << key;
+    EXPECT_NE(rejected.status().message().find("version-3 key"),
+              std::string::npos)
+        << key << ": " << rejected.status().message();
+  }
+
+  // Legacy schemes stay readable in every version.
+  Result<JobSpec> legacy = JobSpec::FromJson(
+      R"({"version": 1, "blocking": {"scheme": "suffix"}})");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->blocking.scheme, kSchemeSuffix);
+}
+
+TEST(JobSpecVersions, NewSchemeFieldsRoundTripInV3) {
+  JobSpec spec;
+  spec.blocking.scheme = kSchemeMinHashLsh;
+  spec.blocking.lsh_bands = 12;
+  spec.blocking.lsh_rows = 3;
+  spec.blocking.minhash_seed = 41;
+  Result<JobSpec> again = JobSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(spec == *again);
+  EXPECT_EQ(again->blocking.lsh_bands, 12u);
+  EXPECT_EQ(again->blocking.minhash_seed, 41u);
 }
 
 TEST(JobSpecVersions, ValidityThresholdRoundTripsInV2) {
@@ -266,9 +316,35 @@ TEST(JobSpecValidate, RejectsOutOfRangeValues) {
   EXPECT_FALSE(spec.Validate().ok());
 
   spec = base;
-  spec.blocking.scheme = BlockingScheme::kSuffix;
+  spec.blocking.scheme = kSchemeSuffix;
   spec.blocking.suffix_max_block_size = 1;
   EXPECT_FALSE(spec.Validate().ok());
+
+  // Per-scheme params are validated by the scheme's own registry entry.
+  spec = base;
+  spec.blocking.scheme = kSchemeSortedNeighborhood;
+  spec.blocking.window = 1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.blocking.scheme = kSchemeDynamicSortedNeighborhood;
+  spec.blocking.key_similarity = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.blocking.scheme = kSchemeAttributeClustering;
+  spec.blocking.attribute_similarity = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.blocking.scheme = kSchemeMinHashLsh;
+  spec.blocking.lsh_bands = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = base;
+  spec.blocking.scheme = "not-a-scheme";
+  EXPECT_FALSE(spec.Validate().ok());
+  EXPECT_NE(spec.Validate().message().find("registered"), std::string::npos);
 }
 
 TEST(JobSpecValidate, GeneratedSpecRejectsCsvPaths) {

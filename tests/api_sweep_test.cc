@@ -137,11 +137,14 @@ TEST(SweepExpand, NestingOrderIsPruningMajorSeedsMinor) {
 
 TEST(SweepVariantLabels, AreFilesystemSafeAndDistinct) {
   JobSpec variant = BaseSpec();
-  EXPECT_EQ(SweepVariantLabel(variant), "blast_blast_logreg_l15_s3");
+  EXPECT_EQ(SweepVariantLabel(variant), "token_blast_blast_logreg_l15_s3");
   variant.features = FeatureSet{Feature::kCfIbf, Feature::kJs};
   const std::string label = SweepVariantLabel(variant);
   EXPECT_EQ(label.find(','), std::string::npos) << label;
-  EXPECT_EQ(label, "blast_cf-ibf+js_logreg_l15_s3");
+  EXPECT_EQ(label, "token_blast_cf-ibf+js_logreg_l15_s3");
+  variant.blocking.scheme = kSchemeMinHashLsh;
+  EXPECT_EQ(SweepVariantLabel(variant),
+            "minhash-lsh_blast_cf-ibf+js_logreg_l15_s3");
 }
 
 // ---------------------------------------------------------------------------

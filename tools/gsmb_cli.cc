@@ -18,7 +18,8 @@
 //
 //   gsmb sweep --config sweep.json [flags]
 //       Runs a parameter sweep (gsmb/sweep.h): expands the grid, prepares
-//       the shared dataset+blocking ONCE, executes every variant in
+//       each distinct dataset+blocking ONCE (one preparation per scheme
+//       when the sweep has a "scheme" axis), executes every variant in
 //       parallel against the cached PreparedInputs. `--csv`/`--json` write
 //       machine-readable per-variant results; `--retained-dir` writes one
 //       retained CSV per variant. Dataset/pipeline flags merge over the
@@ -57,6 +58,7 @@
 // evaluation oracle; in a production run you would pass only the labelled
 // subset you actually have.
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -82,6 +84,7 @@
 #include "gsmb/status.h"
 #include "gsmb/sweep.h"
 #include "gsmb/telemetry.h"
+#include "schemes/scheme_registry.h"
 #include "serve/session.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -98,6 +101,9 @@ void PrintUsage(std::FILE* stream) {
       "usage: gsmb [run] [--config job.json]\n"
       "            --e1 a.csv [--e2 b.csv] --gt matches.csv\n"
       "            | --dataset NAME [--scale S]\n"
+      "            [--scheme token|qgram|suffix|sorted-neighborhood|\n"
+      "             dynamic-sorted-neighborhood|attribute-clustering|\n"
+      "             minhash-lsh]\n"
       "            [--pruning blast] [--classifier logreg]\n"
       "            [--features blast] [--labels 25] [--seed 0]\n"
       "            [--threads 1] [--out retained.csv]\n"
@@ -198,7 +204,7 @@ Status ParseRunFlags(cli::ArgStream& args, JobSpec* spec,
     } else if (flag == "--scheme") {
       Result<std::string> value = args.Value(flag);
       if (!value.ok()) return value.status();
-      Result<BlockingScheme> scheme = ParseBlockingScheme(*value);
+      Result<std::string> scheme = ParseBlockingScheme(*value);
       if (!scheme.ok()) {
         return Status::InvalidArgument("--scheme: " +
                                        scheme.status().message());
@@ -528,6 +534,7 @@ int ExplainJson(const JobSpec& spec) {
   doc["execution_mode"] = json::Value(ExecutionModeName(spec.execution.mode));
 
   json::Array backends;
+  json::Array scheme_entries;
   if (valid.ok()) {
     Engine engine;
     for (const std::string& name : engine.BackendNames()) {
@@ -540,8 +547,34 @@ int ExplainJson(const JobSpec& spec) {
       }
       backends.emplace_back(std::move(backend));
     }
+    // Every registered blocking scheme, with each backend's Supports()
+    // verdict for THIS spec re-pointed at that scheme — the sweep planner
+    // reads this to pick scheme-axis values a backend can actually run.
+    for (const std::string& scheme_name : schemes::BlockerNames()) {
+      const schemes::Blocker* blocker = schemes::FindBlocker(scheme_name);
+      json::Object entry;
+      entry["name"] = json::Value(scheme_name);
+      entry["description"] = json::Value(blocker->description());
+      entry["selected"] = json::Value(scheme_name == spec.blocking.scheme);
+      JobSpec variant = spec;
+      variant.blocking.scheme = scheme_name;
+      json::Array verdicts;
+      for (const std::string& backend_name : engine.BackendNames()) {
+        Status supports = engine.FindBackend(backend_name)->Supports(variant);
+        json::Object verdict;
+        verdict["name"] = json::Value(backend_name);
+        verdict["supported"] = json::Value(supports.ok());
+        if (!supports.ok()) {
+          verdict["diagnostic"] = json::Value(supports.message());
+        }
+        verdicts.emplace_back(std::move(verdict));
+      }
+      entry["backends"] = json::Value(std::move(verdicts));
+      scheme_entries.emplace_back(std::move(entry));
+    }
   }
   doc["backends"] = json::Value(std::move(backends));
+  doc["schemes"] = json::Value(std::move(scheme_entries));
 
   std::printf("%s\n", json::Dump(json::Value(std::move(doc))).c_str());
   return valid.ok() ? 0 : 2;
@@ -603,6 +636,23 @@ int ExplainMain(int argc, char** argv, int begin) {
     std::fprintf(stderr, "  backend %-9s %s\n", name.c_str(),
                  supports.ok() ? "supported" : supports.message().c_str());
   }
+  std::fprintf(stderr,
+               "registered blocking schemes (backend verdicts for this "
+               "spec; * = selected):\n");
+  for (const std::string& scheme_name : schemes::BlockerNames()) {
+    JobSpec variant = parsed_spec;
+    variant.blocking.scheme = scheme_name;
+    std::string support;
+    for (const std::string& backend : engine.BackendNames()) {
+      if (!support.empty()) support += ", ";
+      support += backend;
+      support +=
+          engine.FindBackend(backend)->Supports(variant).ok() ? ":yes" : ":no";
+    }
+    std::fprintf(stderr, "  scheme %-28s%s %s\n", scheme_name.c_str(),
+                 scheme_name == parsed_spec.blocking.scheme ? "*" : " ",
+                 support.c_str());
+  }
   return 0;
 }
 
@@ -615,7 +665,7 @@ int ExplainMain(int argc, char** argv, int begin) {
 std::vector<CsvRow> SweepCsvRows(const SweepResult& result) {
   std::vector<CsvRow> rows;
   rows.reserve(result.variants.size() + 1);
-  rows.push_back({"label", "pruning", "features", "classifier",
+  rows.push_back({"label", "scheme", "pruning", "features", "classifier",
                   "labels_per_class", "seed", "backend", "retained", "recall",
                   "precision", "f1", "total_seconds", "status"});
   char buffer[32];
@@ -625,7 +675,8 @@ std::vector<CsvRow> SweepCsvRows(const SweepResult& result) {
   };
   for (const SweepVariant& v : result.variants) {
     const bool ok = v.status.ok();
-    rows.push_back({v.label, PruningShortName(v.spec.pruning.kind),
+    rows.push_back({v.label, v.spec.blocking.scheme,
+                    PruningShortName(v.spec.pruning.kind),
                     FeatureSetSpecName(v.spec.features),
                     ClassifierShortName(v.spec.classifier),
                     std::to_string(v.spec.training.labels_per_class),
@@ -656,6 +707,7 @@ Status WriteSweepJson(const std::string& path, const SweepSpec& sweep,
   for (const SweepVariant& v : result.variants) {
     json::Object row;
     row["label"] = json::Value(v.label);
+    row["scheme"] = json::Value(v.spec.blocking.scheme);
     row["pruning"] = json::Value(PruningShortName(v.spec.pruning.kind));
     row["features"] = json::Value(FeatureSetSpecName(v.spec.features));
     row["classifier"] = json::Value(ClassifierShortName(v.spec.classifier));
@@ -800,9 +852,16 @@ int SweepMain(int argc, char** argv, int begin) {
     std::printf("wrote metrics to %s\n", telemetry.metrics_path.c_str());
   }
 
+  // One preparation per distinct dataset+blocking; the scheme axis is the
+  // only axis that multiplies this count.
+  const size_t preparations =
+      std::max<size_t>(1, sweep->axes.schemes.empty()
+                              ? 1
+                              : sweep->axes.schemes.size());
   std::printf(
-      "prepared blocking once in %.1f ms (cache: %zu miss%s, %zu hit%s); "
-      "%zu variant%s in %.1f ms\n",
+      "prepared blocking %zu time%s in %.1f ms (cache: %zu miss%s, "
+      "%zu hit%s); %zu variant%s in %.1f ms\n",
+      preparations, preparations == 1 ? "" : "s",
       result->prepare_seconds * 1e3, result->cache_misses,
       result->cache_misses == 1 ? "" : "es", result->cache_hits,
       result->cache_hits == 1 ? "" : "s", result->variants.size(),
